@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Shared plumbing for the figure-reproduction harnesses.
+ *
+ * Every binary reads EPF_SCALE (default 0.25) to size the benchmark
+ * inputs and prints the same rows/series as the corresponding figure or
+ * table of the paper.  Absolute numbers differ from the paper (different
+ * substrate, scaled inputs); the *shape* is the reproduction target —
+ * see EXPERIMENTS.md.
+ */
+
+#ifndef EPF_BENCH_BENCH_COMMON_HPP
+#define EPF_BENCH_BENCH_COMMON_HPP
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "runner/experiment.hpp"
+#include "runner/tables.hpp"
+
+namespace epf::bench
+{
+
+inline double
+scaleFromEnv(double fallback = 0.25)
+{
+    if (const char *s = std::getenv("EPF_SCALE"))
+        return std::atof(s);
+    return fallback;
+}
+
+inline RunConfig
+baseConfig(Technique t, double scale)
+{
+    RunConfig cfg;
+    cfg.technique = t;
+    cfg.scale.factor = scale;
+    return cfg;
+}
+
+/** Cache of baseline (no-prefetch) cycle counts per workload. */
+class BaselineCache
+{
+  public:
+    explicit BaselineCache(double scale) : scale_(scale) {}
+
+    std::uint64_t
+    cycles(const std::string &wl)
+    {
+        auto it = cache_.find(wl);
+        if (it != cache_.end())
+            return it->second;
+        RunResult r =
+            runExperiment(wl, baseConfig(Technique::kNone, scale_));
+        cache_[wl] = r.cycles;
+        checksums_[wl] = r.checksum;
+        return r.cycles;
+    }
+
+    std::uint64_t checksum(const std::string &wl) const
+    {
+        return checksums_.at(wl);
+    }
+
+  private:
+    double scale_;
+    std::map<std::string, std::uint64_t> cache_;
+    std::map<std::string, std::uint64_t> checksums_;
+};
+
+} // namespace epf::bench
+
+#endif // EPF_BENCH_BENCH_COMMON_HPP

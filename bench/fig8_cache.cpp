@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Figure 8: (a) the fraction of prefetches brought into the L1 that are
+ * used before eviction, and (b) the L1 read hit rate without prefetching
+ * vs with the programmable prefetcher (plus the L2 hit rates that explain
+ * G500-List's residual benefit).
+ */
+
+#include "bench_common.hpp"
+
+using namespace epf;
+using namespace epf::bench;
+
+int
+main()
+{
+    const double scale = scaleFromEnv();
+    std::cout << "=== Figure 8: L1 prefetch utilisation and hit rates "
+                 "(scale "
+              << scale << ") ===\n";
+
+    TextTable table({"Benchmark", "PF utilisation", "L1 hit (no PF)",
+                     "L1 hit (PPF)", "L2 hit (no PF)", "L2 hit (PPF)"});
+
+    for (const auto &wl : workloadNames()) {
+        RunResult none =
+            runExperiment(wl, baseConfig(Technique::kNone, scale));
+        RunResult ppf =
+            runExperiment(wl, baseConfig(Technique::kManual, scale));
+        table.addRow({wl, TextTable::num(ppf.pfUtilisation),
+                      TextTable::num(none.l1ReadHitRate),
+                      TextTable::num(ppf.l1ReadHitRate),
+                      TextTable::num(none.l2HitRate),
+                      TextTable::num(ppf.l2HitRate)});
+    }
+    table.print(std::cout);
+    std::cout << "\npaper: utilisation high everywhere except G500-List "
+                 "(early prefetches evicted);\n"
+                 "G500-List L1 hit rises only 0.34->0.42 but L2 hit "
+                 "0.20->0.57.\n";
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Figure 9(a): speedup of the (manually programmed) prefetcher as a
+ * function of the PPU clock, 250 MHz to 2 GHz, with 12 PPUs.
+ */
+
+#include "bench_common.hpp"
+
+using namespace epf;
+using namespace epf::bench;
+
+int
+main()
+{
+    const double scale = scaleFromEnv();
+    std::cout << "=== Figure 9(a): speedup vs PPU clock, 12 PPUs (scale "
+              << scale << ") ===\n";
+
+    struct Freq
+    {
+        const char *name;
+        Tick period;
+    };
+    const std::vector<Freq> freqs = {
+        {"250MHz", 64}, {"500MHz", 32}, {"1GHz", 16}, {"2GHz", 8}};
+
+    std::vector<std::string> header = {"Benchmark"};
+    for (const auto &f : freqs)
+        header.push_back(f.name);
+    TextTable table(header);
+
+    BaselineCache base(scale);
+    std::map<std::string, std::vector<double>> per_freq;
+
+    for (const auto &wl : workloadNames()) {
+        std::vector<std::string> row = {wl};
+        for (const auto &f : freqs) {
+            RunConfig cfg = baseConfig(Technique::kManual, scale);
+            cfg.ppf.ppuPeriod = f.period;
+            RunResult r = runExperiment(wl, cfg);
+            double s = static_cast<double>(base.cycles(wl)) /
+                       static_cast<double>(r.cycles);
+            per_freq[f.name].push_back(s);
+            row.push_back(TextTable::num(s) + "x");
+        }
+        table.addRow(std::move(row));
+    }
+    std::vector<std::string> gm = {"geomean"};
+    for (const auto &f : freqs)
+        gm.push_back(TextTable::num(geomean(per_freq[f.name])) + "x");
+    table.addRow(std::move(gm));
+
+    table.print(std::cout);
+    std::cout << "\npaper: about half the workloads are insensitive to "
+                 "PPU clock; HJ-2 needs 500MHz;\n"
+                 "ConjGrad and G500-CSR keep scaling; majority of benefit "
+                 "reached at 1GHz.\n";
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Figure 9(b): G500-CSR speedup for 3/6/12 PPUs across PPU clocks from
+ * 125 MHz to 4 GHz — doubling the unit count should match doubling the
+ * clock, since prefetch events are embarrassingly parallel.
+ */
+
+#include "bench_common.hpp"
+
+using namespace epf;
+using namespace epf::bench;
+
+int
+main()
+{
+    const double scale = scaleFromEnv(0.1);
+    std::cout << "=== Figure 9(b): G500-CSR speedup vs PPUs x clock "
+                 "(scale "
+              << scale << ") ===\n";
+
+    struct Freq
+    {
+        const char *name;
+        Tick period;
+    };
+    const std::vector<Freq> freqs = {{"125MHz", 128}, {"250MHz", 64},
+                                     {"500MHz", 32},  {"1GHz", 16},
+                                     {"2GHz", 8},     {"4GHz", 4}};
+    const std::vector<unsigned> ppus = {3, 6, 12};
+
+    std::vector<std::string> header = {"PPUs"};
+    for (const auto &f : freqs)
+        header.push_back(f.name);
+    TextTable table(header);
+
+    BaselineCache base(scale);
+    std::uint64_t base_cycles = base.cycles("G500-CSR");
+
+    for (unsigned n : ppus) {
+        std::vector<std::string> row = {std::to_string(n)};
+        for (const auto &f : freqs) {
+            RunConfig cfg = baseConfig(Technique::kManual, scale);
+            cfg.ppf.numPpus = n;
+            cfg.ppf.ppuPeriod = f.period;
+            RunResult r = runExperiment("G500-CSR", cfg);
+            row.push_back(TextTable::num(static_cast<double>(base_cycles) /
+                                         static_cast<double>(r.cycles)) +
+                          "x");
+        }
+        table.addRow(std::move(row));
+    }
+    table.print(std::cout);
+    std::cout << "\npaper: 3 PPUs @2GHz ~ 6 @1GHz ~ 12 @500MHz; "
+                 "saturates by 12 PPUs @2GHz.\n";
+    return 0;
+}

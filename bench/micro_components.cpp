@@ -1,0 +1,114 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's own components:
+ * event-queue throughput, cache access path, PPU interpreter and the
+ * compiler pass.  These measure the *host* cost of simulation, useful
+ * when scaling inputs.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "compiler/ir.hpp"
+#include "compiler/passes.hpp"
+#include "isa/builder.hpp"
+#include "isa/interpreter.hpp"
+#include "mem/cache.hpp"
+#include "mem/dram.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+
+namespace
+{
+
+void
+BM_EventQueue(benchmark::State &state)
+{
+    for (auto _ : state) {
+        epf::EventQueue eq;
+        int sink = 0;
+        for (int i = 0; i < 1000; ++i)
+            eq.schedule(static_cast<epf::Tick>(i * 7 % 97), [&sink] { ++sink; });
+        eq.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueue);
+
+void
+BM_CacheHits(benchmark::State &state)
+{
+    epf::EventQueue eq;
+    epf::DramParams dp;
+    epf::Dram dram(eq, dp);
+    epf::CacheParams cp;
+    cp.sizeBytes = 32 * 1024;
+    cp.ways = 2;
+    cp.mshrs = 12;
+    epf::Cache cache(eq, cp, dram);
+    // Warm one line.
+    cache.demandAccess(true, 0x1000, 0x1000, [] {});
+    eq.run();
+
+    for (auto _ : state) {
+        cache.demandAccess(true, 0x1000, 0x1000, [] {});
+        eq.run();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheHits);
+
+void
+BM_Interpreter(benchmark::State &state)
+{
+    epf::KernelBuilder b("bench");
+    b.vaddr(1).gread(2, 0).sub(1, 1, 2).shri(1, 1, 3).addi(1, 1, 16)
+        .shli(1, 1, 3).add(1, 1, 2).prefetch(1).halt();
+    epf::Kernel k = b.build();
+    std::uint64_t globals[epf::kGlobalRegs] = {0x10000};
+    epf::EventContext ctx;
+    ctx.vaddr = 0x10400;
+    ctx.globalRegs = globals;
+
+    for (auto _ : state) {
+        auto res = epf::Interpreter::run(k, ctx,
+                                         [](const epf::PrefetchEmit &) {});
+        benchmark::DoNotOptimize(res.cycles);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Interpreter);
+
+void
+BM_ConversionPass(benchmark::State &state)
+{
+    for (auto _ : state) {
+        epf::LoopIR ir;
+        epf::IrNode *a = ir.addArray("A", 0x10000, 8, 4096);
+        epf::IrNode *b = ir.addArray("B", 0x80000, 8, 4096);
+        epf::IrNode *c = ir.addArray("C", 0xC0000, 8, 4096);
+        epf::IrNode *x = ir.indVar();
+        epf::IrNode *a2 = ir.loadForSwpf(
+            ir.index(a, ir.bin(epf::IrBin::kAdd, x, ir.cnst(16)), 8), 8,
+            "A");
+        epf::IrNode *b2 = ir.loadForSwpf(ir.index(b, a2, 8), 8, "B");
+        ir.swpf(ir.index(c, b2, 8));
+        auto res = epf::convertSoftwarePrefetches(ir);
+        benchmark::DoNotOptimize(res.ok);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ConversionPass);
+
+void
+BM_Rng(benchmark::State &state)
+{
+    epf::Rng rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_Rng);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Compiler-assistance demo (Section 6): builds the paper's Figure 4/5
+ * loop `acc += C[B[A[x]]]` in the mini-IR, runs both the
+ * software-prefetch conversion pass and the pragma pass, and prints the
+ * generated PPU event kernels plus the configuration the compiler would
+ * insert before the loop.  Also demonstrates the diagnostics for
+ * patterns that cannot be converted.
+ */
+
+#include <iostream>
+
+#include "compiler/ir.hpp"
+#include "compiler/passes.hpp"
+#include "isa/disasm.hpp"
+
+using namespace epf;
+
+namespace
+{
+
+void
+dump(const char *title, const PassResult &res)
+{
+    std::cout << "---- " << title << " ----\n";
+    if (!res.ok) {
+        std::cout << "conversion failed: " << res.failureReason << "\n\n";
+        return;
+    }
+    for (const auto &k : res.program.kernels)
+        std::cout << disassemble(k);
+    std::cout << "filters:\n";
+    for (const auto &f : res.program.filters) {
+        std::cout << "  [" << std::hex << f.base << ", " << f.limit
+                  << std::dec << ") " << f.name
+                  << (f.onLoadLocal >= 0 ? " -> kernel " +
+                                               std::to_string(
+                                                   f.onLoadLocal)
+                                         : "")
+                  << (f.timeSource ? " [timeSource]" : "")
+                  << (f.timedStart ? " [timedStart]" : "")
+                  << (f.timedEnd ? " [timedEnd]" : "") << "\n";
+    }
+    std::cout << "globals:\n";
+    for (const auto &g : res.program.globals)
+        std::cout << "  g" << g.slot << " = 0x" << std::hex << g.value
+                  << std::dec << "  (" << g.name << ")\n";
+    for (const auto &r : res.program.remarks)
+        std::cout << "remark: " << r << "\n";
+    std::cout << "code footprint: " << res.program.codeBytes()
+              << " bytes\n\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "The paper's Figure 4 loop:  for (x) acc += C[B[A[x]]];\n"
+              << "annotated with             swpf(&C[B[A[x+16]]]);\n\n";
+
+    LoopIR ir;
+    IrNode *a = ir.addArray("A", 0x100000, 8, 1 << 16);
+    IrNode *b = ir.addArray("B", 0x300000, 8, 1 << 16);
+    IrNode *c = ir.addArray("C", 0x500000, 8, 1 << 16);
+    IrNode *x = ir.indVar();
+
+    // Loop body loads (what the pragma pass sees).
+    IrNode *av = ir.load(ir.index(a, x, 8), 8, "A");
+    IrNode *bv = ir.load(ir.index(b, av, 8), 8, "B");
+    (void)ir.load(ir.index(c, bv, 8), 8, "C");
+
+    // The software prefetch (what the conversion pass starts from).
+    IrNode *a2 = ir.loadForSwpf(
+        ir.index(a, ir.bin(IrBin::kAdd, x, ir.cnst(16)), 8), 8, "A_pf");
+    IrNode *b2 = ir.loadForSwpf(ir.index(b, a2, 8), 8, "B_pf");
+    ir.swpf(ir.index(c, b2, 8));
+
+    dump("software-prefetch conversion (Algorithm 1)",
+         convertSoftwarePrefetches(ir));
+    dump("#pragma prefetch generation (Section 6.4)",
+         generateFromPragma(ir));
+
+    // A pattern that cannot be converted: linked-list walking needs a
+    // control-flow loop, which a software prefetch cannot express.
+    std::cout << "A non-convertible pattern (list walk via loop-carried "
+                 "phi):\n";
+    LoopIR bad;
+    (void)bad.addArray("heads", 0x700000, 8, 1024);
+    IrNode *l = bad.phi("l");
+    bad.swpf(bad.bin(IrBin::kAdd, l, bad.cnst(8)));
+    dump("conversion attempt", convertSoftwarePrefetches(bad));
+
+    return 0;
+}

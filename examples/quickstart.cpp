@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Quickstart: run one benchmark with and without the programmable
+ * prefetcher and print the speedup.
+ *
+ * Usage: quickstart [workload] [scale]
+ *   workload: one of the Table 2 names (default RandAcc)
+ *   scale:    input scale factor (default 0.25 for a fast demo)
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "runner/experiment.hpp"
+
+int
+main(int argc, char **argv)
+{
+    std::string name = argc > 1 ? argv[1] : "RandAcc";
+    double scale = argc > 2 ? std::atof(argv[2]) : 0.25;
+
+    epf::RunConfig cfg;
+    cfg.scale.factor = scale;
+
+    std::cout << "workload: " << name << " (scale " << scale << ")\n";
+
+    cfg.technique = epf::Technique::kNone;
+    epf::RunResult base = epf::runExperiment(name, cfg);
+    std::cout << "  no prefetch : " << base.cycles << " cycles, L1 read "
+              << "hit rate " << base.l1ReadHitRate << "\n";
+
+    cfg.technique = epf::Technique::kManual;
+    epf::RunResult ppf = epf::runExperiment(name, cfg);
+    std::cout << "  programmable: " << ppf.cycles << " cycles, L1 read "
+              << "hit rate " << ppf.l1ReadHitRate << ", utilisation "
+              << ppf.pfUtilisation << "\n";
+
+    if (base.checksum != ppf.checksum) {
+        std::cout << "CHECKSUM MISMATCH\n";
+        return 1;
+    }
+    std::cout << "  speedup     : "
+              << static_cast<double>(base.cycles) /
+                     static_cast<double>(ppf.cycles)
+              << "x  (checksums match)\n";
+
+    if (std::getenv("EPF_DEBUG") != nullptr) {
+        std::cout << "--- baseline detail ---\n";
+        base.detail.dump(std::cout);
+        std::cout << "--- ppf detail ---\n";
+        ppf.detail.dump(std::cout);
+    }
+    return 0;
+}

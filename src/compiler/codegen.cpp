@@ -1,0 +1,174 @@
+#include "compiler/codegen.hpp"
+
+#include <cassert>
+
+namespace epf
+{
+
+unsigned
+Codegen::slotFor(const IrNode *inv)
+{
+    auto it = slots_.find(inv);
+    if (it != slots_.end())
+        return it->second;
+    unsigned slot = static_cast<unsigned>(slots_.size());
+    assert(slot < kGlobalRegs && "out of prefetcher global registers");
+    slots_.emplace(inv, slot);
+    return slot;
+}
+
+int
+Codegen::genExpr(const IrNode *expr, KernelBuilder &b, const Env &env,
+                 std::string &fail)
+{
+    RegPool pool;
+    if (env.idxReg >= 0)
+        (void)0; // idx lives in r1/r2 space, outside the pool
+    return gen(expr, b, env, pool, fail);
+}
+
+int
+Codegen::gen(const IrNode *n, KernelBuilder &b, const Env &env,
+             RegPool &pool, std::string &fail)
+{
+    switch (n->kind) {
+      case IrKind::kConst: {
+        int r = pool.alloc();
+        if (r < 0) {
+            fail = "expression too deep for PPU registers";
+            return -1;
+        }
+        b.li(static_cast<unsigned>(r), n->value);
+        return r;
+      }
+      case IrKind::kInvariant: {
+        int r = pool.alloc();
+        if (r < 0) {
+            fail = "expression too deep for PPU registers";
+            return -1;
+        }
+        b.gread(static_cast<unsigned>(r), slotFor(n));
+        return r;
+      }
+      case IrKind::kIndVar: {
+        if (env.idxReg < 0) {
+            fail = "induction variable not derivable in this event";
+            return -1;
+        }
+        int r = pool.alloc();
+        if (r < 0) {
+            fail = "expression too deep for PPU registers";
+            return -1;
+        }
+        b.mov(static_cast<unsigned>(r),
+              static_cast<unsigned>(env.idxReg));
+        return r;
+      }
+      case IrKind::kLookahead: {
+        int r = pool.alloc();
+        if (r < 0) {
+            fail = "expression too deep for PPU registers";
+            return -1;
+        }
+        b.lookahead(static_cast<unsigned>(r),
+                    static_cast<unsigned>(env.triggerFilterLocal));
+        return r;
+      }
+      case IrKind::kLoad: {
+        if (n->loopInvariantLoad) {
+            // Loop-invariant loads were hoisted into global registers
+            // (Algorithm 1, "replace invariant loads in events").
+            int r = pool.alloc();
+            if (r < 0) {
+                fail = "expression too deep for PPU registers";
+                return -1;
+            }
+            b.gread(static_cast<unsigned>(r), slotFor(n));
+            return r;
+        }
+        if (n != env.holeLoad) {
+            fail = "event references a load other than its trigger";
+            return -1;
+        }
+        int r = pool.alloc();
+        if (r < 0) {
+            fail = "expression too deep for PPU registers";
+            return -1;
+        }
+        b.mov(static_cast<unsigned>(r),
+              static_cast<unsigned>(env.dataReg));
+        return r;
+      }
+      case IrKind::kBin: {
+        // Immediate forms when the right operand is a constant.
+        if (n->rhs->kind == IrKind::kConst) {
+            int l = gen(n->lhs, b, env, pool, fail);
+            if (l < 0)
+                return -1;
+            std::int64_t imm = n->rhs->value;
+            unsigned lr = static_cast<unsigned>(l);
+            switch (n->bin) {
+              case IrBin::kAdd: b.addi(lr, lr, imm); break;
+              case IrBin::kSub: b.addi(lr, lr, -imm); break;
+              case IrBin::kMul:
+                // Strength-reduce power-of-two multiplies as a compiler
+                // would (PPUs are microcontroller-class).
+                if (imm > 0 && (imm & (imm - 1)) == 0) {
+                    std::int64_t sh = 0;
+                    while ((std::int64_t{1} << sh) < imm)
+                        ++sh;
+                    b.shli(lr, lr, sh);
+                } else {
+                    b.muli(lr, lr, imm);
+                }
+                break;
+              case IrBin::kDiv:
+                if (imm > 0 && (imm & (imm - 1)) == 0) {
+                    std::int64_t sh = 0;
+                    while ((std::int64_t{1} << sh) < imm)
+                        ++sh;
+                    b.shri(lr, lr, sh);
+                } else {
+                    b.divi(lr, lr, imm);
+                }
+                break;
+              case IrBin::kAnd: b.andi(lr, lr, imm); break;
+              case IrBin::kShl: b.shli(lr, lr, imm); break;
+              case IrBin::kShr: b.shri(lr, lr, imm); break;
+            }
+            return l;
+        }
+        int l = gen(n->lhs, b, env, pool, fail);
+        if (l < 0)
+            return -1;
+        int r = gen(n->rhs, b, env, pool, fail);
+        if (r < 0)
+            return -1;
+        unsigned lr = static_cast<unsigned>(l);
+        unsigned rr = static_cast<unsigned>(r);
+        switch (n->bin) {
+          case IrBin::kAdd: b.add(lr, lr, rr); break;
+          case IrBin::kSub: b.sub(lr, lr, rr); break;
+          case IrBin::kMul: b.mul(lr, lr, rr); break;
+          case IrBin::kDiv: b.div(lr, lr, rr); break;
+          case IrBin::kAnd: b.andr(lr, lr, rr); break;
+          case IrBin::kShl: b.shl(lr, lr, rr); break;
+          case IrBin::kShr: b.shr(lr, lr, rr); break;
+        }
+        pool.free(r);
+        return l;
+      }
+      case IrKind::kPhi:
+        fail = "control-flow dependent phi node";
+        return -1;
+      case IrKind::kCall:
+        fail = n->sideEffectFree
+                   ? "call not inlinable into a prefetch event"
+                   : "function call with side effects";
+        return -1;
+    }
+    fail = "unhandled IR node";
+    return -1;
+}
+
+} // namespace epf

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Expression-to-PPU code generation (Section 6.3).
+ *
+ * Each event kernel evaluates one or more address expressions whose only
+ * free inputs are (a) the derived induction index — recovered from the
+ * observed address as (vaddr - base) / elem_size — or (b) the data word
+ * of the prefetched line ("the only remaining load must be to the data
+ * observed from the current event, so it is converted into a register
+ * access").  Loop invariants become global-register reads.
+ */
+
+#ifndef EPF_COMPILER_CODEGEN_HPP
+#define EPF_COMPILER_CODEGEN_HPP
+
+#include <map>
+#include <string>
+
+#include "compiler/ir.hpp"
+#include "isa/builder.hpp"
+
+namespace epf
+{
+
+/** Shared state of one program's code generation. */
+class Codegen
+{
+  public:
+    /** Bindings available inside one event kernel. */
+    struct Env
+    {
+        /** Register holding the derived induction index (or -1). */
+        int idxReg = -1;
+        /** The hole load whose data is bound (nullptr if none). */
+        const IrNode *holeLoad = nullptr;
+        /** Register holding the hole load's data (or -1). */
+        int dataReg = -1;
+        /** Local filter index for lookahead reads (pragma pass). */
+        int triggerFilterLocal = 0;
+    };
+
+    /** Global-register slot for an invariant (assigned on demand). */
+    unsigned slotFor(const IrNode *inv);
+
+    /** All assigned slots: node -> slot. */
+    const std::map<const IrNode *, unsigned> &slots() const { return slots_; }
+
+    /**
+     * Emit code computing @p expr into a register.
+     * @return the register, or -1 on failure (@p fail explains).
+     */
+    int genExpr(const IrNode *expr, KernelBuilder &b, const Env &env,
+                std::string &fail);
+
+  private:
+    /** Tiny linear register allocator over r3..r14. */
+    class RegPool
+    {
+      public:
+        int
+        alloc()
+        {
+            for (int r = kFirst; r <= kLast; ++r) {
+                if (!used_[r]) {
+                    used_[r] = true;
+                    return r;
+                }
+            }
+            return -1;
+        }
+
+        void
+        free(int r)
+        {
+            if (r >= kFirst && r <= kLast)
+                used_[r] = false;
+        }
+
+      private:
+        static constexpr int kFirst = 3;
+        static constexpr int kLast = 14;
+        bool used_[16] = {};
+    };
+
+    int gen(const IrNode *expr, KernelBuilder &b, const Env &env,
+            RegPool &pool, std::string &fail);
+
+    std::map<const IrNode *, unsigned> slots_;
+};
+
+} // namespace epf
+
+#endif // EPF_COMPILER_CODEGEN_HPP

@@ -1,0 +1,68 @@
+#include "compiler/event_program.hpp"
+
+#include <cassert>
+
+namespace epf
+{
+
+std::vector<KernelId>
+EventProgram::installInto(ProgrammablePrefetcher &ppf) const
+{
+    // First pass: register kernels to learn their global ids.
+    std::vector<KernelId> ids;
+    ids.reserve(kernels.size());
+    for (const auto &k : kernels)
+        ids.push_back(ppf.kernels().add(k));
+
+    // Allocate real global-register slots for this program's invariants.
+    std::vector<int> slot_map;
+    for (const auto &g : globals) {
+        if (slot_map.size() <= g.slot)
+            slot_map.resize(g.slot + 1, -1);
+        slot_map[g.slot] =
+            static_cast<int>(ppf.allocGlobal(g.value));
+    }
+
+    // Add filters; record local-filter -> global-filter mapping.
+    std::vector<int> filter_ids;
+    filter_ids.reserve(filters.size());
+    for (const auto &f : filters) {
+        FilterEntry e;
+        e.name = f.name;
+        e.base = f.base;
+        e.limit = f.limit;
+        e.onLoad = f.onLoadLocal >= 0
+                       ? ids.at(static_cast<std::size_t>(f.onLoadLocal))
+                       : kNoKernel;
+        e.timeSource = f.timeSource;
+        e.timedStart = f.timedStart;
+        e.timedEnd = f.timedEnd;
+        filter_ids.push_back(ppf.addFilter(e));
+    }
+
+    // Relocate inter-kernel references now that ids are known.  The
+    // kernels were added by value; patch the registered copies.
+    for (std::size_t ki = 0; ki < kernels.size(); ++ki) {
+        Kernel &installed = ppf.kernels().mutableKernel(ids[ki]);
+        for (auto &in : installed.code) {
+            if (in.op == Opcode::kPrefetchCb) {
+                assert(in.imm >= 0 &&
+                       in.imm < static_cast<std::int64_t>(ids.size()));
+                in.imm = ids[static_cast<std::size_t>(in.imm)];
+            } else if (in.op == Opcode::kLookahead) {
+                assert(in.imm >= 0 &&
+                       in.imm < static_cast<std::int64_t>(filter_ids.size()));
+                in.imm = filter_ids[static_cast<std::size_t>(in.imm)];
+            } else if (in.op == Opcode::kGread) {
+                assert(in.imm >= 0 &&
+                       static_cast<std::size_t>(in.imm) < slot_map.size() &&
+                       slot_map[static_cast<std::size_t>(in.imm)] >= 0);
+                in.imm = slot_map[static_cast<std::size_t>(in.imm)];
+            }
+        }
+    }
+
+    return ids;
+}
+
+} // namespace epf

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The output of the compiler passes: a relocatable set of event kernels
+ * plus the configuration (address bounds, global registers) the
+ * generated code needs, ready to install into a programmable prefetcher.
+ *
+ * Kernel-to-kernel links (prefetch.cb) and lookahead reads reference
+ * *local* indices inside the program; installInto() relocates them to the
+ * ids the target prefetcher hands out.
+ */
+
+#ifndef EPF_COMPILER_EVENT_PROGRAM_HPP
+#define EPF_COMPILER_EVENT_PROGRAM_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/isa.hpp"
+#include "ppf/ppf.hpp"
+#include "sim/types.hpp"
+
+namespace epf
+{
+
+/** A compiled, relocatable prefetch-event program. */
+struct EventProgram
+{
+    /** One global-register initialisation. */
+    struct GlobalInit
+    {
+        unsigned slot;
+        std::uint64_t value;
+        std::string name;
+    };
+
+    /** One address-filter configuration. */
+    struct FilterInit
+    {
+        std::string name;
+        Addr base = 0;
+        Addr limit = 0;
+        /** Local kernel index run on loads in range (-1: none). */
+        int onLoadLocal = -1;
+        bool timeSource = false;
+        bool timedStart = false;
+        bool timedEnd = false;
+    };
+
+    std::vector<Kernel> kernels;
+    std::vector<GlobalInit> globals;
+    std::vector<FilterInit> filters;
+
+    /** Human-readable pass log (what converted, what was removed). */
+    std::vector<std::string> remarks;
+
+    bool empty() const { return kernels.empty(); }
+
+    /**
+     * Install into @p ppf: registers kernels, relocating prefetch.cb
+     * kernel ids and lookahead filter ids from program-local indices to
+     * the target's; adds filter entries; writes global registers.
+     *
+     * @return the global kernel ids assigned, in program order.
+     */
+    std::vector<KernelId> installInto(ProgrammablePrefetcher &ppf) const;
+
+    /** Approximate instruction-memory footprint in bytes. */
+    std::size_t
+    codeBytes() const
+    {
+        std::size_t n = 0;
+        for (const auto &k : kernels)
+            n += k.code.size() * 4;
+        return n;
+    }
+};
+
+/** Outcome of a compiler pass over one loop. */
+struct PassResult
+{
+    bool ok = false;
+    std::string failureReason;
+    EventProgram program;
+};
+
+} // namespace epf
+
+#endif // EPF_COMPILER_EVENT_PROGRAM_HPP

@@ -1,0 +1,286 @@
+/**
+ * @file
+ * Mini SSA-style intermediate representation for loop bodies.
+ *
+ * The paper's compiler passes (Section 6) run over LLVM IR.  Here each
+ * workload describes the address-generation dataflow of its inner loop in
+ * this small IR — constants, loop invariants, the induction variable,
+ * loads and arithmetic — exactly the node kinds Algorithm 1 cares about.
+ * Features that make conversion fail in the paper (non-induction phi
+ * nodes, side-effecting calls, opaque iterators) are representable so the
+ * passes fail for the same reasons on the same benchmarks.
+ */
+
+#ifndef EPF_COMPILER_IR_HPP
+#define EPF_COMPILER_IR_HPP
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace epf
+{
+
+/** IR node kinds. */
+enum class IrKind
+{
+    kConst,     ///< integer literal
+    kInvariant, ///< loop-invariant value (array base, hash mask, ...)
+    kIndVar,    ///< the loop induction variable
+    kLookahead, ///< pragma-synthesised dynamic lookahead distance
+    kLoad,      ///< memory load
+    kBin,       ///< binary arithmetic
+    kPhi,       ///< non-induction phi (control-flow dependent value)
+    kCall,      ///< function call (fails conversion unless pure)
+};
+
+/** Binary operators. */
+enum class IrBin
+{
+    kAdd,
+    kSub,
+    kMul,
+    kDiv,
+    kShl,
+    kShr,
+    kAnd,
+};
+
+/** One IR node (owned by a LoopIR arena). */
+struct IrNode
+{
+    IrKind kind = IrKind::kConst;
+
+    // kConst
+    std::int64_t value = 0;
+
+    // kInvariant: name + the actual runtime value the compiler would
+    // register with the prefetcher's global registers.
+    std::string name;
+    std::uint64_t runtimeValue = 0;
+
+    // kLoad
+    IrNode *addr = nullptr;
+    unsigned elemSize = 8;
+    bool loopInvariantLoad = false;
+    std::int16_t streamId = -1;
+
+    // kBin
+    IrBin bin = IrBin::kAdd;
+    IrNode *lhs = nullptr;
+    IrNode *rhs = nullptr;
+
+    // kCall
+    bool sideEffectFree = true;
+};
+
+/** A data structure known to the loop (for bounds inference, Sec. 6.2). */
+struct IrArray
+{
+    std::string name;
+    /** The invariant node holding the base address. */
+    IrNode *base = nullptr;
+    Addr baseAddr = 0;
+    std::uint64_t elemSize = 8;
+    std::uint64_t length = 0; ///< in elements
+
+    Addr limit() const { return baseAddr + elemSize * length; }
+};
+
+/** A software-prefetch instruction inside the loop. */
+struct IrSwPrefetch
+{
+    IrNode *addr = nullptr;
+};
+
+/** The IR of one prefetch-annotated loop. */
+class LoopIR
+{
+  public:
+    /** The loop induction variable (unit stride in elements). */
+    IrNode *induction = nullptr;
+    /** Arrays with inferable bounds. */
+    std::vector<IrArray> arrays;
+    /** Software prefetches (inputs to the conversion pass). */
+    std::vector<IrSwPrefetch> prefetches;
+    /** All loads in the loop body (inputs to the pragma pass). */
+    std::vector<IrNode *> bodyLoads;
+    /**
+     * True when the source works on opaque/templated iterators, so no
+     * address expression is available to insert software prefetches
+     * (PageRank in the paper).
+     */
+    bool opaqueIterators = false;
+
+    // ---- Node factories ----
+
+    IrNode *
+    cnst(std::int64_t v)
+    {
+        IrNode n;
+        n.kind = IrKind::kConst;
+        n.value = v;
+        return intern(n);
+    }
+
+    IrNode *
+    invariant(const std::string &name, std::uint64_t runtime_value)
+    {
+        IrNode n;
+        n.kind = IrKind::kInvariant;
+        n.name = name;
+        n.runtimeValue = runtime_value;
+        return intern(n);
+    }
+
+    IrNode *
+    indVar()
+    {
+        if (induction == nullptr) {
+            IrNode n;
+            n.kind = IrKind::kIndVar;
+            induction = intern(n);
+        }
+        return induction;
+    }
+
+    IrNode *
+    lookaheadDist()
+    {
+        IrNode n;
+        n.kind = IrKind::kLookahead;
+        return intern(n);
+    }
+
+    IrNode *
+    load(IrNode *addr, unsigned elem_size, const std::string &name,
+         std::int16_t stream = -1)
+    {
+        IrNode n;
+        n.kind = IrKind::kLoad;
+        n.addr = addr;
+        n.elemSize = elem_size;
+        n.name = name;
+        n.streamId = stream;
+        IrNode *p = intern(n);
+        bodyLoads.push_back(p);
+        return p;
+    }
+
+    /**
+     * A load that exists only inside a software prefetch's address
+     * generation (it is not part of the loop body proper, so the pragma
+     * pass — which sees the un-annotated source — never visits it).
+     */
+    IrNode *
+    loadForSwpf(IrNode *addr, unsigned elem_size, const std::string &name)
+    {
+        IrNode n;
+        n.kind = IrKind::kLoad;
+        n.addr = addr;
+        n.elemSize = elem_size;
+        n.name = name;
+        return intern(n);
+    }
+
+    IrNode *
+    invariantLoad(IrNode *addr, unsigned elem_size, const std::string &name,
+                  std::uint64_t runtime_value)
+    {
+        IrNode n;
+        n.kind = IrKind::kLoad;
+        n.addr = addr;
+        n.elemSize = elem_size;
+        n.name = name;
+        n.loopInvariantLoad = true;
+        n.runtimeValue = runtime_value;
+        return intern(n);
+    }
+
+    IrNode *
+    bin(IrBin op, IrNode *l, IrNode *r)
+    {
+        IrNode n;
+        n.kind = IrKind::kBin;
+        n.bin = op;
+        n.lhs = l;
+        n.rhs = r;
+        return intern(n);
+    }
+
+    IrNode *
+    phi(const std::string &name)
+    {
+        IrNode n;
+        n.kind = IrKind::kPhi;
+        n.name = name;
+        return intern(n);
+    }
+
+    IrNode *
+    call(const std::string &name, bool side_effect_free)
+    {
+        IrNode n;
+        n.kind = IrKind::kCall;
+        n.name = name;
+        n.sideEffectFree = side_effect_free;
+        return intern(n);
+    }
+
+    // ---- Conveniences ----
+
+    /** Register an array and return its base invariant. */
+    IrNode *
+    addArray(const std::string &name, Addr base, std::uint64_t elem_size,
+             std::uint64_t length)
+    {
+        IrArray a;
+        a.name = name;
+        a.base = invariant(name + ".base", base);
+        a.baseAddr = base;
+        a.elemSize = elem_size;
+        a.length = length;
+        arrays.push_back(a);
+        return a.base;
+    }
+
+    /** &arr_base[idx] for an array of @p elem_size byte elements. */
+    IrNode *
+    index(IrNode *base, IrNode *idx, std::uint64_t elem_size)
+    {
+        return bin(IrBin::kAdd, base,
+                   bin(IrBin::kMul, idx,
+                       cnst(static_cast<std::int64_t>(elem_size))));
+    }
+
+    /** Mark a software prefetch of @p addr. */
+    void swpf(IrNode *addr) { prefetches.push_back({addr}); }
+
+    /** Find the array owning @p base invariant (nullptr if unknown). */
+    const IrArray *
+    arrayOf(const IrNode *base) const
+    {
+        for (const auto &a : arrays) {
+            if (a.base == base)
+                return &a;
+        }
+        return nullptr;
+    }
+
+  private:
+    IrNode *
+    intern(const IrNode &n)
+    {
+        arena_.push_back(n);
+        return &arena_.back();
+    }
+
+    std::deque<IrNode> arena_;
+};
+
+} // namespace epf
+
+#endif // EPF_COMPILER_IR_HPP

@@ -1,0 +1,562 @@
+#include "compiler/passes.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+
+#include "compiler/codegen.hpp"
+#include "isa/builder.hpp"
+
+namespace epf
+{
+
+namespace
+{
+
+/** What a backwards scan of one address expression found. */
+struct ScanInfo
+{
+    std::vector<const IrNode *> loads; ///< non-invariant loads (not entered)
+    bool usesIndvar = false;
+    std::string fail;
+};
+
+/** Depth-first search terminating at constants, invariants, loads and
+ *  phi nodes (Section 6.1). Returns false on a hard failure. */
+bool
+scan(const IrNode *n, ScanInfo &out)
+{
+    switch (n->kind) {
+      case IrKind::kConst:
+      case IrKind::kInvariant:
+      case IrKind::kLookahead:
+        return true;
+      case IrKind::kIndVar:
+        out.usesIndvar = true;
+        return true;
+      case IrKind::kLoad:
+        if (n->loopInvariantLoad)
+            return true; // hoisted to a global register
+        if (std::find(out.loads.begin(), out.loads.end(), n) ==
+            out.loads.end())
+            out.loads.push_back(n);
+        return true; // do not descend: the load starts a new event
+      case IrKind::kBin:
+        return scan(n->lhs, out) && scan(n->rhs, out);
+      case IrKind::kPhi:
+        out.fail = "control-flow dependent phi node '" + n->name + "'";
+        return false;
+      case IrKind::kCall:
+        out.fail = n->sideEffectFree
+                       ? "call '" + n->name + "' cannot run on a PPU"
+                       : "call '" + n->name + "' has side effects";
+        return false;
+    }
+    out.fail = "unhandled node";
+    return false;
+}
+
+/** Collect array-base invariants appearing in @p n. */
+void
+collectArrayBases(const LoopIR &ir, const IrNode *n,
+                  std::vector<const IrArray *> &out)
+{
+    switch (n->kind) {
+      case IrKind::kInvariant: {
+        if (const IrArray *a = ir.arrayOf(n)) {
+            if (std::find(out.begin(), out.end(), a) == out.end())
+                out.push_back(a);
+        }
+        return;
+      }
+      case IrKind::kBin:
+        collectArrayBases(ir, n->lhs, out);
+        collectArrayBases(ir, n->rhs, out);
+        return;
+      case IrKind::kLoad:
+        return; // beyond an event boundary
+      default:
+        return;
+    }
+}
+
+/** One prefetch chain: loads from innermost (induction-rooted) outwards. */
+struct Chain
+{
+    std::vector<const IrNode *> loads; ///< L1 .. Ln
+    const IrNode *triggerExpr = nullptr;
+    const IrNode *finalExpr = nullptr;
+    const IrArray *triggerArray = nullptr;
+};
+
+/**
+ * Walk backwards from @p target, splitting at loads (Algorithm 1's
+ * DFS + split_on_loads).  @return false with @p why on failure.
+ */
+bool
+buildChain(const LoopIR &ir, const IrNode *target, Chain &chain,
+           std::string &why)
+{
+    chain.finalExpr = target;
+    const IrNode *expr = target;
+    std::vector<const IrNode *> loads_outer_first;
+
+    for (;;) {
+        ScanInfo si;
+        if (!scan(expr, si)) {
+            why = si.fail;
+            return false;
+        }
+        if (si.loads.size() > 1) {
+            why = "more than one loaded value feeds a single address";
+            return false;
+        }
+        if (si.loads.empty()) {
+            if (!si.usesIndvar) {
+                why = "no induction variable found by the backwards search";
+                return false;
+            }
+            chain.triggerExpr = expr;
+            break;
+        }
+        if (si.usesIndvar) {
+            why = "address mixes the induction variable with loaded data";
+            return false;
+        }
+        loads_outer_first.push_back(si.loads[0]);
+        expr = si.loads[0]->addr;
+    }
+
+    chain.loads.assign(loads_outer_first.rbegin(), loads_outer_first.rend());
+
+    // Array-bounds inference (Section 6.2) on the trigger expression.
+    std::vector<const IrArray *> bases;
+    collectArrayBases(ir, chain.triggerExpr, bases);
+    if (bases.size() != 1) {
+        why = bases.empty()
+                  ? "cannot infer address bounds for the trigger structure"
+                  : "trigger address references multiple arrays";
+        return false;
+    }
+    chain.triggerArray = bases[0];
+    return true;
+}
+
+/** One prefetch emission within an event. */
+struct Emit
+{
+    const IrNode *expr;
+    const IrNode *next; ///< load whose event the fill triggers (or null)
+};
+
+/** Accumulated events, keyed by trigger array / by load. */
+struct ProgramDraft
+{
+    struct TriggerEvent
+    {
+        const IrArray *array;
+        std::vector<Emit> emits;
+        bool ewmaLookahead = false;
+    };
+
+    struct DataEvent
+    {
+        const IrNode *load;
+        std::vector<Emit> emits;
+    };
+
+    std::vector<TriggerEvent> triggers;
+    std::vector<DataEvent> dataEvents;
+
+    TriggerEvent &
+    triggerFor(const IrArray *a)
+    {
+        for (auto &t : triggers) {
+            if (t.array == a)
+                return t;
+        }
+        triggers.push_back({a, {}, false});
+        return triggers.back();
+    }
+
+    DataEvent &
+    dataFor(const IrNode *load)
+    {
+        for (auto &d : dataEvents) {
+            if (d.load == load)
+                return d;
+        }
+        dataEvents.push_back({load, {}});
+        return dataEvents.back();
+    }
+
+    static void
+    addEmit(std::vector<Emit> &emits, const IrNode *expr,
+            const IrNode *next)
+    {
+        for (const auto &e : emits) {
+            if (e.expr == expr && e.next == next)
+                return; // shared chain prefix: deduplicate
+        }
+        emits.push_back({expr, next});
+    }
+};
+
+/** Fold a validated chain into the draft. */
+void
+addChain(ProgramDraft &draft, const Chain &c, bool ewma_lookahead)
+{
+    auto &trig = draft.triggerFor(c.triggerArray);
+    trig.ewmaLookahead = trig.ewmaLookahead || ewma_lookahead;
+
+    if (c.loads.empty()) {
+        ProgramDraft::addEmit(trig.emits, c.finalExpr, nullptr);
+        return;
+    }
+    ProgramDraft::addEmit(trig.emits, c.loads[0]->addr, c.loads[0]);
+    for (std::size_t i = 0; i + 1 < c.loads.size(); ++i) {
+        auto &ev = draft.dataFor(c.loads[i]);
+        ProgramDraft::addEmit(ev.emits, c.loads[i + 1]->addr,
+                              c.loads[i + 1]);
+    }
+    auto &last = draft.dataFor(c.loads.back());
+    ProgramDraft::addEmit(last.emits, c.finalExpr, nullptr);
+}
+
+/** Shift amount for power-of-two sizes, -1 otherwise. */
+int
+log2OrMinus1(std::uint64_t v)
+{
+    if (v == 0 || (v & (v - 1)) != 0)
+        return -1;
+    int s = 0;
+    while ((std::uint64_t{1} << s) < v)
+        ++s;
+    return s;
+}
+
+/** Lower the draft into kernels, filters and globals. */
+EventProgram
+lowerDraft(const LoopIR &ir, ProgramDraft &draft,
+           std::vector<std::string> &remarks)
+{
+    EventProgram prog;
+    Codegen cg;
+
+    // Local kernel ids: triggers first, then data events.
+    std::map<const IrNode *, int> dataId;
+    int next_id = static_cast<int>(draft.triggers.size());
+    for (auto &d : draft.dataEvents)
+        dataId[d.load] = next_id++;
+
+    // Local filter ids: one per trigger array, in order.
+    std::map<const IrArray *, int> filterId;
+    for (std::size_t i = 0; i < draft.triggers.size(); ++i)
+        filterId[draft.triggers[i].array] = static_cast<int>(i);
+
+    // An emission is droppable (codegen failure); emissions chaining to a
+    // dropped event degrade to plain prefetches.  Validate with a dry run
+    // first so ids stay dense.
+    std::set<const IrNode *> dropped_events;
+
+    auto validateEmit = [&](const Emit &e, bool is_trigger,
+                            const IrNode *hole) -> bool {
+        KernelBuilder dry("dry");
+        Codegen dry_cg;
+        Codegen::Env env;
+        env.idxReg = is_trigger ? 1 : -1;
+        env.holeLoad = hole;
+        env.dataReg = hole != nullptr ? 2 : -1;
+        std::string fail;
+        if (dry_cg.genExpr(e.expr, dry, env, fail) < 0) {
+            remarks.push_back("dropped one prefetch: " + fail);
+            return false;
+        }
+        return true;
+    };
+
+    for (auto &t : draft.triggers) {
+        auto keep = std::remove_if(
+            t.emits.begin(), t.emits.end(),
+            [&](const Emit &e) { return !validateEmit(e, true, nullptr); });
+        t.emits.erase(keep, t.emits.end());
+    }
+    for (auto &d : draft.dataEvents) {
+        auto keep = std::remove_if(
+            d.emits.begin(), d.emits.end(),
+            [&](const Emit &e) { return !validateEmit(e, false, d.load); });
+        d.emits.erase(keep, d.emits.end());
+        if (d.emits.empty())
+            dropped_events.insert(d.load);
+    }
+
+    auto emitInto = [&](KernelBuilder &b, const std::vector<Emit> &emits,
+                        Codegen::Env env) {
+        for (const auto &e : emits) {
+            std::string fail;
+            int r = cg.genExpr(e.expr, b, env, fail);
+            assert(r >= 0 && "validated emission failed to lower");
+            const IrNode *next = e.next;
+            if (next != nullptr && dropped_events.count(next) != 0)
+                next = nullptr;
+            if (next != nullptr)
+                b.prefetchCb(static_cast<unsigned>(r), dataId.at(next));
+            else
+                b.prefetch(static_cast<unsigned>(r));
+        }
+        b.halt();
+    };
+
+    // Trigger kernels: derive the induction index from the observed
+    // address, optionally advanced by the EWMA lookahead.
+    for (std::size_t ti = 0; ti < draft.triggers.size(); ++ti) {
+        auto &t = draft.triggers[ti];
+        KernelBuilder b("on_" + t.array->name + "_load");
+        b.vaddr(1);
+        b.gread(2, cg.slotFor(t.array->base));
+        b.sub(1, 1, 2);
+        int sh = log2OrMinus1(t.array->elemSize);
+        if (sh >= 0)
+            b.shri(1, 1, sh);
+        else
+            b.divi(1, 1, static_cast<std::int64_t>(t.array->elemSize));
+        if (t.ewmaLookahead) {
+            b.lookahead(2, static_cast<unsigned>(filterId.at(t.array)));
+            b.add(1, 1, 2);
+        }
+        Codegen::Env env;
+        env.idxReg = 1;
+        env.triggerFilterLocal = filterId.at(t.array);
+        emitInto(b, t.emits, env);
+        prog.kernels.push_back(b.build());
+    }
+
+    // Data kernels: the fetched word is the only load they may read.
+    for (auto &d : draft.dataEvents) {
+        KernelBuilder b("on_" + d.load->name + "_prefetch");
+        b.vaddr(1);
+        if (d.load->elemSize == 4)
+            b.ldLine32(2, 1, 0);
+        else
+            b.ldLine(2, 1, 0);
+        Codegen::Env env;
+        env.holeLoad = d.load;
+        env.dataReg = 2;
+        emitInto(b, d.emits, env);
+        prog.kernels.push_back(b.build());
+    }
+
+    // Filters: trigger arrays observe loads and time iterations/chains.
+    for (std::size_t ti = 0; ti < draft.triggers.size(); ++ti) {
+        const auto &t = draft.triggers[ti];
+        EventProgram::FilterInit f;
+        f.name = t.array->name;
+        f.base = t.array->baseAddr;
+        f.limit = t.array->limit();
+        f.onLoadLocal = static_cast<int>(ti);
+        f.timeSource = true;
+        f.timedStart = true;
+        prog.filters.push_back(f);
+    }
+
+    // Timed-end entries on the final target structures (EWMA chains).
+    auto markTimedEnd = [&](const IrNode *expr) {
+        std::vector<const IrArray *> bases;
+        collectArrayBases(ir, expr, bases);
+        for (const IrArray *a : bases) {
+            bool found = false;
+            for (auto &f : prog.filters) {
+                if (f.name == a->name) {
+                    f.timedEnd = true;
+                    found = true;
+                }
+            }
+            if (!found) {
+                EventProgram::FilterInit f;
+                f.name = a->name;
+                f.base = a->baseAddr;
+                f.limit = a->limit();
+                f.timedEnd = true;
+                prog.filters.push_back(f);
+            }
+        }
+    };
+    for (const auto &t : draft.triggers) {
+        for (const auto &e : t.emits) {
+            if (e.next == nullptr)
+                markTimedEnd(e.expr);
+        }
+    }
+    for (const auto &d : draft.dataEvents) {
+        for (const auto &e : d.emits) {
+            if (e.next == nullptr)
+                markTimedEnd(e.expr);
+        }
+    }
+
+    // Globals gathered during code generation.
+    for (const auto &[node, slot] : cg.slots()) {
+        EventProgram::GlobalInit g;
+        g.slot = slot;
+        g.value = node->runtimeValue;
+        g.name = node->name.empty() ? "inv" : node->name;
+        prog.globals.push_back(g);
+    }
+
+    return prog;
+}
+
+} // namespace
+
+PassResult
+convertSoftwarePrefetches(const LoopIR &ir)
+{
+    PassResult res;
+    if (ir.opaqueIterators) {
+        res.failureReason =
+            "no direct memory address access (opaque iterators), software "
+            "prefetch insertion impossible";
+        return res;
+    }
+    if (ir.prefetches.empty()) {
+        res.failureReason = "loop contains no software prefetches";
+        return res;
+    }
+
+    ProgramDraft draft;
+    std::vector<std::string> remarks;
+    unsigned converted = 0;
+    for (const auto &pf : ir.prefetches) {
+        Chain c;
+        std::string why;
+        if (!buildChain(ir, pf.addr, c, why)) {
+            remarks.push_back("swpf not converted: " + why);
+            continue;
+        }
+        addChain(draft, c, /*ewma_lookahead=*/false);
+        ++converted;
+    }
+
+    if (converted == 0) {
+        res.failureReason = remarks.empty()
+                                ? "no convertible software prefetches"
+                                : remarks.front();
+        res.program.remarks = remarks;
+        return res;
+    }
+
+    res.program = lowerDraft(ir, draft, remarks);
+    res.program.remarks = std::move(remarks);
+    res.program.remarks.push_back(
+        "removed " + std::to_string(converted) +
+        " software prefetch(es) and their address generation from the "
+        "main loop (dead-code elimination)");
+    res.ok = !res.program.kernels.empty();
+    return res;
+}
+
+PassResult
+generateFromPragma(const LoopIR &ir)
+{
+    PassResult res;
+
+    // Chains root at loads whose address is a pure induction expression;
+    // indirection edges follow single-load address dependences.
+    std::vector<std::string> remarks;
+    ProgramDraft draft;
+    unsigned chains = 0;
+
+    // A load is "interior" if some other load's address consumes it.
+    std::set<const IrNode *> interior;
+    for (const IrNode *m : ir.bodyLoads) {
+        ScanInfo si;
+        if (!scan(m->addr, si))
+            continue;
+        for (const IrNode *l : si.loads)
+            interior.insert(l);
+    }
+
+    for (const IrNode *m : ir.bodyLoads) {
+        if (interior.count(m) != 0)
+            continue; // only start from chain terminals
+
+        // Walk to the root.
+        std::vector<const IrNode *> rev; // terminal .. root
+        const IrNode *cur = m;
+        bool ok = true;
+        std::string why;
+        for (;;) {
+            rev.push_back(cur);
+            ScanInfo si;
+            if (!scan(cur->addr, si)) {
+                ok = false;
+                why = si.fail;
+                break;
+            }
+            if (si.loads.empty()) {
+                if (!si.usesIndvar) {
+                    ok = false;
+                    why = "no induction variable behind load '" +
+                          cur->name + "'";
+                }
+                break;
+            }
+            if (si.loads.size() > 1) {
+                ok = false;
+                why = "two loads feed the address of '" + cur->name + "'";
+                break;
+            }
+            if (si.usesIndvar) {
+                ok = false;
+                why = "address of '" + cur->name +
+                      "' mixes induction variable and loaded data";
+                break;
+            }
+            cur = si.loads[0];
+        }
+        if (!ok) {
+            remarks.push_back("pragma: skipped chain at '" + m->name +
+                              "': " + why);
+            continue;
+        }
+        if (rev.size() < 2) {
+            // No indirection: leave to the hardware stride prefetcher.
+            remarks.push_back("pragma: '" + m->name +
+                              "' is a plain stride; not converted");
+            continue;
+        }
+
+        // Synthesise a chain: loads are root..terminal-1; the final
+        // prefetch target is the terminal load's address.
+        Chain c;
+        c.loads.assign(rev.rbegin(), rev.rend() - 1);
+        c.finalExpr = m->addr;
+        c.triggerExpr = c.loads[0]->addr;
+
+        std::vector<const IrArray *> bases;
+        collectArrayBases(ir, c.triggerExpr, bases);
+        if (bases.size() != 1) {
+            remarks.push_back("pragma: cannot infer bounds at chain root '" +
+                              c.loads[0]->name + "'");
+            continue;
+        }
+        c.triggerArray = bases[0];
+        addChain(draft, c, /*ewma_lookahead=*/true);
+        ++chains;
+    }
+
+    if (chains == 0) {
+        res.failureReason = "pragma pass found no stride-rooted indirect "
+                            "chains";
+        res.program.remarks = std::move(remarks);
+        return res;
+    }
+
+    res.program = lowerDraft(ir, draft, remarks);
+    res.program.remarks = std::move(remarks);
+    res.ok = !res.program.kernels.empty();
+    return res;
+}
+
+} // namespace epf

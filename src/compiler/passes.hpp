@@ -1,0 +1,40 @@
+/**
+ * @file
+ * The two compiler passes of Section 6.
+ *
+ * convertSoftwarePrefetches() implements Algorithm 1: starting from each
+ * software-prefetch instruction it searches backwards through the
+ * data-dependence graph, splits the address generation into events at
+ * every non-invariant load, replaces the induction variable with an
+ * index derived from the observed address, infers array bounds for the
+ * filter configuration, and emits PPU kernels.
+ *
+ * generateFromPragma() synthesises the same event chains from scratch for
+ * `#pragma prefetch` loops: it roots chains at loads with discoverable
+ * induction-variable strides, follows indirection, and uses the EWMA
+ * lookahead instead of programmer-chosen distances (Section 6.4).
+ *
+ * Both passes fail exactly where the paper says they must: non-induction
+ * phi nodes, function calls, events needing two loaded values, opaque
+ * iterators, and loops in the prefetch pattern (which software prefetches
+ * fundamentally cannot express).
+ */
+
+#ifndef EPF_COMPILER_PASSES_HPP
+#define EPF_COMPILER_PASSES_HPP
+
+#include "compiler/event_program.hpp"
+#include "compiler/ir.hpp"
+
+namespace epf
+{
+
+/** Algorithm 1: software-prefetch conversion. */
+PassResult convertSoftwarePrefetches(const LoopIR &ir);
+
+/** Section 6.4: pragma-driven event generation. */
+PassResult generateFromPragma(const LoopIR &ir);
+
+} // namespace epf
+
+#endif // EPF_COMPILER_PASSES_HPP

@@ -1,0 +1,346 @@
+#include "cpu/core.hpp"
+
+#include <cassert>
+
+namespace epf
+{
+
+Core::Core(EventQueue &eq, const CoreParams &params, MemoryHierarchy &mem)
+    : eq_(eq), p_(params), mem_(mem)
+{
+    valueReady_.reserve(1 << 20);
+}
+
+void
+Core::run(Generator<MicroOp> trace, std::function<void()> on_done)
+{
+    assert(!running_ && "core already running a trace");
+    trace_ = std::move(trace);
+    traceValid_ = false;
+    traceDone_ = false;
+    onDone_ = std::move(on_done);
+    rob_.clear();
+    robInstrs_ = 0;
+    lqUsed_ = 0;
+    sqUsed_ = 0;
+    workRemaining_ = 0;
+    running_ = true;
+    sleeping_ = false;
+    branchPending_ = false;
+    refillLeft_ = 0;
+    eq_.scheduleIn(0, [this] { tick(); });
+}
+
+bool
+Core::depsReady(const MicroOp &op) const
+{
+    for (ValueId d : op.deps) {
+        if (d == 0)
+            continue;
+        if (d >= valueReady_.size() || !valueReady_[d])
+            return false;
+    }
+    return true;
+}
+
+void
+Core::markValueReady(ValueId id)
+{
+    if (id == 0)
+        return;
+    if (id >= valueReady_.size())
+        valueReady_.resize(static_cast<std::size_t>(id) * 2 + 64, false);
+    valueReady_[id] = true;
+}
+
+void
+Core::wake()
+{
+    if (!running_ || !sleeping_)
+        return;
+    sleeping_ = false;
+    // Account the stall cycles skipped while asleep, then resume on the
+    // next clock edge.
+    const Tick now = eq_.now();
+    const Tick elapsed = now > sleepFrom_ ? now - sleepFrom_ : 0;
+    const Cycles skipped = elapsed / p_.period;
+    stats_.cycles += skipped;
+    stats_.commitStallCycles += skipped;
+    const Tick next_edge = ((now / p_.period) + 1) * p_.period;
+    eq_.schedule(next_edge, [this] { tick(); });
+}
+
+void
+Core::tick()
+{
+    if (sleeping_)
+        return;
+    ++stats_.cycles;
+
+    bool progress = false;
+    progress |= commit();
+    bool committed = progress;
+    progress |= completeWork();
+    progress |= issueMemOps();
+    progress |= dispatch();
+
+    if (!rob_.empty() && !committed)
+        ++stats_.commitStallCycles;
+
+    if (rob_.empty() && traceDone_ && workRemaining_ == 0) {
+        running_ = false;
+        if (onDone_)
+            eq_.scheduleIn(0, std::move(onDone_));
+        onDone_ = nullptr;
+        return;
+    }
+
+    if (!progress) {
+        // Fully stalled on the memory system: sleep until a completion.
+        sleeping_ = true;
+        sleepFrom_ = eq_.now();
+        return;
+    }
+    eq_.scheduleIn(p_.period, [this] { tick(); });
+}
+
+bool
+Core::commit()
+{
+    // Commit bandwidth is `width` instructions per cycle; a wide Work
+    // entry may overshoot the budget (committing it still takes
+    // proportionally many cycles on average).
+    int budget = static_cast<int>(p_.width);
+    bool any = false;
+    while (budget > 0 && !rob_.empty() && rob_.front().complete) {
+        RobEntry &e = rob_.front();
+        budget -= static_cast<int>(e.op.instrs);
+        assert(robInstrs_ >= e.op.instrs);
+        robInstrs_ -= e.op.instrs;
+        markValueReady(e.op.produces);
+        rob_.pop_front();
+        any = true;
+    }
+    return any;
+}
+
+bool
+Core::completeWork()
+{
+    bool any = false;
+    for (auto &e : rob_) {
+        if (e.complete)
+            continue;
+        switch (e.op.kind) {
+          case MicroOp::Kind::Work:
+          case MicroOp::Kind::PfConfig:
+            if (depsReady(e.op)) {
+                e.complete = true;
+                // Results forward to consumers at execute, not commit.
+                markValueReady(e.op.produces);
+                any = true;
+            }
+            break;
+          case MicroOp::Kind::BranchMiss:
+            if (depsReady(e.op)) {
+                e.complete = true;
+                // The branch resolved: begin the front-end refill.
+                assert(branchPending_);
+                branchPending_ = false;
+                refillLeft_ = p_.mispredictPenalty;
+                any = true;
+            }
+            break;
+          default:
+            break;
+        }
+    }
+    return any;
+}
+
+bool
+Core::issueMemOps()
+{
+    unsigned load_ports = p_.lsuPorts;
+    bool any = false;
+    for (auto &e : rob_) {
+        if (e.issued || e.complete)
+            continue;
+        switch (e.op.kind) {
+          case MicroOp::Kind::Load: {
+            if (load_ports == 0)
+                continue;
+            if (!depsReady(e.op) || lqUsed_ >= p_.lqEntries)
+                continue;
+            ++lqUsed_;
+            e.issued = true;
+            --load_ports;
+            any = true;
+            RobEntry *entry = &e;
+            mem_.load(e.op.vaddr, e.op.streamId, [this, entry] {
+                entry->complete = true;
+                // Loads broadcast their value as soon as data returns.
+                markValueReady(entry->op.produces);
+                assert(lqUsed_ > 0);
+                --lqUsed_;
+                wake();
+            });
+            break;
+          }
+          case MicroOp::Kind::Store: {
+            if (!depsReady(e.op) || sqUsed_ >= p_.sqEntries)
+                continue;
+            ++sqUsed_;
+            e.issued = true;
+            e.complete = true; // stores retire without waiting for data
+            any = true;
+            mem_.store(e.op.vaddr, e.op.streamId, [this] {
+                assert(sqUsed_ > 0);
+                --sqUsed_;
+                wake();
+            });
+            break;
+          }
+          case MicroOp::Kind::SwPrefetch: {
+            if (!depsReady(e.op))
+                continue;
+            e.issued = true;
+            e.complete = true;
+            any = true;
+            mem_.swPrefetch(e.op.vaddr);
+            break;
+          }
+          default:
+            break;
+        }
+    }
+    return any;
+}
+
+bool
+Core::dispatch()
+{
+    if (branchPending_)
+        return false; // wrong-path fetch: nothing useful to dispatch
+
+    if (refillLeft_ > 0) {
+        --refillLeft_; // pipeline refilling after the flush
+        return true;
+    }
+
+    unsigned budget = p_.width;
+    bool any = false;
+
+    while (budget > 0) {
+        // Finish charging a multi-instruction Work op first.
+        if (workRemaining_ > 0) {
+            std::uint32_t used = std::min<std::uint32_t>(budget,
+                                                         workRemaining_);
+            workRemaining_ -= used;
+            budget -= used;
+            stats_.instrs += used;
+            any = true;
+            continue;
+        }
+
+        if (!traceValid_) {
+            if (traceDone_ || !trace_.next()) {
+                traceDone_ = true;
+                return any;
+            }
+            traceValid_ = true;
+        }
+
+        MicroOp &op = trace_.value();
+
+        // The ROB holds instructions; a wide Work op needs room for all
+        // of them (ops larger than the ROB are clamped so they can ever
+        // dispatch).
+        unsigned need = std::min<unsigned>(op.instrs, p_.robEntries);
+        if (robInstrs_ + need > p_.robEntries) {
+            ++stats_.robFullCycles;
+            return any;
+        }
+
+        switch (op.kind) {
+          case MicroOp::Kind::Work: {
+            RobEntry e;
+            e.op = op;
+            e.op.instrs = need;
+            e.seq = seq_++;
+            // Dependence-free work completes at dispatch but still
+            // occupies its share of the window until it commits.
+            e.complete = op.deps[0] == 0 && op.deps[1] == 0;
+            workRemaining_ = op.instrs;
+            robInstrs_ += need;
+            rob_.push_back(std::move(e));
+            traceValid_ = false;
+            any = true;
+            break;
+          }
+          case MicroOp::Kind::Load:
+          case MicroOp::Kind::Store: {
+            RobEntry e;
+            e.op = std::move(op);
+            e.op.instrs = 1;
+            e.seq = seq_++;
+            stats_.instrs += 1;
+            if (e.op.kind == MicroOp::Kind::Load)
+                ++stats_.loads;
+            else
+                ++stats_.stores;
+            robInstrs_ += 1;
+            rob_.push_back(std::move(e));
+            traceValid_ = false;
+            budget -= 1;
+            any = true;
+            break;
+          }
+          case MicroOp::Kind::SwPrefetch: {
+            RobEntry e;
+            e.op = std::move(op);
+            e.op.instrs = 1;
+            e.seq = seq_++;
+            stats_.instrs += 1;
+            ++stats_.swPrefetches;
+            robInstrs_ += 1;
+            rob_.push_back(std::move(e));
+            traceValid_ = false;
+            budget -= 1;
+            any = true;
+            break;
+          }
+          case MicroOp::Kind::BranchMiss: {
+            RobEntry e;
+            e.op = std::move(op);
+            e.op.instrs = 1;
+            e.seq = seq_++;
+            stats_.instrs += 1;
+            ++stats_.branchMisses;
+            robInstrs_ += 1;
+            // Resolution may already be possible (dep ready): leave the
+            // completion to completeWork on this or a later cycle.
+            branchPending_ = true;
+            rob_.push_back(std::move(e));
+            traceValid_ = false;
+            budget -= 1;
+            any = true;
+            // Stop dispatching: everything younger is wrong-path.
+            return any;
+          }
+          case MicroOp::Kind::PfConfig: {
+            ++stats_.configOps;
+            if (op.config)
+                op.config();
+            // Instruction cost is charged as the budget drains.
+            workRemaining_ = op.instrs;
+            traceValid_ = false;
+            any = true;
+            break;
+          }
+        }
+    }
+    return any;
+}
+
+} // namespace epf

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Minimal C++20 coroutine generator.
+ *
+ * Workloads are written as coroutines that lazily co_yield micro-ops as
+ * the core model consumes them; functional execution (the real loads and
+ * stores on host arrays) is interleaved with generation, so trace memory
+ * never has to be materialised.
+ */
+
+#ifndef EPF_CPU_GENERATOR_HPP
+#define EPF_CPU_GENERATOR_HPP
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace epf
+{
+
+/** Lazily produced stream of T values from a coroutine. */
+template <typename T>
+class Generator
+{
+  public:
+    struct promise_type
+    {
+        T current{};
+
+        Generator
+        get_return_object()
+        {
+            return Generator{
+                std::coroutine_handle<promise_type>::from_promise(*this)};
+        }
+
+        std::suspend_always initial_suspend() noexcept { return {}; }
+        std::suspend_always final_suspend() noexcept { return {}; }
+
+        std::suspend_always
+        yield_value(T v)
+        {
+            current = std::move(v);
+            return {};
+        }
+
+        void return_void() {}
+        void unhandled_exception() { std::terminate(); }
+    };
+
+    Generator() = default;
+
+    explicit Generator(std::coroutine_handle<promise_type> h) : h_(h) {}
+
+    Generator(Generator &&other) noexcept : h_(std::exchange(other.h_, {})) {}
+
+    Generator &
+    operator=(Generator &&other) noexcept
+    {
+        if (this != &other) {
+            destroy();
+            h_ = std::exchange(other.h_, {});
+        }
+        return *this;
+    }
+
+    Generator(const Generator &) = delete;
+    Generator &operator=(const Generator &) = delete;
+
+    ~Generator() { destroy(); }
+
+    /** Advance to the next value. @return false when exhausted. */
+    bool
+    next()
+    {
+        if (!h_ || h_.done())
+            return false;
+        h_.resume();
+        return !h_.done();
+    }
+
+    /** The current value (valid after next() returned true). */
+    T &value() { return h_.promise().current; }
+
+    /** True if the coroutine can still produce values. */
+    bool alive() const { return h_ && !h_.done(); }
+
+  private:
+    void
+    destroy()
+    {
+        if (h_) {
+            h_.destroy();
+            h_ = {};
+        }
+    }
+
+    std::coroutine_handle<promise_type> h_{};
+};
+
+} // namespace epf
+
+#endif // EPF_CPU_GENERATOR_HPP

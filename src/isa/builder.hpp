@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Fluent assembler for PPU kernels.
+ *
+ * Handwritten kernels (Section 5 of the paper) and the compiler's code
+ * generator (Section 6.3) both emit code through this builder.  Branch
+ * targets use labels resolved at build() time.
+ */
+
+#ifndef EPF_ISA_BUILDER_HPP
+#define EPF_ISA_BUILDER_HPP
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/isa.hpp"
+
+namespace epf
+{
+
+/** Builds one Kernel. */
+class KernelBuilder
+{
+  public:
+    /** A branch target; create with newLabel(), place with bind(). */
+    struct Label
+    {
+        int id = -1;
+    };
+
+    explicit KernelBuilder(std::string name) : name_(std::move(name)) {}
+
+    Label
+    newLabel()
+    {
+        labels_.push_back(kUnbound);
+        return Label{static_cast<int>(labels_.size() - 1)};
+    }
+
+    /** Place @p l at the next emitted instruction. */
+    KernelBuilder &
+    bind(Label l)
+    {
+        assert(l.id >= 0 && labels_[static_cast<unsigned>(l.id)] == kUnbound);
+        labels_[static_cast<unsigned>(l.id)] = static_cast<int>(code_.size());
+        return *this;
+    }
+
+    // Constants and moves
+    KernelBuilder &li(unsigned rd, std::int64_t imm) { return emit({Opcode::kLi, r(rd), 0, 0, imm}); }
+    KernelBuilder &mov(unsigned rd, unsigned rs) { return emit({Opcode::kMov, r(rd), r(rs), 0, 0}); }
+
+    // ALU
+    KernelBuilder &add(unsigned rd, unsigned rs, unsigned rt) { return emit({Opcode::kAdd, r(rd), r(rs), r(rt), 0}); }
+    KernelBuilder &sub(unsigned rd, unsigned rs, unsigned rt) { return emit({Opcode::kSub, r(rd), r(rs), r(rt), 0}); }
+    KernelBuilder &mul(unsigned rd, unsigned rs, unsigned rt) { return emit({Opcode::kMul, r(rd), r(rs), r(rt), 0}); }
+    KernelBuilder &div(unsigned rd, unsigned rs, unsigned rt) { return emit({Opcode::kDiv, r(rd), r(rs), r(rt), 0}); }
+    KernelBuilder &andr(unsigned rd, unsigned rs, unsigned rt) { return emit({Opcode::kAnd, r(rd), r(rs), r(rt), 0}); }
+    KernelBuilder &orr(unsigned rd, unsigned rs, unsigned rt) { return emit({Opcode::kOr, r(rd), r(rs), r(rt), 0}); }
+    KernelBuilder &xorr(unsigned rd, unsigned rs, unsigned rt) { return emit({Opcode::kXor, r(rd), r(rs), r(rt), 0}); }
+    KernelBuilder &shl(unsigned rd, unsigned rs, unsigned rt) { return emit({Opcode::kShl, r(rd), r(rs), r(rt), 0}); }
+    KernelBuilder &shr(unsigned rd, unsigned rs, unsigned rt) { return emit({Opcode::kShr, r(rd), r(rs), r(rt), 0}); }
+
+    KernelBuilder &addi(unsigned rd, unsigned rs, std::int64_t imm) { return emit({Opcode::kAddi, r(rd), r(rs), 0, imm}); }
+    KernelBuilder &muli(unsigned rd, unsigned rs, std::int64_t imm) { return emit({Opcode::kMuli, r(rd), r(rs), 0, imm}); }
+    KernelBuilder &divi(unsigned rd, unsigned rs, std::int64_t imm) { return emit({Opcode::kDivi, r(rd), r(rs), 0, imm}); }
+    KernelBuilder &andi(unsigned rd, unsigned rs, std::int64_t imm) { return emit({Opcode::kAndi, r(rd), r(rs), 0, imm}); }
+    KernelBuilder &shli(unsigned rd, unsigned rs, std::int64_t imm) { return emit({Opcode::kShli, r(rd), r(rs), 0, imm}); }
+    KernelBuilder &shri(unsigned rd, unsigned rs, std::int64_t imm) { return emit({Opcode::kShri, r(rd), r(rs), 0, imm}); }
+
+    // Observation / state access
+    KernelBuilder &vaddr(unsigned rd) { return emit({Opcode::kVaddr, r(rd), 0, 0, 0}); }
+    KernelBuilder &lineBase(unsigned rd) { return emit({Opcode::kLineBase, r(rd), 0, 0, 0}); }
+    KernelBuilder &ldLine(unsigned rd, unsigned rs, std::int64_t off = 0) { return emit({Opcode::kLdLine, r(rd), r(rs), 0, off}); }
+    KernelBuilder &ldLine32(unsigned rd, unsigned rs, std::int64_t off = 0) { return emit({Opcode::kLdLine32, r(rd), r(rs), 0, off}); }
+    KernelBuilder &gread(unsigned rd, unsigned global_idx) { return emit({Opcode::kGread, r(rd), 0, 0, static_cast<std::int64_t>(global_idx)}); }
+    KernelBuilder &lookahead(unsigned rd, unsigned filter_idx) { return emit({Opcode::kLookahead, r(rd), 0, 0, static_cast<std::int64_t>(filter_idx)}); }
+
+    // Prefetch emission
+    KernelBuilder &prefetch(unsigned rs) { return emit({Opcode::kPrefetch, 0, r(rs), 0, 0}); }
+    KernelBuilder &prefetchTag(unsigned rs, std::int64_t tag) { return emit({Opcode::kPrefetchTag, 0, r(rs), 0, tag}); }
+    KernelBuilder &prefetchCb(unsigned rs, KernelId kernel) { return emit({Opcode::kPrefetchCb, 0, r(rs), 0, kernel}); }
+
+    // Control flow
+    KernelBuilder &beq(unsigned rs, unsigned rt, Label l) { return branch(Opcode::kBeq, rs, rt, l); }
+    KernelBuilder &bne(unsigned rs, unsigned rt, Label l) { return branch(Opcode::kBne, rs, rt, l); }
+    KernelBuilder &blt(unsigned rs, unsigned rt, Label l) { return branch(Opcode::kBlt, rs, rt, l); }
+    KernelBuilder &bge(unsigned rs, unsigned rt, Label l) { return branch(Opcode::kBge, rs, rt, l); }
+    KernelBuilder &jmp(Label l) { return branch(Opcode::kJmp, 0, 0, l); }
+
+    KernelBuilder &nop() { return emit({Opcode::kNop, 0, 0, 0, 0}); }
+    KernelBuilder &halt() { return emit({Opcode::kHalt, 0, 0, 0, 0}); }
+
+    /** Resolve labels and produce the kernel. */
+    Kernel
+    build()
+    {
+        for (auto &fix : fixups_) {
+            int target = labels_[static_cast<unsigned>(fix.label)];
+            assert(target != kUnbound && "unbound label");
+            // Offset relative to the instruction after the branch.
+            code_[fix.at].imm = target - static_cast<int>(fix.at) - 1;
+        }
+        Kernel k;
+        k.name = name_;
+        k.code = code_;
+        return k;
+    }
+
+  private:
+    static constexpr int kUnbound = -1;
+
+    struct Fixup
+    {
+        std::size_t at;
+        int label;
+    };
+
+    static std::uint8_t
+    r(unsigned reg)
+    {
+        assert(reg < kPpuRegs);
+        return static_cast<std::uint8_t>(reg);
+    }
+
+    KernelBuilder &
+    emit(Instr i)
+    {
+        code_.push_back(i);
+        return *this;
+    }
+
+    KernelBuilder &
+    branch(Opcode op, unsigned rs, unsigned rt, Label l)
+    {
+        assert(l.id >= 0);
+        fixups_.push_back({code_.size(), l.id});
+        return emit({op, 0, r(rs), r(rt), 0});
+    }
+
+    std::string name_;
+    std::vector<Instr> code_;
+    std::vector<int> labels_;
+    std::vector<Fixup> fixups_;
+};
+
+} // namespace epf
+
+#endif // EPF_ISA_BUILDER_HPP

@@ -1,0 +1,71 @@
+#include "isa/disasm.hpp"
+
+#include <sstream>
+
+namespace epf
+{
+
+namespace
+{
+
+std::string
+reg(unsigned r)
+{
+    return "r" + std::to_string(r);
+}
+
+} // namespace
+
+std::string
+disassemble(const Instr &in)
+{
+    std::ostringstream os;
+    switch (in.op) {
+      case Opcode::kHalt: os << "halt"; break;
+      case Opcode::kNop: os << "nop"; break;
+      case Opcode::kLi: os << "li " << reg(in.rd) << ", " << in.imm; break;
+      case Opcode::kMov: os << "mov " << reg(in.rd) << ", " << reg(in.rs); break;
+      case Opcode::kAdd: os << "add " << reg(in.rd) << ", " << reg(in.rs) << ", " << reg(in.rt); break;
+      case Opcode::kSub: os << "sub " << reg(in.rd) << ", " << reg(in.rs) << ", " << reg(in.rt); break;
+      case Opcode::kMul: os << "mul " << reg(in.rd) << ", " << reg(in.rs) << ", " << reg(in.rt); break;
+      case Opcode::kDiv: os << "div " << reg(in.rd) << ", " << reg(in.rs) << ", " << reg(in.rt); break;
+      case Opcode::kAnd: os << "and " << reg(in.rd) << ", " << reg(in.rs) << ", " << reg(in.rt); break;
+      case Opcode::kOr: os << "or " << reg(in.rd) << ", " << reg(in.rs) << ", " << reg(in.rt); break;
+      case Opcode::kXor: os << "xor " << reg(in.rd) << ", " << reg(in.rs) << ", " << reg(in.rt); break;
+      case Opcode::kShl: os << "shl " << reg(in.rd) << ", " << reg(in.rs) << ", " << reg(in.rt); break;
+      case Opcode::kShr: os << "shr " << reg(in.rd) << ", " << reg(in.rs) << ", " << reg(in.rt); break;
+      case Opcode::kAddi: os << "addi " << reg(in.rd) << ", " << reg(in.rs) << ", " << in.imm; break;
+      case Opcode::kMuli: os << "muli " << reg(in.rd) << ", " << reg(in.rs) << ", " << in.imm; break;
+      case Opcode::kDivi: os << "divi " << reg(in.rd) << ", " << reg(in.rs) << ", " << in.imm; break;
+      case Opcode::kAndi: os << "andi " << reg(in.rd) << ", " << reg(in.rs) << ", " << in.imm; break;
+      case Opcode::kShli: os << "shli " << reg(in.rd) << ", " << reg(in.rs) << ", " << in.imm; break;
+      case Opcode::kShri: os << "shri " << reg(in.rd) << ", " << reg(in.rs) << ", " << in.imm; break;
+      case Opcode::kVaddr: os << "vaddr " << reg(in.rd); break;
+      case Opcode::kLineBase: os << "linebase " << reg(in.rd); break;
+      case Opcode::kLdLine: os << "ldline " << reg(in.rd) << ", [" << reg(in.rs) << " + " << in.imm << "]"; break;
+      case Opcode::kLdLine32: os << "ldline32 " << reg(in.rd) << ", [" << reg(in.rs) << " + " << in.imm << "]"; break;
+      case Opcode::kGread: os << "gread " << reg(in.rd) << ", g" << in.imm; break;
+      case Opcode::kLookahead: os << "lookahead " << reg(in.rd) << ", f" << in.imm; break;
+      case Opcode::kPrefetch: os << "prefetch " << reg(in.rs); break;
+      case Opcode::kPrefetchTag: os << "prefetch.tag " << reg(in.rs) << ", tag=" << in.imm; break;
+      case Opcode::kPrefetchCb: os << "prefetch.cb " << reg(in.rs) << ", kernel=" << in.imm; break;
+      case Opcode::kBeq: os << "beq " << reg(in.rs) << ", " << reg(in.rt) << ", " << in.imm; break;
+      case Opcode::kBne: os << "bne " << reg(in.rs) << ", " << reg(in.rt) << ", " << in.imm; break;
+      case Opcode::kBlt: os << "blt " << reg(in.rs) << ", " << reg(in.rt) << ", " << in.imm; break;
+      case Opcode::kBge: os << "bge " << reg(in.rs) << ", " << reg(in.rt) << ", " << in.imm; break;
+      case Opcode::kJmp: os << "jmp " << in.imm; break;
+    }
+    return os.str();
+}
+
+std::string
+disassemble(const Kernel &k)
+{
+    std::ostringstream os;
+    os << k.name << ":\n";
+    for (std::size_t i = 0; i < k.code.size(); ++i)
+        os << "  " << i << ": " << disassemble(k.code[i]) << "\n";
+    return os.str();
+}
+
+} // namespace epf

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * PPU kernel disassembler (debugging, tests and the compiler demo).
+ */
+
+#ifndef EPF_ISA_DISASM_HPP
+#define EPF_ISA_DISASM_HPP
+
+#include <string>
+
+#include "isa/isa.hpp"
+
+namespace epf
+{
+
+/** Render one instruction as text. */
+std::string disassemble(const Instr &in);
+
+/** Render a whole kernel, one instruction per line with indices. */
+std::string disassemble(const Kernel &k);
+
+} // namespace epf
+
+#endif // EPF_ISA_DISASM_HPP

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * PPU kernel interpreter.
+ *
+ * Executes one event to completion at one instruction per cycle.  Any
+ * trap (division by zero, runaway execution, reading line data from a
+ * load observation that carries none) terminates the event, exactly as
+ * the paper specifies for PPU exceptions: prefetching is best-effort, so
+ * the event is simply abandoned.
+ */
+
+#ifndef EPF_ISA_INTERPRETER_HPP
+#define EPF_ISA_INTERPRETER_HPP
+
+#include <cstdint>
+#include <functional>
+
+#include "isa/isa.hpp"
+#include "mem/guest_memory.hpp"
+#include "sim/types.hpp"
+
+namespace epf
+{
+
+/** Inputs available to one event execution. */
+struct EventContext
+{
+    /** Virtual address that triggered the event. */
+    Addr vaddr = 0;
+    /** True if the observation carries the fetched cache line. */
+    bool hasLine = false;
+    /** The observed line (prefetch completions only). */
+    LineData line{};
+    /** Shared prefetcher global registers. */
+    const std::uint64_t *globalRegs = nullptr;
+    /** Per-filter-entry EWMA lookahead values (elements). */
+    const std::uint64_t *lookahead = nullptr;
+    unsigned lookaheadEntries = 0;
+};
+
+/** A prefetch emitted by a kernel. */
+struct PrefetchEmit
+{
+    Addr vaddr = 0;
+    std::int32_t tag = -1;
+    KernelId cbKernel = kNoKernel;
+};
+
+/** Why execution stopped. */
+enum class ExitReason
+{
+    kHalted,
+    kTrapped,
+    kStepLimit,
+};
+
+/** Outcome of executing one kernel. */
+struct ExecResult
+{
+    ExitReason exit = ExitReason::kHalted;
+    /** Instructions executed == PPU cycles consumed (1 IPC, in-order). */
+    std::uint32_t cycles = 0;
+    /** Prefetches emitted. */
+    std::uint32_t emitted = 0;
+};
+
+/** Stateless executor of PPU kernels. */
+class Interpreter
+{
+  public:
+    using EmitFn = std::function<void(const PrefetchEmit &)>;
+
+    /**
+     * Run @p kernel against @p ctx.
+     * @param emit  invoked for every prefetch the kernel issues
+     * @param max_steps watchdog bound
+     */
+    static ExecResult run(const Kernel &kernel, const EventContext &ctx,
+                          const EmitFn &emit,
+                          unsigned max_steps = kMaxKernelSteps);
+};
+
+} // namespace epf
+
+#endif // EPF_ISA_INTERPRETER_HPP

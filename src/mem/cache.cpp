@@ -1,0 +1,344 @@
+#include "mem/cache.hpp"
+
+#include <cassert>
+
+namespace epf
+{
+
+Cache::Cache(EventQueue &eq, const CacheParams &params, MemLevel &parent)
+    : eq_(eq), p_(params), parent_(parent)
+{
+    assert(p_.ways > 0);
+    numSets_ = static_cast<unsigned>(p_.sizeBytes / (kLineBytes * p_.ways));
+    assert(numSets_ > 0 && (numSets_ & (numSets_ - 1)) == 0 &&
+           "set count must be a power of two");
+    lines_.resize(static_cast<std::size_t>(numSets_) * p_.ways);
+    mshrs_.resize(p_.mshrs);
+    freeMshrs_ = p_.mshrs;
+}
+
+void
+Cache::reset()
+{
+    for (auto &l : lines_)
+        l = Line{};
+    for (auto &m : mshrs_)
+        m = Mshr{};
+    freeMshrs_ = p_.mshrs;
+    overflow_.clear();
+    lruClock_ = 0;
+    stats_ = Stats{};
+}
+
+unsigned
+Cache::setIndex(Addr line_addr) const
+{
+    return static_cast<unsigned>((line_addr >> kLineShift) & (numSets_ - 1));
+}
+
+Cache::Line *
+Cache::findLine(Addr line_addr)
+{
+    Line *set = &lines_[static_cast<std::size_t>(setIndex(line_addr)) * p_.ways];
+    for (unsigned w = 0; w < p_.ways; ++w) {
+        if (set[w].valid && set[w].lineAddr == line_addr)
+            return &set[w];
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::findLine(Addr line_addr) const
+{
+    return const_cast<Cache *>(this)->findLine(line_addr);
+}
+
+bool
+Cache::hasLine(Addr paddr) const
+{
+    return findLine(lineAlign(paddr)) != nullptr;
+}
+
+Cache::Line &
+Cache::pickVictim(Addr line_addr)
+{
+    Line *set = &lines_[static_cast<std::size_t>(setIndex(line_addr)) * p_.ways];
+    Line *victim = &set[0];
+    for (unsigned w = 0; w < p_.ways; ++w) {
+        if (!set[w].valid)
+            return set[w];
+        if (set[w].lru < victim->lru)
+            victim = &set[w];
+    }
+    return *victim;
+}
+
+Cache::Mshr *
+Cache::findMshr(Addr line_addr)
+{
+    for (auto &m : mshrs_) {
+        if (m.valid && m.lineAddr == line_addr)
+            return &m;
+    }
+    return nullptr;
+}
+
+Cache::Mshr *
+Cache::allocMshr()
+{
+    if (freeMshrs_ == 0)
+        return nullptr;
+    for (auto &m : mshrs_) {
+        if (!m.valid) {
+            m = Mshr{};
+            m.valid = true;
+            --freeMshrs_;
+            return &m;
+        }
+    }
+    return nullptr;
+}
+
+void
+Cache::releaseMshr(Mshr &m)
+{
+    m = Mshr{};
+    ++freeMshrs_;
+    if (mshrFreeHook_)
+        mshrFreeHook_();
+    drainOverflow();
+}
+
+void
+Cache::touchForDemand(Line &line)
+{
+    line.lru = ++lruClock_;
+    if (line.prefetched && !line.used) {
+        line.used = true;
+        ++stats_.pfUsed;
+    }
+}
+
+Cache::DemandResult
+Cache::demandAccess(bool is_load, Addr vaddr, Addr paddr, DoneFn done)
+{
+    const Addr line_addr = lineAlign(paddr);
+
+    if (Line *line = findLine(line_addr)) {
+        if (is_load) {
+            ++stats_.loads;
+            ++stats_.loadHits;
+        } else {
+            ++stats_.stores;
+            ++stats_.storeHits;
+            line->dirty = true;
+        }
+        touchForDemand(*line);
+        eq_.scheduleIn(p_.accessLatency, std::move(done));
+        return DemandResult::Hit;
+    }
+
+    if (Mshr *m = findMshr(line_addr)) {
+        if (is_load)
+            ++stats_.loads;
+        else {
+            ++stats_.stores;
+            m->wasStore = true;
+        }
+        ++stats_.demandMerges;
+        if (m->req.isPrefetch)
+            m->demanded = true;
+        m->waiters.push_back(std::move(done));
+        return DemandResult::Merged;
+    }
+
+    Mshr *m = allocMshr();
+    if (m == nullptr) {
+        ++stats_.mshrRejects;
+        return DemandResult::NoMshr;
+    }
+
+    if (is_load)
+        ++stats_.loads;
+    else {
+        ++stats_.stores;
+        m->wasStore = true;
+    }
+
+    m->lineAddr = line_addr;
+    m->waiters.push_back(std::move(done));
+    m->req.paddr = line_addr;
+    m->req.vaddr = lineAlign(vaddr);
+    m->req.isPrefetch = false;
+
+    LineRequest fwd = m->req;
+    eq_.scheduleIn(p_.accessLatency, [this, fwd, m] {
+        parent_.readLine(fwd, [this, m] { handleFill(*m); });
+    });
+    return DemandResult::Miss;
+}
+
+Cache::PrefetchResult
+Cache::prefetchAccess(const LineRequest &req)
+{
+    const Addr line_addr = lineAlign(req.paddr);
+
+    if (findLine(line_addr) != nullptr) {
+        ++stats_.pfDropPresent;
+        return PrefetchResult::Present;
+    }
+    if (Mshr *m = findMshr(line_addr)) {
+        // The line is already being fetched.  Keep the event chain
+        // alive: the MSHR adopts this request's memory-request tag /
+        // callback so the fill still triggers the follow-on event
+        // (Section 4.7 — the tag lives in the MSHR).
+        if (m->req.tag < 0 && m->req.cbKernel < 0 &&
+            (req.tag >= 0 || req.cbKernel >= 0)) {
+            m->req.tag = req.tag;
+            m->req.cbKernel = req.cbKernel;
+            m->req.vaddr = lineAlign(req.vaddr);
+            m->req.hasTimedStart = req.hasTimedStart;
+            m->req.timedStart = req.timedStart;
+            m->req.timedOrigin = req.timedOrigin;
+            m->req.originPpu = req.originPpu;
+            return PrefetchResult::Issued;
+        }
+        return PrefetchResult::Merged;
+    }
+
+    Mshr *m = allocMshr();
+    if (m == nullptr)
+        return PrefetchResult::NoMshr;
+
+    m->lineAddr = line_addr;
+    m->req = req;
+    m->req.paddr = line_addr;
+    m->req.vaddr = lineAlign(req.vaddr);
+    m->req.isPrefetch = true;
+
+    LineRequest fwd = m->req;
+    eq_.scheduleIn(p_.accessLatency, [this, fwd, m] {
+        parent_.readLine(fwd, [this, m] { handleFill(*m); });
+    });
+    return PrefetchResult::Issued;
+}
+
+Cache::Line &
+Cache::installLine(Addr line_addr, bool dirty, bool prefetched)
+{
+    Line &victim = pickVictim(line_addr);
+    if (victim.valid) {
+        if (victim.prefetched && !victim.used)
+            ++stats_.pfUnusedEvicted;
+        if (victim.dirty) {
+            ++stats_.writebacks;
+            LineRequest wb;
+            wb.paddr = victim.lineAddr;
+            parent_.writeLine(wb);
+        }
+    }
+    victim.valid = true;
+    victim.dirty = dirty;
+    victim.prefetched = prefetched;
+    victim.used = false;
+    victim.lineAddr = line_addr;
+    victim.lru = ++lruClock_;
+    return victim;
+}
+
+void
+Cache::handleFill(Mshr &m)
+{
+    const bool pf = m.req.isPrefetch;
+    Line &line = installLine(m.lineAddr, m.wasStore, pf);
+
+    if (pf) {
+        ++stats_.prefetchFills;
+        if (m.demanded) {
+            // A demand access arrived while the prefetch was in flight:
+            // late, but the fetched line is used.
+            line.used = true;
+            ++stats_.pfUsed;
+            ++stats_.pfUsedLate;
+        }
+    }
+    // Fills whose MSHR carries a memory-request tag or callback kernel
+    // trigger the prefetcher's event — including demand fills that
+    // adopted the metadata from a merged prefetch.
+    if (listener_ != nullptr &&
+        (pf || m.req.tag >= 0 || m.req.cbKernel >= 0))
+        listener_->notifyPrefetchFill(m.req);
+
+    auto waiters = std::move(m.waiters);
+    releaseMshr(m);
+    for (auto &w : waiters)
+        eq_.scheduleIn(0, std::move(w));
+}
+
+void
+Cache::readLine(const LineRequest &req, DoneFn done)
+{
+    const Addr line_addr = lineAlign(req.paddr);
+    ++stats_.lowerReads;
+
+    if (Line *line = findLine(line_addr)) {
+        ++stats_.lowerReadHits;
+        if (line->prefetched && !line->used) {
+            line->used = true;
+            ++stats_.pfUsed;
+        }
+        line->lru = ++lruClock_;
+        eq_.scheduleIn(p_.accessLatency, std::move(done));
+        return;
+    }
+
+    if (Mshr *m = findMshr(line_addr)) {
+        if (!req.isPrefetch)
+            m->demanded = true;
+        m->waiters.push_back(std::move(done));
+        return;
+    }
+
+    Mshr *m = allocMshr();
+    if (m == nullptr) {
+        // Input queue: hold the request until an MSHR frees up.
+        overflow_.emplace_back(req, std::move(done));
+        ++stats_.mshrRejects;
+        return;
+    }
+
+    m->lineAddr = line_addr;
+    m->req = req;
+    m->req.paddr = line_addr;
+    m->waiters.push_back(std::move(done));
+
+    LineRequest fwd = m->req;
+    eq_.scheduleIn(p_.accessLatency, [this, fwd, m] {
+        parent_.readLine(fwd, [this, m] { handleFill(*m); });
+    });
+}
+
+void
+Cache::writeLine(const LineRequest &req)
+{
+    const Addr line_addr = lineAlign(req.paddr);
+    if (Line *line = findLine(line_addr)) {
+        line->dirty = true;
+        line->lru = ++lruClock_;
+        return;
+    }
+    // Full-line writeback allocate: no fetch required.
+    installLine(line_addr, true, false);
+}
+
+void
+Cache::drainOverflow()
+{
+    while (!overflow_.empty() && freeMshrs_ > 0) {
+        auto [req, done] = std::move(overflow_.front());
+        overflow_.pop_front();
+        readLine(req, std::move(done));
+    }
+}
+
+} // namespace epf

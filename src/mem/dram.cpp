@@ -1,0 +1,106 @@
+#include "mem/dram.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace epf
+{
+
+Dram::Dram(EventQueue &eq, const DramParams &params) : eq_(eq), p_(params)
+{
+    banks_.resize(p_.banks);
+}
+
+unsigned
+Dram::bankOf(Addr paddr) const
+{
+    return static_cast<unsigned>((paddr >> p_.bankShift) % p_.banks);
+}
+
+std::uint64_t
+Dram::rowOf(Addr paddr) const
+{
+    return paddr >> p_.rowShift;
+}
+
+void
+Dram::readLine(const LineRequest &req, DoneFn done)
+{
+    ++stats_.reads;
+    if (req.isPrefetch)
+        ++stats_.prefetchReads;
+    unsigned b = bankOf(req.paddr);
+    banks_[b].queue.emplace_back(req, std::move(done));
+    if (!banks_[b].scheduled) {
+        banks_[b].scheduled = true;
+        eq_.scheduleIn(0, [this, b] { serviceBank(b); });
+    }
+}
+
+void
+Dram::writeLine(const LineRequest &req)
+{
+    ++stats_.writes;
+    unsigned b = bankOf(req.paddr);
+    banks_[b].queue.emplace_back(req, DoneFn{});
+    if (!banks_[b].scheduled) {
+        banks_[b].scheduled = true;
+        eq_.scheduleIn(0, [this, b] { serviceBank(b); });
+    }
+}
+
+void
+Dram::serviceBank(unsigned bank_idx)
+{
+    Bank &bank = banks_[bank_idx];
+    if (bank.queue.empty()) {
+        bank.scheduled = false;
+        return;
+    }
+
+    const Tick now = eq_.now();
+    auto &[req, done] = bank.queue.front();
+    const std::uint64_t row = rowOf(req.paddr);
+
+    // Work out when the column command can start on this bank.
+    Tick start = std::max(now + p_.frontendDelay, bank.readyAt);
+    Tick dataAt;
+    if (bank.rowOpen && bank.openRow == row) {
+        ++stats_.rowHits;
+        dataAt = start + p_.tcl;
+    } else {
+        ++stats_.rowMisses;
+        Tick activate = start;
+        if (bank.rowOpen) {
+            // Must precharge first, and not before tRAS expires.
+            Tick pre = std::max(start, bank.prechargeOkAt);
+            activate = pre + p_.trp;
+        }
+        bank.rowOpen = true;
+        bank.openRow = row;
+        bank.prechargeOkAt = activate + p_.tras;
+        dataAt = activate + p_.trcd + p_.tcl;
+    }
+
+    // The burst needs the shared data bus.
+    Tick burstStart = std::max(dataAt, busFreeAt_);
+    Tick finish = burstStart + p_.tburst;
+    busFreeAt_ = finish;
+    bank.readyAt = burstStart; // next column command overlaps CAS pipeline
+
+    bool is_read = static_cast<bool>(done);
+    if (is_read)
+        stats_.totalReadLatency += finish - now;
+
+    DoneFn cb = std::move(done);
+    bank.queue.pop_front();
+
+    if (cb)
+        eq_.schedule(finish, std::move(cb));
+
+    // Service the next queued request once this one's bus slot is decided.
+    eq_.schedule(std::max(now + 1, burstStart),
+                 [this, bank_idx] { serviceBank(bank_idx); });
+}
+
+} // namespace epf

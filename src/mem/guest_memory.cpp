@@ -1,0 +1,87 @@
+#include "mem/guest_memory.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace epf
+{
+
+void
+GuestMemory::addRegion(const std::string &name, const void *ptr,
+                       std::size_t size)
+{
+    Region r;
+    r.name = name;
+    r.base = reinterpret_cast<Addr>(ptr);
+    r.size = size;
+    r.host = static_cast<const std::byte *>(ptr);
+    auto pos = std::lower_bound(
+        regions_.begin(), regions_.end(), r.base,
+        [](const Region &a, Addr b) { return a.base < b; });
+    regions_.insert(pos, std::move(r));
+}
+
+void
+GuestMemory::clear()
+{
+    regions_.clear();
+}
+
+const GuestMemory::Region *
+GuestMemory::find(Addr addr) const
+{
+    // First region with base > addr, then step back one.
+    auto it = std::upper_bound(
+        regions_.begin(), regions_.end(), addr,
+        [](Addr a, const Region &r) { return a < r.base; });
+    if (it == regions_.begin())
+        return nullptr;
+    --it;
+    if (addr >= it->base && addr < it->base + it->size)
+        return &*it;
+    return nullptr;
+}
+
+bool
+GuestMemory::contains(Addr addr, std::size_t len) const
+{
+    const Region *r = find(addr);
+    return r != nullptr && addr + len <= r->base + r->size;
+}
+
+bool
+GuestMemory::readLine(Addr line_base, LineData &out) const
+{
+    out.fill(std::byte{0});
+    bool any = false;
+    Addr a = line_base;
+    unsigned copied = 0;
+    while (copied < kLineBytes) {
+        const Region *r = find(a);
+        if (r == nullptr) {
+            ++a;
+            ++copied;
+            continue;
+        }
+        std::size_t avail = (r->base + r->size) - a;
+        std::size_t n = std::min<std::size_t>(kLineBytes - copied, avail);
+        std::memcpy(out.data() + copied, r->host + (a - r->base), n);
+        any = true;
+        a += n;
+        copied += static_cast<unsigned>(n);
+    }
+    return any;
+}
+
+std::uint64_t
+GuestMemory::read64(Addr addr) const
+{
+    assert(contains(addr, 8));
+    const Region *r = find(addr);
+    std::uint64_t v;
+    std::memcpy(&v, r->host + (addr - r->base), 8);
+    return v;
+}
+
+} // namespace epf

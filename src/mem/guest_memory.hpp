@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Guest address space backed by live host arrays.
+ *
+ * Workloads register their real data structures (key arrays, hash tables,
+ * CSR arrays, ...) as named regions.  The simulator treats the host
+ * virtual addresses of those arrays as guest virtual addresses: loads in
+ * the trace carry them, the prefetcher's address filter matches on them,
+ * and "what a prefetched line contains" is answered by reading the live
+ * host memory.  Addresses outside every region behave like unmapped pages
+ * (a prefetch to them is dropped, as on a page fault in the paper).
+ */
+
+#ifndef EPF_MEM_GUEST_MEMORY_HPP
+#define EPF_MEM_GUEST_MEMORY_HPP
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace epf
+{
+
+/** A line of guest data as observed by the prefetcher. */
+using LineData = std::array<std::byte, kLineBytes>;
+
+/** Registry of guest-visible memory regions. */
+class GuestMemory
+{
+  public:
+    /** A contiguous mapped region of the guest address space. */
+    struct Region
+    {
+        std::string name;
+        Addr base;
+        std::size_t size;
+        const std::byte *host;
+    };
+
+    /** Register @p size bytes at @p ptr under @p name. */
+    void addRegion(const std::string &name, const void *ptr, std::size_t size);
+
+    /** Remove all regions (between experiment runs). */
+    void clear();
+
+    /** True if [addr, addr+len) lies inside one mapped region. */
+    bool contains(Addr addr, std::size_t len = 1) const;
+
+    /**
+     * Copy the cache line at line-aligned @p line_base into @p out.
+     * Bytes that fall outside mapped regions read as zero.
+     * @return true if at least one byte was mapped.
+     */
+    bool readLine(Addr line_base, LineData &out) const;
+
+    /** Read a naturally aligned 64-bit word (must be fully mapped). */
+    std::uint64_t read64(Addr addr) const;
+
+    /** All registered regions, sorted by base address. */
+    const std::vector<Region> &regions() const { return regions_; }
+
+  private:
+    /** Find the region containing @p addr, or nullptr. */
+    const Region *find(Addr addr) const;
+
+    std::vector<Region> regions_; // sorted by base
+};
+
+} // namespace epf
+
+#endif // EPF_MEM_GUEST_MEMORY_HPP

@@ -1,0 +1,202 @@
+#include "mem/hierarchy.hpp"
+
+#include <cassert>
+
+namespace epf
+{
+
+MemParams
+MemParams::defaults()
+{
+    MemParams p;
+    p.l1.name = "l1d";
+    p.l1.sizeBytes = 32 * 1024;
+    p.l1.ways = 2;
+    p.l1.accessLatency = 2 * 5; // 2 cycles @ 3.2 GHz
+    p.l1.mshrs = 12;
+
+    p.l2.name = "l2";
+    p.l2.sizeBytes = 1024 * 1024;
+    p.l2.ways = 16;
+    p.l2.accessLatency = 12 * 5; // 12 cycles @ 3.2 GHz
+    p.l2.mshrs = 16;
+
+    p.corePeriod = 5;
+    return p;
+}
+
+MemoryHierarchy::MemoryHierarchy(EventQueue &eq, GuestMemory &mem,
+                                 const MemParams &params)
+    : eq_(eq), mem_(mem), p_(params)
+{
+    dram_ = std::make_unique<Dram>(eq_, p_.dram);
+    l2_ = std::make_unique<Cache>(eq_, p_.l2, *dram_);
+    l1_ = std::make_unique<Cache>(eq_, p_.l1, *l2_);
+    pageTable_ = std::make_unique<PageTable>(mem_);
+    tlb_ = std::make_unique<Tlb>(eq_, p_.tlb, *pageTable_, *l2_);
+
+    l1_->setMshrFreeHook([this] { tryIssuePrefetches(); });
+}
+
+void
+MemoryHierarchy::setListener(MemoryListener *l)
+{
+    listener_ = l;
+    l1_->setListener(l);
+}
+
+void
+MemoryHierarchy::resetStats()
+{
+    stats_ = Stats{};
+    l1_->resetStats();
+    l2_->resetStats();
+    dram_->resetStats();
+    tlb_->resetStats();
+}
+
+void
+MemoryHierarchy::load(Addr vaddr, int stream_id, DoneFn done)
+{
+    ++stats_.coreLoads;
+    demandAccess(true, vaddr, stream_id, std::move(done));
+}
+
+void
+MemoryHierarchy::store(Addr vaddr, int stream_id, DoneFn done)
+{
+    ++stats_.coreStores;
+    demandAccess(false, vaddr, stream_id, std::move(done));
+}
+
+void
+MemoryHierarchy::demandAccess(bool is_load, Addr vaddr, int stream_id,
+                              DoneFn done)
+{
+    assert(mem_.contains(vaddr) && "core accessed an unmapped address");
+    tlb_->translate(vaddr,
+                    [this, is_load, vaddr, stream_id,
+                     done = std::move(done)](Addr paddr, bool fault) mutable {
+                        assert(!fault && "demand access faulted");
+                        (void)fault;
+                        attemptDemand(is_load, vaddr, paddr, stream_id,
+                                      std::move(done));
+                    });
+}
+
+void
+MemoryHierarchy::attemptDemand(bool is_load, Addr vaddr, Addr paddr,
+                               int stream_id, DoneFn done)
+{
+    auto res = l1_->demandAccess(is_load, vaddr, paddr, done);
+    if (res == Cache::DemandResult::NoMshr) {
+        ++stats_.loadRetries;
+        eq_.scheduleIn(p_.corePeriod,
+                       [this, is_load, vaddr, paddr, stream_id,
+                        done = std::move(done)]() mutable {
+                           attemptDemand(is_load, vaddr, paddr, stream_id,
+                                         std::move(done));
+                       });
+        return;
+    }
+    if (listener_ != nullptr) {
+        bool hit = res == Cache::DemandResult::Hit;
+        listener_->notifyDemand(vaddr, is_load, hit, stream_id);
+        // Baseline prefetchers enqueue candidates during the notify;
+        // give the issue path a chance to drain them immediately.
+        tryIssuePrefetches();
+    }
+}
+
+void
+MemoryHierarchy::swPrefetch(Addr vaddr)
+{
+    ++stats_.swPrefetches;
+    if (!mem_.contains(vaddr)) {
+        ++stats_.swPrefetchDrops;
+        return;
+    }
+    tlb_->translate(vaddr, [this, vaddr](Addr paddr, bool fault) {
+        if (fault) {
+            ++stats_.swPrefetchDrops;
+            return;
+        }
+        LineRequest req;
+        req.vaddr = vaddr;
+        req.paddr = paddr;
+        req.isPrefetch = true;
+        auto res = l1_->prefetchAccess(req);
+        if (res == Cache::PrefetchResult::NoMshr)
+            ++stats_.swPrefetchDrops;
+    });
+}
+
+void
+MemoryHierarchy::tryIssuePrefetches()
+{
+    auto mshr_available = [this] {
+        return l1_->freeMshrCount() > p_.demandReservedMshrs;
+    };
+
+    // Drain translated-but-blocked requests first.
+    while (!pfSkid_.empty() && mshr_available()) {
+        LineRequest req = pfSkid_.front();
+        pfSkid_.pop_front();
+        issueTranslatedPrefetch(req);
+    }
+
+    if (pfSource_ == nullptr)
+        return;
+
+    while (mshr_available() && pfSkid_.empty() &&
+           pfTranslations_ < kMaxPfTranslations && pfSource_->hasRequest()) {
+        LineRequest req = pfSource_->popRequest();
+        ++pfTranslations_;
+        tlb_->translate(req.vaddr, [this, req](Addr paddr,
+                                               bool fault) mutable {
+            --pfTranslations_;
+            if (fault) {
+                ++stats_.pfDropFault;
+                if (listener_ != nullptr)
+                    listener_->notifyPrefetchDropped(req);
+                // More requests may be waiting behind this one.
+                eq_.scheduleIn(0, [this] { tryIssuePrefetches(); });
+                return;
+            }
+            req.paddr = paddr;
+            issueTranslatedPrefetch(req);
+            eq_.scheduleIn(0, [this] { tryIssuePrefetches(); });
+        });
+    }
+}
+
+void
+MemoryHierarchy::issueTranslatedPrefetch(const LineRequest &req)
+{
+    switch (l1_->prefetchAccess(req)) {
+      case Cache::PrefetchResult::Issued:
+        ++stats_.pfIssued;
+        break;
+      case Cache::PrefetchResult::Present:
+        ++stats_.pfDropPresent;
+        // The data is already resident: deliver the completion event
+        // immediately so dependent event chains keep running (the
+        // address filter would equally have seen the demand load).
+        if (listener_ != nullptr && (req.cbKernel >= 0 || req.tag >= 0)) {
+            LineRequest synth = req;
+            synth.synthesized = true;
+            listener_->notifyPrefetchFill(synth);
+        }
+        break;
+      case Cache::PrefetchResult::Merged:
+        ++stats_.pfDropMerged;
+        if (listener_ != nullptr && (req.cbKernel >= 0 || req.tag >= 0))
+            listener_->notifyPrefetchDropped(req);
+        break;
+      case Cache::PrefetchResult::NoMshr:
+        pfSkid_.push_back(req);
+        break;
+    }
+}
+
+} // namespace epf

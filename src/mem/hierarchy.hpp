@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Assembly of the full memory system of Table 1.
+ *
+ * Owns the L1D, L2, DRAM, page table and shared TLB, and implements the
+ * two client-facing paths:
+ *
+ *  - the demand path used by the core model (translate, access L1,
+ *    retry while MSHRs are exhausted);
+ *  - the prefetch issue path: whenever the L1 has a free MSHR it pops the
+ *    attached PrefetchSource (the paper's prefetch request queue),
+ *    translates through the shared TLB, drops on fault, and issues
+ *    (Section 4.6).
+ */
+
+#ifndef EPF_MEM_HIERARCHY_HPP
+#define EPF_MEM_HIERARCHY_HPP
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "mem/cache.hpp"
+#include "mem/dram.hpp"
+#include "mem/guest_memory.hpp"
+#include "mem/mem_iface.hpp"
+#include "mem/tlb.hpp"
+#include "sim/event_queue.hpp"
+
+namespace epf
+{
+
+/** Parameters of the whole memory system. */
+struct MemParams
+{
+    CacheParams l1;
+    CacheParams l2;
+    DramParams dram;
+    TlbParams tlb;
+    /** Core clock period in ticks (used for retry pacing). */
+    Tick corePeriod = 5;
+    /**
+     * L1 MSHRs kept free for demand misses: prefetch requests only
+     * issue while more than this many MSHRs are available, so the
+     * prefetcher cannot starve the core.
+     */
+    unsigned demandReservedMshrs = 2;
+
+    /** Table 1 defaults. */
+    static MemParams defaults();
+};
+
+/** The complete memory system below the core. */
+class MemoryHierarchy
+{
+  public:
+    struct Stats
+    {
+        std::uint64_t coreLoads = 0;
+        std::uint64_t coreStores = 0;
+        std::uint64_t loadRetries = 0;
+        std::uint64_t swPrefetches = 0;
+        std::uint64_t swPrefetchDrops = 0;
+        std::uint64_t pfIssued = 0;
+        std::uint64_t pfDropPresent = 0;
+        std::uint64_t pfDropMerged = 0;
+        std::uint64_t pfDropFault = 0;
+    };
+
+    MemoryHierarchy(EventQueue &eq, GuestMemory &mem,
+                    const MemParams &params);
+
+    // ---- Demand path (core model) ----
+
+    /**
+     * Issue a load; @p done fires when data is ready in the core.
+     * @p stream_id is a stable identifier of the originating load
+     * instruction (the PC proxy baseline prefetchers train on).
+     */
+    void load(Addr vaddr, int stream_id, DoneFn done);
+
+    /** Issue a store; @p done fires when the store has been accepted. */
+    void store(Addr vaddr, int stream_id, DoneFn done);
+
+    /** Issue a best-effort software prefetch (dropped under pressure). */
+    void swPrefetch(Addr vaddr);
+
+    // ---- Prefetcher attachment ----
+
+    /** Observer of L1 demand traffic and prefetch fills. */
+    void setListener(MemoryListener *l);
+
+    /** The queue of prefetch requests the L1 drains. */
+    void setPrefetchSource(PrefetchSource *src) { pfSource_ = src; }
+
+    /** Notify that the prefetch source may have new requests. */
+    void kickPrefetcher() { tryIssuePrefetches(); }
+
+    // ---- Introspection ----
+
+    Cache &l1() { return *l1_; }
+    Cache &l2() { return *l2_; }
+    Dram &dram() { return *dram_; }
+    Tlb &tlb() { return *tlb_; }
+    PageTable &pageTable() { return *pageTable_; }
+    const Stats &stats() const { return stats_; }
+
+    void resetStats();
+
+  private:
+    void demandAccess(bool is_load, Addr vaddr, int stream_id, DoneFn done);
+    void attemptDemand(bool is_load, Addr vaddr, Addr paddr, int stream_id,
+                       DoneFn done);
+    void tryIssuePrefetches();
+    void issueTranslatedPrefetch(const LineRequest &req);
+
+    EventQueue &eq_;
+    GuestMemory &mem_;
+    MemParams p_;
+
+    std::unique_ptr<Dram> dram_;
+    std::unique_ptr<Cache> l2_;
+    std::unique_ptr<Cache> l1_;
+    std::unique_ptr<PageTable> pageTable_;
+    std::unique_ptr<Tlb> tlb_;
+
+    MemoryListener *listener_ = nullptr;
+    PrefetchSource *pfSource_ = nullptr;
+
+    /** Translated prefetches waiting for a free MSHR. */
+    std::deque<LineRequest> pfSkid_;
+    /** Outstanding prefetch translations (bounds TLB pressure). */
+    unsigned pfTranslations_ = 0;
+    static constexpr unsigned kMaxPfTranslations = 4;
+
+    Stats stats_;
+};
+
+} // namespace epf
+
+#endif // EPF_MEM_HIERARCHY_HPP

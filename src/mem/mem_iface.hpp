@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Interfaces between the memory hierarchy and its clients.
+ */
+
+#ifndef EPF_MEM_MEM_IFACE_HPP
+#define EPF_MEM_MEM_IFACE_HPP
+
+#include <cstdint>
+
+#include "mem/packet.hpp"
+#include "sim/types.hpp"
+
+namespace epf
+{
+
+/**
+ * A level of the memory hierarchy viewed from above (L2 below L1, DRAM
+ * below L2).  Reads complete via callback; writes (writebacks) are posted.
+ */
+class MemLevel
+{
+  public:
+    virtual ~MemLevel() = default;
+
+    /** Request a full line; @p done fires when the data is available. */
+    virtual void readLine(const LineRequest &req, DoneFn done) = 0;
+
+    /** Posted write of a full line (writeback); no completion callback. */
+    virtual void writeLine(const LineRequest &req) = 0;
+};
+
+/**
+ * Observer of L1 activity: this is the snoop port the paper's address
+ * filter sits on, and the hook baseline prefetchers train from.
+ */
+class MemoryListener
+{
+  public:
+    virtual ~MemoryListener() = default;
+
+    /**
+     * A demand access issued by the core reached the L1.
+     *
+     * @param vaddr    full (unaligned) virtual address of the access
+     * @param is_load  true for loads, false for stores
+     * @param hit      true if it hit in L1 (including in-flight merges)
+     * @param stream_id stable id of the source "load instruction"
+     */
+    virtual void
+    notifyDemand(Addr vaddr, bool is_load, bool hit, int stream_id)
+    {
+        (void)vaddr;
+        (void)is_load;
+        (void)hit;
+        (void)stream_id;
+    }
+
+    /** A prefetch completed and its line reached the L1. */
+    virtual void notifyPrefetchFill(const LineRequest &req) { (void)req; }
+
+    /**
+     * A prefetch request was dropped before completion (page fault or
+     * merge into an in-flight miss).  Needed so blocked-mode PPUs that
+     * are stalled waiting on the fill can be released.
+     */
+    virtual void notifyPrefetchDropped(const LineRequest &req) { (void)req; }
+};
+
+/**
+ * A producer of prefetch requests drained by the L1 when it has MSHRs
+ * available (the paper's prefetch request queue presents this interface).
+ */
+class PrefetchSource
+{
+  public:
+    virtual ~PrefetchSource() = default;
+
+    /** True if a request is ready to issue. */
+    virtual bool hasRequest() const = 0;
+
+    /** Pop the oldest request.  Only valid when hasRequest(). */
+    virtual LineRequest popRequest() = 0;
+};
+
+} // namespace epf
+
+#endif // EPF_MEM_MEM_IFACE_HPP

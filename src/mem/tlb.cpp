@@ -1,0 +1,205 @@
+#include "mem/tlb.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace epf
+{
+
+Addr
+PageTable::translate(Addr vaddr)
+{
+    assert(mapped(vaddr));
+    const Addr vpn = pageNumber(vaddr);
+    auto it = vpnToPpn_.find(vpn);
+    if (it == vpnToPpn_.end()) {
+        Addr ppn = (nextSeq_++ * kOddMultiplier) & kPpnMask;
+        it = vpnToPpn_.emplace(vpn, ppn).first;
+    }
+    return (it->second << kPageShift) | (vaddr & (kPageBytes - 1));
+}
+
+Tlb::Tlb(EventQueue &eq, const TlbParams &params, PageTable &pt,
+         MemLevel &walk_mem)
+    : eq_(eq), p_(params), pt_(pt), walkMem_(walk_mem)
+{
+    l1_.resize(p_.l1Entries);
+    assert(p_.l2Entries % p_.l2Ways == 0);
+    l2Sets_ = p_.l2Entries / p_.l2Ways;
+    assert((l2Sets_ & (l2Sets_ - 1)) == 0);
+    l2_.resize(p_.l2Entries);
+}
+
+void
+Tlb::flush()
+{
+    for (auto &e : l1_)
+        e.valid = false;
+    for (auto &e : l2_)
+        e.valid = false;
+}
+
+bool
+Tlb::lookupL1(Addr vpn, Addr &ppn)
+{
+    for (auto &e : l1_) {
+        if (e.valid && e.vpn == vpn) {
+            e.lru = ++lruClock_;
+            ppn = e.ppn;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+Tlb::lookupL2(Addr vpn, Addr &ppn)
+{
+    Entry *set = &l2_[(vpn & (l2Sets_ - 1)) * p_.l2Ways];
+    for (unsigned w = 0; w < p_.l2Ways; ++w) {
+        if (set[w].valid && set[w].vpn == vpn) {
+            set[w].lru = ++lruClock_;
+            ppn = set[w].ppn;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Tlb::insertL1(Addr vpn, Addr ppn)
+{
+    Entry *victim = &l1_[0];
+    for (auto &e : l1_) {
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (e.lru < victim->lru)
+            victim = &e;
+    }
+    *victim = Entry{true, vpn, ppn, ++lruClock_};
+}
+
+void
+Tlb::insertL2(Addr vpn, Addr ppn)
+{
+    Entry *set = &l2_[(vpn & (l2Sets_ - 1)) * p_.l2Ways];
+    Entry *victim = &set[0];
+    for (unsigned w = 0; w < p_.l2Ways; ++w) {
+        if (!set[w].valid) {
+            victim = &set[w];
+            break;
+        }
+        if (set[w].lru < victim->lru)
+            victim = &set[w];
+    }
+    *victim = Entry{true, vpn, ppn, ++lruClock_};
+}
+
+void
+Tlb::translate(Addr vaddr, TranslateFn cb)
+{
+    const Addr vpn = pageNumber(vaddr);
+    const Addr offset = vaddr & (kPageBytes - 1);
+    Addr ppn;
+
+    if (lookupL1(vpn, ppn)) {
+        ++stats_.l1Hits;
+        cb((ppn << kPageShift) | offset, false);
+        return;
+    }
+    if (lookupL2(vpn, ppn)) {
+        ++stats_.l2Hits;
+        insertL1(vpn, ppn);
+        Addr paddr = (ppn << kPageShift) | offset;
+        eq_.scheduleIn(p_.l2Latency,
+                       [cb = std::move(cb), paddr] { cb(paddr, false); });
+        return;
+    }
+    startWalk(vpn, [this, vpn, offset, cb = std::move(cb)](Addr, bool) {
+        // Walk finished; resolve mapping (or fault) at the leaf.
+        Addr probe = (vpn << kPageShift) | offset;
+        if (!pt_.mapped(probe)) {
+            ++stats_.faults;
+            cb(0, true);
+            return;
+        }
+        Addr paddr = pt_.translate(probe);
+        insertL1(vpn, paddr >> kPageShift);
+        insertL2(vpn, paddr >> kPageShift);
+        cb(paddr, false);
+    });
+}
+
+void
+Tlb::startWalk(Addr vpn, TranslateFn cb)
+{
+    // Join an active or queued walk for the same page if one exists.
+    for (auto &w : activeWalks_) {
+        if (w.vpn == vpn) {
+            w.waiters.push_back(std::move(cb));
+            return;
+        }
+    }
+    for (auto &w : queuedWalks_) {
+        if (w.vpn == vpn) {
+            w.waiters.push_back(std::move(cb));
+            return;
+        }
+    }
+    Walk w;
+    w.vpn = vpn;
+    w.waiters.push_back(std::move(cb));
+    queuedWalks_.push_back(std::move(w));
+    pumpWalkQueue();
+}
+
+void
+Tlb::pumpWalkQueue()
+{
+    while (!queuedWalks_.empty() && activeWalks_.size() < p_.maxWalks) {
+        activeWalks_.push_back(std::move(queuedWalks_.front()));
+        queuedWalks_.pop_front();
+        ++stats_.walks;
+        issueWalkReads(activeWalks_.size() - 1, p_.walkReads);
+    }
+}
+
+void
+Tlb::issueWalkReads(std::size_t walk_idx, unsigned remaining)
+{
+    if (remaining == 0) {
+        finishWalk(walk_idx);
+        return;
+    }
+    // Fabricated PTE address in a reserved physical range; reads go
+    // through the cache level the walker is attached to, so walks enjoy
+    // caching of upper levels just like real table walks.
+    const Addr vpn = activeWalks_[walk_idx].vpn;
+    LineRequest req;
+    req.paddr = 0xF0'0000'0000ULL + ((vpn * p_.walkReads + remaining) << 3);
+    req.vaddr = req.paddr;
+    walkMem_.readLine(req, [this, vpn, remaining] {
+        // The walk vector may have shifted; find by vpn.
+        for (std::size_t i = 0; i < activeWalks_.size(); ++i) {
+            if (activeWalks_[i].vpn == vpn) {
+                issueWalkReads(i, remaining - 1);
+                return;
+            }
+        }
+    });
+}
+
+void
+Tlb::finishWalk(std::size_t walk_idx)
+{
+    Walk done = std::move(activeWalks_[walk_idx]);
+    activeWalks_.erase(activeWalks_.begin() +
+                       static_cast<std::ptrdiff_t>(walk_idx));
+    for (auto &cb : done.waiters)
+        cb(0, false); // resolution happens in the translate() closure
+    pumpWalkQueue();
+}
+
+} // namespace epf

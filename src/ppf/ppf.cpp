@@ -1,0 +1,447 @@
+#include "ppf/ppf.hpp"
+
+#include <cassert>
+
+namespace epf
+{
+
+ProgrammablePrefetcher::ProgrammablePrefetcher(EventQueue &eq,
+                                               GuestMemory &mem,
+                                               const PpfConfig &cfg)
+    : eq_(eq), mem_(mem), cfg_(cfg), ppuClock_(cfg.ppuPeriod)
+{
+    globals_.resize(kGlobalRegs, 0);
+    ppus_.resize(cfg_.numPpus);
+    ppuStats_.resize(cfg_.numPpus);
+}
+
+int
+ProgrammablePrefetcher::addFilter(const FilterEntry &e)
+{
+    int idx = filters_.add(e);
+    lookahead_.emplace_back(cfg_.ewmaShift, cfg_.maxLookahead,
+                            cfg_.initialLookahead, cfg_.lookaheadScale);
+    return idx;
+}
+
+std::int32_t
+ProgrammablePrefetcher::registerTag(KernelId kernel)
+{
+    tagKernels_.push_back(kernel);
+    return static_cast<std::int32_t>(tagKernels_.size() - 1);
+}
+
+void
+ProgrammablePrefetcher::setGlobal(unsigned idx, std::uint64_t value)
+{
+    globals_.at(idx) = value;
+    if (idx >= globalsAllocated_)
+        globalsAllocated_ = idx + 1;
+}
+
+unsigned
+ProgrammablePrefetcher::allocGlobal(std::uint64_t value)
+{
+    unsigned idx = globalsAllocated_++;
+    globals_.at(idx) = value;
+    return idx;
+}
+
+std::uint64_t
+ProgrammablePrefetcher::lookaheadOf(int idx) const
+{
+    return lookahead_.at(static_cast<std::size_t>(idx)).lookahead();
+}
+
+void
+ProgrammablePrefetcher::reset()
+{
+    ++epoch_;
+    kernels_.clear();
+    filters_.clear();
+    lookahead_.clear();
+    tagKernels_.clear();
+    std::fill(globals_.begin(), globals_.end(), 0);
+    globalsAllocated_ = 0;
+    obsQueue_.clear();
+    reqQueue_.clear();
+    for (auto &p : ppus_)
+        p = Ppu{};
+    for (auto &s : ppuStats_)
+        s = PpuStats{};
+    stats_ = Stats{};
+}
+
+void
+ProgrammablePrefetcher::contextSwitch()
+{
+    ++epoch_; // aborts every in-flight event
+    obsQueue_.clear();
+    reqQueue_.clear();
+    for (auto &p : ppus_)
+        p = Ppu{};
+    for (auto &la : lookahead_)
+        la.reset();
+    // Configuration (filters, globals, kernels, tags) survives: it is
+    // exactly the state the OS saves across context switches (Sec. 5.3).
+}
+
+// ---------------------------------------------------------------------
+// Snoop and fill ports
+// ---------------------------------------------------------------------
+
+void
+ProgrammablePrefetcher::notifyDemand(Addr vaddr, bool is_load, bool hit,
+                                     int stream_id)
+{
+    (void)hit;
+    (void)stream_id;
+    if (!is_load)
+        return; // the filter snoops reads
+
+    const Tick now = eq_.now();
+    filters_.match(vaddr, [&](int idx, const FilterEntry &e) {
+        if (e.timeSource)
+            lookahead_[static_cast<std::size_t>(idx)].observeAccess(now);
+        if (e.onLoad == kNoKernel)
+            return;
+        Observation obs;
+        obs.vaddr = vaddr;
+        obs.kernel = e.onLoad;
+        obs.hasLine = false;
+        if (e.timedStart) {
+            obs.hasTimedStart = true;
+            obs.timedStart = now;
+            obs.timedOrigin = static_cast<std::int16_t>(idx);
+        }
+        enqueueObservation(std::move(obs));
+    });
+}
+
+void
+ProgrammablePrefetcher::notifyPrefetchFill(const LineRequest &req)
+{
+    const Tick now = eq_.now();
+
+    // Chain-latency EWMA sampling (timed chains reaching a timed-end
+    // range attribute the latency to the chain's origin entry).
+    // Synthesised completions involve no memory access and are skipped.
+    if (!req.synthesized && req.hasTimedStart && req.timedOrigin >= 0 &&
+        static_cast<std::size_t>(req.timedOrigin) < lookahead_.size()) {
+        bool ended = false;
+        filters_.match(req.vaddr, [&](int, const FilterEntry &e) {
+            if (e.timedEnd)
+                ended = true;
+        });
+        if (ended) {
+            lookahead_[static_cast<std::size_t>(req.timedOrigin)]
+                .observeChain(now - req.timedStart);
+            ++stats_.chainSamples;
+        }
+    }
+
+    routeFill(req);
+}
+
+void
+ProgrammablePrefetcher::routeFill(const LineRequest &req)
+{
+    // Blocked mode: fills whose chain stalled a PPU return to that PPU.
+    if (cfg_.blocking && req.originPpu >= 0 &&
+        static_cast<unsigned>(req.originPpu) < ppus_.size()) {
+        Ppu &p = ppus_[static_cast<unsigned>(req.originPpu)];
+        if (p.busy && p.pendingFills > 0) {
+            --p.pendingFills;
+            KernelId k = kNoKernel;
+            if (req.cbKernel >= 0)
+                k = req.cbKernel;
+            else if (req.tag >= 0 &&
+                     static_cast<std::size_t>(req.tag) < tagKernels_.size())
+                k = tagKernels_[static_cast<std::size_t>(req.tag)];
+            if (k != kNoKernel) {
+                Observation obs;
+                obs.vaddr = req.vaddr;
+                obs.kernel = k;
+                obs.hasLine = mem_.readLine(lineAlign(req.vaddr), obs.line);
+                obs.hasTimedStart = req.hasTimedStart;
+                obs.timedStart = req.timedStart;
+                obs.timedOrigin = req.timedOrigin;
+                p.local.push_back(std::move(obs));
+            }
+            pumpBlocked(static_cast<unsigned>(req.originPpu));
+            return;
+        }
+    }
+
+    // Event-triggered routing: explicit callback kernel beats tag beats
+    // address-range match (PF Ptr).
+    KernelId k = kNoKernel;
+    if (req.cbKernel >= 0) {
+        k = req.cbKernel;
+    } else if (req.tag >= 0 &&
+               static_cast<std::size_t>(req.tag) < tagKernels_.size()) {
+        k = tagKernels_[static_cast<std::size_t>(req.tag)];
+    }
+
+    auto makeObs = [&](KernelId kernel) {
+        Observation obs;
+        obs.vaddr = req.vaddr;
+        obs.kernel = kernel;
+        obs.hasLine = mem_.readLine(lineAlign(req.vaddr), obs.line);
+        obs.hasTimedStart = req.hasTimedStart;
+        obs.timedStart = req.timedStart;
+        obs.timedOrigin = req.timedOrigin;
+        if (!obs.hasLine) {
+            ++stats_.obsNoData;
+            return;
+        }
+        enqueueObservation(std::move(obs));
+    };
+
+    if (k != kNoKernel) {
+        makeObs(k);
+        return;
+    }
+    filters_.match(req.vaddr, [&](int, const FilterEntry &e) {
+        if (e.onPrefetch != kNoKernel)
+            makeObs(e.onPrefetch);
+    });
+}
+
+void
+ProgrammablePrefetcher::notifyPrefetchDropped(const LineRequest &req)
+{
+    if (cfg_.blocking && req.originPpu >= 0 &&
+        static_cast<unsigned>(req.originPpu) < ppus_.size()) {
+        Ppu &p = ppus_[static_cast<unsigned>(req.originPpu)];
+        if (p.busy && p.pendingFills > 0) {
+            --p.pendingFills;
+            pumpBlocked(static_cast<unsigned>(req.originPpu));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Observation queue and scheduler
+// ---------------------------------------------------------------------
+
+void
+ProgrammablePrefetcher::enqueueObservation(Observation obs)
+{
+    ++stats_.observations;
+    if (obsQueue_.size() >= cfg_.obsQueueCapacity) {
+        // Old observations are safely droppable (Section 4.3).
+        obsQueue_.pop_front();
+        ++stats_.obsDropped;
+    }
+    obsQueue_.push_back(std::move(obs));
+    trySchedule();
+}
+
+int
+ProgrammablePrefetcher::pickFreePpu()
+{
+    if (cfg_.policy == SchedulePolicy::kLowestId) {
+        for (unsigned i = 0; i < ppus_.size(); ++i) {
+            if (!ppus_[i].busy)
+                return static_cast<int>(i);
+        }
+        return -1;
+    }
+    for (unsigned n = 0; n < ppus_.size(); ++n) {
+        unsigned i = (rrNext_ + n) % ppus_.size();
+        if (!ppus_[i].busy) {
+            rrNext_ = (i + 1) % ppus_.size();
+            return static_cast<int>(i);
+        }
+    }
+    return -1;
+}
+
+void
+ProgrammablePrefetcher::trySchedule()
+{
+    while (!obsQueue_.empty()) {
+        int ppu = pickFreePpu();
+        if (ppu < 0)
+            return;
+        Observation obs = std::move(obsQueue_.front());
+        obsQueue_.pop_front();
+        startEvent(static_cast<unsigned>(ppu), std::move(obs));
+    }
+}
+
+void
+ProgrammablePrefetcher::startEvent(unsigned ppu, Observation obs)
+{
+    Ppu &p = ppus_[ppu];
+    assert(!p.busy);
+    p.busy = true;
+    p.executing = true;
+    p.lastAssign = eq_.now();
+
+    const Tick start = ppuClock_.edgeAtOrAfter(
+        eq_.now() + ppuClock_.cyclesToTicks(cfg_.dispatchOverhead));
+    const std::uint64_t epoch = epoch_;
+    eq_.schedule(start, [this, ppu, epoch, obs = std::move(obs), start] {
+        if (epoch != epoch_)
+            return; // aborted by a context switch
+        executeEvent(ppu, obs, start);
+    });
+}
+
+void
+ProgrammablePrefetcher::executeEvent(unsigned ppu, const Observation &obs,
+                                     Tick start)
+{
+    if (!kernels_.valid(obs.kernel)) {
+        releasePpu(ppu, start);
+        return;
+    }
+
+    // Snapshot the lookahead values the kernel can read.
+    std::vector<std::uint64_t> la(lookahead_.size());
+    for (std::size_t i = 0; i < lookahead_.size(); ++i)
+        la[i] = lookahead_[i].lookahead();
+
+    EventContext ctx;
+    ctx.vaddr = obs.vaddr;
+    ctx.hasLine = obs.hasLine;
+    ctx.line = obs.line;
+    ctx.globalRegs = globals_.data();
+    ctx.lookahead = la.data();
+    ctx.lookaheadEntries = static_cast<unsigned>(la.size());
+
+    std::vector<PrefetchEmit> emits;
+    ExecResult res = Interpreter::run(
+        kernels_[obs.kernel], ctx,
+        [&emits](const PrefetchEmit &e) { emits.push_back(e); });
+
+    ++stats_.eventsRun;
+    ++ppuStats_[ppu].events;
+    if (res.exit == ExitReason::kTrapped)
+        ++stats_.traps;
+    else if (res.exit == ExitReason::kStepLimit)
+        ++stats_.stepLimits;
+
+    const Tick finish =
+        start + ppuClock_.cyclesToTicks(std::max<std::uint32_t>(res.cycles, 1));
+    const std::uint64_t epoch = epoch_;
+    eq_.schedule(finish,
+                 [this, ppu, epoch, finish, emits = std::move(emits),
+                  obs]() mutable {
+                     if (epoch != epoch_)
+                         return;
+                     finishEvent(ppu, finish, std::move(emits), obs);
+                 });
+}
+
+void
+ProgrammablePrefetcher::finishEvent(unsigned ppu, Tick finish,
+                                    std::vector<PrefetchEmit> emits,
+                                    Observation obs)
+{
+    Ppu &p = ppus_[ppu];
+    p.executing = false;
+
+    bool chained = false;
+    for (const auto &e : emits) {
+        bool is_chain = e.cbKernel != kNoKernel || e.tag >= 0;
+        if (cfg_.blocking && is_chain) {
+            ++p.pendingFills;
+            chained = true;
+        }
+        queueRequest(e, obs, cfg_.blocking && is_chain
+                                  ? static_cast<int>(ppu)
+                                  : -1);
+    }
+    stats_.prefetchesEmitted += emits.size();
+
+    if (!emits.empty() && kick_)
+        kick_();
+
+    if (cfg_.blocking && (chained || p.pendingFills > 0 || !p.local.empty())) {
+        // Blocked mode: the unit stalls until its chain resolves.
+        ++stats_.blockedStalls;
+        pumpBlocked(ppu);
+        return;
+    }
+
+    releasePpu(ppu, finish);
+}
+
+void
+ProgrammablePrefetcher::releasePpu(unsigned ppu, Tick now)
+{
+    Ppu &p = ppus_[ppu];
+    assert(p.busy);
+    ppuStats_[ppu].busyTicks += now > p.lastAssign ? now - p.lastAssign : 0;
+    p.busy = false;
+    p.executing = false;
+    p.pendingFills = 0;
+    p.local.clear();
+    trySchedule();
+}
+
+void
+ProgrammablePrefetcher::pumpBlocked(unsigned ppu)
+{
+    Ppu &p = ppus_[ppu];
+    if (!p.busy || p.executing)
+        return;
+    if (!p.local.empty()) {
+        Observation obs = std::move(p.local.front());
+        p.local.pop_front();
+        p.executing = true;
+        const Tick start = ppuClock_.edgeAtOrAfter(eq_.now());
+        const std::uint64_t epoch = epoch_;
+        eq_.schedule(start, [this, ppu, epoch, obs = std::move(obs), start] {
+            if (epoch != epoch_)
+                return;
+            executeEvent(ppu, obs, start);
+        });
+        return;
+    }
+    if (p.pendingFills == 0)
+        releasePpu(ppu, eq_.now());
+}
+
+// ---------------------------------------------------------------------
+// Prefetch request queue
+// ---------------------------------------------------------------------
+
+void
+ProgrammablePrefetcher::queueRequest(const PrefetchEmit &e,
+                                     const Observation &obs, int origin_ppu)
+{
+    LineRequest req;
+    req.vaddr = e.vaddr;
+    req.isPrefetch = true;
+    req.tag = e.tag;
+    req.cbKernel = e.cbKernel;
+    req.hasTimedStart = obs.hasTimedStart;
+    req.timedStart = obs.timedStart;
+    req.timedOrigin = obs.timedOrigin;
+    req.originPpu = static_cast<std::int16_t>(origin_ppu);
+
+    if (reqQueue_.size() >= cfg_.reqQueueCapacity) {
+        // Drop the oldest request (Section 4.6); release any blocked
+        // PPU waiting on it.
+        LineRequest old = std::move(reqQueue_.front());
+        reqQueue_.pop_front();
+        ++stats_.reqDropped;
+        if (cfg_.blocking && old.originPpu >= 0)
+            notifyPrefetchDropped(old);
+    }
+    reqQueue_.push_back(std::move(req));
+}
+
+LineRequest
+ProgrammablePrefetcher::popRequest()
+{
+    LineRequest r = std::move(reqQueue_.front());
+    reqQueue_.pop_front();
+    return r;
+}
+
+} // namespace epf

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * The event-triggered programmable prefetcher (Section 4 of the paper).
+ *
+ * Structure (Fig. 3): snooped core reads and completed prefetch fills pass
+ * through the address filter; matching observations enter a 40-entry FIFO
+ * observation queue; a scheduler hands them to free programmable prefetch
+ * units (12 in-order cores at 1 GHz by default), which run small event
+ * kernels that emit new prefetch requests into a 200-entry FIFO request
+ * queue.  The L1 drains that queue through the shared TLB whenever it has
+ * a spare MSHR.  EWMA calculators time loop iterations and prefetch
+ * chains to provide dynamic lookahead distances.  Memory-request tags
+ * route fills of non-contiguous structures (linked lists, trees) back to
+ * the right kernel.
+ *
+ * A "blocked" mode (Fig. 11's ablation) makes chained prefetches stall
+ * their issuing PPU until the data returns, as a prefetcher without the
+ * event-triggered programming model would have to.
+ */
+
+#ifndef EPF_PPF_PPF_HPP
+#define EPF_PPF_PPF_HPP
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "isa/interpreter.hpp"
+#include "isa/isa.hpp"
+#include "mem/guest_memory.hpp"
+#include "mem/mem_iface.hpp"
+#include "ppf/ewma.hpp"
+#include "ppf/filter.hpp"
+#include "sim/clock.hpp"
+#include "sim/event_queue.hpp"
+
+namespace epf
+{
+
+/** How the scheduler picks among free PPUs. */
+enum class SchedulePolicy
+{
+    kLowestId,   ///< paper's policy (makes Fig. 10's skew visible)
+    kRoundRobin, ///< alternative that spreads work evenly
+};
+
+/** Configuration of the programmable prefetcher. */
+struct PpfConfig
+{
+    unsigned numPpus = 12;
+    /** PPU clock period in ticks (16 => 1 GHz). */
+    Tick ppuPeriod = 16;
+    /** Scheduler hand-off overhead per event, in PPU cycles. */
+    unsigned dispatchOverhead = 2;
+    std::size_t obsQueueCapacity = 40;
+    std::size_t reqQueueCapacity = 200;
+    SchedulePolicy policy = SchedulePolicy::kLowestId;
+    /** Fig. 11 ablation: stall PPUs on chained prefetches. */
+    bool blocking = false;
+    unsigned ewmaShift = 3;
+    std::uint64_t maxLookahead = 32;
+    std::uint64_t initialLookahead = 4;
+    /** Overestimation factor on the EWMA-derived distance (Sec. 7.1). */
+    std::uint64_t lookaheadScale = 2;
+};
+
+/** The programmable prefetcher. */
+class ProgrammablePrefetcher : public MemoryListener, public PrefetchSource
+{
+  public:
+    struct Stats
+    {
+        std::uint64_t observations = 0;
+        std::uint64_t obsDropped = 0;
+        std::uint64_t obsNoData = 0;
+        std::uint64_t eventsRun = 0;
+        std::uint64_t traps = 0;
+        std::uint64_t stepLimits = 0;
+        std::uint64_t prefetchesEmitted = 0;
+        std::uint64_t reqDropped = 0;
+        std::uint64_t chainSamples = 0;
+        std::uint64_t blockedStalls = 0;
+    };
+
+    /** Per-PPU accounting for Fig. 10. */
+    struct PpuStats
+    {
+        Tick busyTicks = 0;
+        std::uint64_t events = 0;
+    };
+
+    ProgrammablePrefetcher(EventQueue &eq, GuestMemory &mem,
+                           const PpfConfig &cfg);
+
+    // ---- Configuration API (driven by PfConfig ops in the trace) ----
+
+    /** The kernel store for this application. */
+    KernelTable &kernels() { return kernels_; }
+
+    /** Configure an address range; returns the filter index. */
+    int addFilter(const FilterEntry &e);
+
+    /** Register a memory-request tag bound to a fill kernel. */
+    std::int32_t registerTag(KernelId kernel);
+
+    /** Write a global register. */
+    void setGlobal(unsigned idx, std::uint64_t value);
+
+    /** Allocate the next free global register and initialise it. */
+    unsigned allocGlobal(std::uint64_t value);
+
+    std::uint64_t global(unsigned idx) const { return globals_.at(idx); }
+
+    /** Hook to prod the hierarchy when new requests are queued. */
+    void setKick(std::function<void()> fn) { kick_ = std::move(fn); }
+
+    /** Full reset: configuration, queues, statistics. */
+    void reset();
+
+    /**
+     * Context switch (Section 5.3): abort in-flight events, drop both
+     * queues and EWMA state; configuration and globals survive.
+     */
+    void contextSwitch();
+
+    // ---- MemoryListener (the snoop/fill port) ----
+
+    void notifyDemand(Addr vaddr, bool is_load, bool hit,
+                      int stream_id) override;
+    void notifyPrefetchFill(const LineRequest &req) override;
+    void notifyPrefetchDropped(const LineRequest &req) override;
+
+    // ---- PrefetchSource (the prefetch request queue) ----
+
+    bool hasRequest() const override { return !reqQueue_.empty(); }
+    LineRequest popRequest() override;
+
+    // ---- Introspection ----
+
+    const Stats &stats() const { return stats_; }
+    const std::vector<PpuStats> &ppuStats() const { return ppuStats_; }
+    const FilterTable &filters() const { return filters_; }
+    const PpfConfig &config() const { return cfg_; }
+
+    /** Current lookahead (elements) for filter entry @p idx. */
+    std::uint64_t lookaheadOf(int idx) const;
+
+  private:
+    /** One queued event. */
+    struct Observation
+    {
+        Addr vaddr = 0;
+        KernelId kernel = kNoKernel;
+        bool hasLine = false;
+        LineData line{};
+        bool hasTimedStart = false;
+        Tick timedStart = 0;
+        std::int16_t timedOrigin = -1;
+    };
+
+    struct Ppu
+    {
+        bool busy = false;
+        Tick lastAssign = 0;
+        /** Blocked mode: chained prefetches outstanding. */
+        unsigned pendingFills = 0;
+        /** Blocked mode: fills waiting to run on this unit. */
+        std::deque<Observation> local;
+        /** True while actually executing (vs. stalled). */
+        bool executing = false;
+    };
+
+    void enqueueObservation(Observation obs);
+    void trySchedule();
+    int pickFreePpu();
+    /** Begin executing @p obs on @p ppu at the next PPU clock edge. */
+    void startEvent(unsigned ppu, Observation obs);
+    /** Interpret the kernel and schedule its completion. */
+    void executeEvent(unsigned ppu, const Observation &obs, Tick start);
+    void finishEvent(unsigned ppu, Tick finish,
+                     std::vector<PrefetchEmit> emits, Observation obs);
+    void releasePpu(unsigned ppu, Tick now);
+    /** Blocked mode: run the next queued local observation if idle. */
+    void pumpBlocked(unsigned ppu);
+
+    /** Turn a kernel emission into a queued LineRequest. */
+    void queueRequest(const PrefetchEmit &e, const Observation &obs,
+                      int origin_ppu);
+
+    /** Route a fill to its kernel / PPU. */
+    void routeFill(const LineRequest &req);
+
+    EventQueue &eq_;
+    GuestMemory &mem_;
+    PpfConfig cfg_;
+    ClockDomain ppuClock_;
+
+    KernelTable kernels_;
+    FilterTable filters_;
+    std::vector<std::uint64_t> globals_;
+    unsigned globalsAllocated_ = 0;
+    std::vector<KernelId> tagKernels_;
+    std::vector<LookaheadCalculator> lookahead_;
+
+    std::deque<Observation> obsQueue_;
+    std::deque<LineRequest> reqQueue_;
+    std::vector<Ppu> ppus_;
+    std::vector<PpuStats> ppuStats_;
+    unsigned rrNext_ = 0;
+
+    /** Epoch guard: context switches invalidate in-flight events. */
+    std::uint64_t epoch_ = 0;
+
+    std::function<void()> kick_;
+    Stats stats_;
+};
+
+} // namespace epf
+
+#endif // EPF_PPF_PPF_HPP

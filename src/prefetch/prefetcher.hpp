@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Base class for queue-based hardware prefetchers.
+ *
+ * Baseline prefetchers (stride RPT, Markov GHB) observe L1 demand traffic
+ * through the MemoryListener interface, push candidate lines into an
+ * internal FIFO, and the hierarchy drains that FIFO through the
+ * PrefetchSource interface whenever the L1 has spare MSHRs — the same
+ * plumbing the programmable prefetcher uses, so all schemes compete under
+ * identical resource constraints.
+ */
+
+#ifndef EPF_PREFETCH_PREFETCHER_HPP
+#define EPF_PREFETCH_PREFETCHER_HPP
+
+#include <cstdint>
+#include <deque>
+
+#include "mem/mem_iface.hpp"
+#include "sim/types.hpp"
+
+namespace epf
+{
+
+/** Common machinery: a bounded FIFO of candidate prefetch addresses. */
+class QueuedPrefetcher : public MemoryListener, public PrefetchSource
+{
+  public:
+    struct QueueStats
+    {
+        std::uint64_t enqueued = 0;
+        std::uint64_t droppedFull = 0;
+    };
+
+    explicit QueuedPrefetcher(std::size_t queue_capacity = 200)
+        : capacity_(queue_capacity)
+    {
+    }
+
+    // PrefetchSource
+    bool hasRequest() const override { return !queue_.empty(); }
+
+    LineRequest
+    popRequest() override
+    {
+        LineRequest r = queue_.front();
+        queue_.pop_front();
+        return r;
+    }
+
+    const QueueStats &queueStats() const { return qstats_; }
+
+  protected:
+    /** Enqueue a candidate (drops the oldest when full, as in the paper). */
+    void
+    push(Addr vaddr)
+    {
+        LineRequest req;
+        req.vaddr = lineAlign(vaddr);
+        req.isPrefetch = true;
+        if (queue_.size() >= capacity_) {
+            queue_.pop_front();
+            ++qstats_.droppedFull;
+        }
+        queue_.push_back(req);
+        ++qstats_.enqueued;
+    }
+
+  private:
+    std::size_t capacity_;
+    std::deque<LineRequest> queue_;
+    QueueStats qstats_;
+};
+
+} // namespace epf
+
+#endif // EPF_PREFETCH_PREFETCHER_HPP

@@ -1,0 +1,246 @@
+#include "runner/experiment.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "compiler/passes.hpp"
+#include "mem/guest_memory.hpp"
+#include "sim/event_queue.hpp"
+
+namespace epf
+{
+
+std::string
+techniqueName(Technique t)
+{
+    switch (t) {
+      case Technique::kNone: return "None";
+      case Technique::kStride: return "Stride";
+      case Technique::kGhbRegular: return "GHB(regular)";
+      case Technique::kGhbLarge: return "GHB(large)";
+      case Technique::kSoftware: return "Software";
+      case Technique::kPragma: return "Pragma";
+      case Technique::kConverted: return "Converted";
+      case Technique::kManual: return "Manual";
+      case Technique::kManualBlocked: return "Blocked";
+    }
+    return "?";
+}
+
+bool
+usesPpf(Technique t)
+{
+    return t == Technique::kPragma || t == Technique::kConverted ||
+           t == Technique::kManual || t == Technique::kManualBlocked;
+}
+
+RunResult
+runExperiment(const std::string &workload_name, const RunConfig &cfg)
+{
+    RunResult res;
+
+    auto wl = makeWorkload(workload_name, cfg.scale);
+    if (!wl)
+        throw std::invalid_argument("unknown workload: " + workload_name);
+
+    if (cfg.technique == Technique::kSoftware && !wl->supportsSoftware()) {
+        res.available = false;
+        res.note = "no direct memory address access so software prefetch "
+                   "not possible";
+        return res;
+    }
+
+    EventQueue eq;
+    GuestMemory gmem;
+    wl->setup(gmem, cfg.seed);
+
+    MemoryHierarchy mem(eq, gmem, cfg.mem);
+    Core core(eq, cfg.core, mem);
+
+    // Technique attachment.
+    StridePrefetcher stride(cfg.stride);
+    std::unique_ptr<GhbPrefetcher> ghb;
+    std::unique_ptr<ProgrammablePrefetcher> ppf;
+
+    switch (cfg.technique) {
+      case Technique::kNone:
+      case Technique::kSoftware:
+        break;
+      case Technique::kStride:
+        mem.setListener(&stride);
+        mem.setPrefetchSource(&stride);
+        break;
+      case Technique::kGhbRegular:
+        ghb = std::make_unique<GhbPrefetcher>(cfg.ghbRegular);
+        mem.setListener(ghb.get());
+        mem.setPrefetchSource(ghb.get());
+        break;
+      case Technique::kGhbLarge:
+        ghb = std::make_unique<GhbPrefetcher>(cfg.ghbLarge);
+        mem.setListener(ghb.get());
+        mem.setPrefetchSource(ghb.get());
+        break;
+      case Technique::kPragma:
+      case Technique::kConverted:
+      case Technique::kManual:
+      case Technique::kManualBlocked: {
+        PpfConfig pc = cfg.ppf;
+        if (cfg.technique == Technique::kManualBlocked)
+            pc.blocking = true;
+        ppf = std::make_unique<ProgrammablePrefetcher>(eq, gmem, pc);
+
+        if (cfg.technique == Technique::kManual ||
+            cfg.technique == Technique::kManualBlocked) {
+            wl->programManual(*ppf);
+        } else {
+            auto loops = wl->buildIR();
+            unsigned installed = 0;
+            for (const auto &loop : loops) {
+                PassResult pr = cfg.technique == Technique::kConverted
+                                    ? convertSoftwarePrefetches(*loop)
+                                    : generateFromPragma(*loop);
+                for (const auto &r : pr.program.remarks)
+                    res.remarks.push_back(r);
+                if (!pr.ok) {
+                    res.remarks.push_back("loop not converted: " +
+                                          pr.failureReason);
+                    continue;
+                }
+                pr.program.installInto(*ppf);
+                ++installed;
+            }
+            if (installed == 0) {
+                res.available = false;
+                res.note = "compiler pass produced no events";
+                return res;
+            }
+        }
+
+        // The paper's PPU instruction budget: kernels must fit the 4 KiB
+        // shared instruction cache.
+        assert(ppf->kernels().totalBytes() <= 4096);
+
+        mem.setListener(ppf.get());
+        mem.setPrefetchSource(ppf.get());
+        ppf->setKick([&mem] { mem.kickPrefetcher(); });
+        break;
+      }
+    }
+
+    // Run the trace to completion.
+    bool done = false;
+    core.run(wl->trace(cfg.technique == Technique::kSoftware),
+             [&done] { done = true; });
+    // Drain every event (outstanding prefetches included).
+    while (!eq.empty())
+        eq.run(1'000'000);
+    assert(done && "core did not finish");
+
+    // Collect metrics.
+    const auto &cs = core.stats();
+    res.cycles = cs.cycles;
+    res.instrs = cs.instrs;
+    res.ticks = eq.now();
+
+    const auto &l1 = mem.l1().stats();
+    res.l1ReadHitRate =
+        l1.loads > 0
+            ? static_cast<double>(l1.loadHits) / static_cast<double>(l1.loads)
+            : 0.0;
+    const auto &l2 = mem.l2().stats();
+    std::uint64_t l2_demand =
+        l2.lowerReads; // reads from L1 (demand + prefetch misses)
+    res.l2HitRate = l2_demand > 0 ? static_cast<double>(l2.lowerReadHits) /
+                                        static_cast<double>(l2_demand)
+                                  : 0.0;
+
+    std::uint64_t fills = l1.prefetchFills;
+    res.l1PrefetchFills = fills;
+    res.pfUtilisation =
+        fills > 0 ? static_cast<double>(l1.pfUsed) /
+                        static_cast<double>(fills)
+                  : 0.0;
+
+    res.dramReads = mem.dram().stats().reads;
+    res.dramWrites = mem.dram().stats().writes;
+
+    if (ppf) {
+        const Tick total = res.ticks > 0 ? res.ticks : 1;
+        for (const auto &ps : ppf->ppuStats()) {
+            res.ppuActivity.push_back(static_cast<double>(ps.busyTicks) /
+                                      static_cast<double>(total));
+        }
+        res.ppfEventsRun = ppf->stats().eventsRun;
+        res.ppfObservations = ppf->stats().observations;
+    }
+
+    res.checksum = wl->checksum();
+
+    // Publish every component counter for debugging and EXPERIMENTS.md.
+    auto &d = res.detail;
+    d.set("core.cycles", static_cast<double>(cs.cycles));
+    d.set("core.instrs", static_cast<double>(cs.instrs));
+    d.set("core.loads", static_cast<double>(cs.loads));
+    d.set("core.stores", static_cast<double>(cs.stores));
+    d.set("core.swPrefetches", static_cast<double>(cs.swPrefetches));
+    d.set("core.commitStallCycles",
+          static_cast<double>(cs.commitStallCycles));
+    d.set("core.robFullCycles", static_cast<double>(cs.robFullCycles));
+
+    d.set("l1.loads", static_cast<double>(l1.loads));
+    d.set("l1.loadHits", static_cast<double>(l1.loadHits));
+    d.set("l1.demandMerges", static_cast<double>(l1.demandMerges));
+    d.set("l1.mshrRejects", static_cast<double>(l1.mshrRejects));
+    d.set("l1.prefetchFills", static_cast<double>(l1.prefetchFills));
+    d.set("l1.pfUsed", static_cast<double>(l1.pfUsed));
+    d.set("l1.pfUsedLate", static_cast<double>(l1.pfUsedLate));
+    d.set("l1.pfUnusedEvicted", static_cast<double>(l1.pfUnusedEvicted));
+    d.set("l1.pfDropPresent", static_cast<double>(l1.pfDropPresent));
+    d.set("l1.writebacks", static_cast<double>(l1.writebacks));
+    d.set("l2.reads", static_cast<double>(l2.lowerReads));
+    d.set("l2.readHits", static_cast<double>(l2.lowerReadHits));
+
+    const auto &hs = mem.stats();
+    d.set("mem.loadRetries", static_cast<double>(hs.loadRetries));
+    d.set("mem.swPrefetchDrops", static_cast<double>(hs.swPrefetchDrops));
+    d.set("mem.pfIssued", static_cast<double>(hs.pfIssued));
+    d.set("mem.pfDropPresent", static_cast<double>(hs.pfDropPresent));
+    d.set("mem.pfDropMerged", static_cast<double>(hs.pfDropMerged));
+    d.set("mem.pfDropFault", static_cast<double>(hs.pfDropFault));
+
+    const auto &ts = mem.tlb().stats();
+    d.set("tlb.l1Hits", static_cast<double>(ts.l1Hits));
+    d.set("tlb.l2Hits", static_cast<double>(ts.l2Hits));
+    d.set("tlb.walks", static_cast<double>(ts.walks));
+    d.set("tlb.faults", static_cast<double>(ts.faults));
+
+    const auto &ds = mem.dram().stats();
+    d.set("dram.reads", static_cast<double>(ds.reads));
+    d.set("dram.writes", static_cast<double>(ds.writes));
+    d.set("dram.rowHits", static_cast<double>(ds.rowHits));
+    d.set("dram.rowMisses", static_cast<double>(ds.rowMisses));
+    d.set("dram.prefetchReads", static_cast<double>(ds.prefetchReads));
+    if (ds.reads > 0) {
+        d.set("dram.avgReadLatencyNs",
+              static_cast<double>(ds.totalReadLatency) /
+                  static_cast<double>(ds.reads) / kTicksPerNs);
+    }
+
+    if (ppf) {
+        const auto &ps = ppf->stats();
+        d.set("ppf.observations", static_cast<double>(ps.observations));
+        d.set("ppf.obsDropped", static_cast<double>(ps.obsDropped));
+        d.set("ppf.obsNoData", static_cast<double>(ps.obsNoData));
+        d.set("ppf.eventsRun", static_cast<double>(ps.eventsRun));
+        d.set("ppf.traps", static_cast<double>(ps.traps));
+        d.set("ppf.prefetchesEmitted",
+              static_cast<double>(ps.prefetchesEmitted));
+        d.set("ppf.reqDropped", static_cast<double>(ps.reqDropped));
+        d.set("ppf.chainSamples", static_cast<double>(ps.chainSamples));
+        d.set("ppf.blockedStalls", static_cast<double>(ps.blockedStalls));
+        d.set("ppf.lookahead0", static_cast<double>(ppf->lookaheadOf(0)));
+    }
+    return res;
+}
+
+} // namespace epf

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Experiment harness: assemble the Table 1 machine around a workload,
+ * attach one prefetching technique, run to completion and collect the
+ * metrics every figure of Section 7 needs.
+ */
+
+#ifndef EPF_RUNNER_EXPERIMENT_HPP
+#define EPF_RUNNER_EXPERIMENT_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cpu/core.hpp"
+#include "ppf/ppf.hpp"
+#include "prefetch/ghb.hpp"
+#include "prefetch/stride.hpp"
+#include "sim/stats.hpp"
+#include "workloads/workload.hpp"
+
+namespace epf
+{
+
+/** The prefetching techniques compared in Figure 7 (plus the Fig. 11
+ *  blocked-mode ablation). */
+enum class Technique
+{
+    kNone,
+    kStride,
+    kGhbRegular,
+    kGhbLarge,
+    kSoftware,
+    kPragma,
+    kConverted,
+    kManual,
+    kManualBlocked,
+};
+
+/** Display name as used in the paper's legends. */
+std::string techniqueName(Technique t);
+
+/** Full configuration of one run. */
+struct RunConfig
+{
+    Technique technique = Technique::kNone;
+    CoreParams core;
+    MemParams mem = MemParams::defaults();
+    PpfConfig ppf;
+    StrideParams stride;
+    GhbParams ghbRegular = GhbParams::regular();
+    GhbParams ghbLarge = GhbParams::large();
+    std::uint64_t seed = 0xE7F5EED5;
+    WorkloadScale scale;
+};
+
+/** Everything a bench needs from one run. */
+struct RunResult
+{
+    bool available = true; ///< false when the technique doesn't apply
+    std::string note;
+
+    std::uint64_t cycles = 0;
+    std::uint64_t instrs = 0;
+    Tick ticks = 0;
+
+    double l1ReadHitRate = 0.0;
+    double l2HitRate = 0.0;
+    double pfUtilisation = 0.0; ///< used / L1 prefetch fills
+    std::uint64_t l1PrefetchFills = 0;
+    std::uint64_t dramReads = 0;
+    std::uint64_t dramWrites = 0;
+
+    /** Per-PPU busy fraction (programmable techniques only). */
+    std::vector<double> ppuActivity;
+    std::uint64_t ppfEventsRun = 0;
+    std::uint64_t ppfObservations = 0;
+
+    std::uint64_t checksum = 0;
+
+    /** Pass remarks (converted/pragma techniques). */
+    std::vector<std::string> remarks;
+
+    /** Every counter the components expose (debugging, EXPERIMENTS.md). */
+    StatRegistry detail;
+};
+
+/** True for the techniques that use the programmable prefetcher. */
+bool usesPpf(Technique t);
+
+/**
+ * Run @p workload_name under @p cfg.  A fresh workload instance is
+ * created for every run so functional state and caches start cold.
+ */
+RunResult runExperiment(const std::string &workload_name,
+                        const RunConfig &cfg);
+
+} // namespace epf
+
+#endif // EPF_RUNNER_EXPERIMENT_HPP

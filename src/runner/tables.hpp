@@ -1,0 +1,41 @@
+/**
+ * @file
+ * ASCII table / CSV rendering for the bench harnesses.
+ */
+
+#ifndef EPF_RUNNER_TABLES_HPP
+#define EPF_RUNNER_TABLES_HPP
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace epf
+{
+
+/** A simple column-aligned text table with an optional CSV dump. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Append a row (must match the header width). */
+    void addRow(std::vector<std::string> row);
+
+    /** Helper: format a double with @p precision digits. */
+    static std::string num(double v, int precision = 2);
+
+    /** Render aligned text. */
+    void print(std::ostream &os) const;
+
+    /** Render CSV. */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace epf
+
+#endif // EPF_RUNNER_TABLES_HPP

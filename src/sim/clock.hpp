@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Clock domains.
+ *
+ * Components run in clock domains (main core 3.2 GHz, PPUs 1 GHz by
+ * default, DRAM command clock 800 MHz).  A domain converts between cycles
+ * and global ticks and snaps arbitrary ticks to its clock edges.
+ */
+
+#ifndef EPF_SIM_CLOCK_HPP
+#define EPF_SIM_CLOCK_HPP
+
+#include <cassert>
+#include <cstdint>
+
+#include "sim/types.hpp"
+
+namespace epf
+{
+
+/** A fixed-frequency clock domain. */
+class ClockDomain
+{
+  public:
+    /** Construct a domain with the given period in ticks. */
+    explicit ClockDomain(Tick period_ticks = 5) : period_(period_ticks)
+    {
+        assert(period_ > 0);
+    }
+
+    /** Make a domain from a frequency in MHz (must divide the tick grid). */
+    static ClockDomain
+    fromMHz(std::uint64_t mhz)
+    {
+        assert(mhz > 0);
+        Tick period = kTicksPerSec / (mhz * 1'000'000ULL);
+        assert(period * mhz * 1'000'000ULL == kTicksPerSec &&
+               "frequency does not divide the 16 GHz tick grid");
+        return ClockDomain(period);
+    }
+
+    /** Period of one cycle in ticks. */
+    Tick period() const { return period_; }
+
+    /** Frequency in Hz. */
+    double frequencyHz() const { return static_cast<double>(kTicksPerSec) / period_; }
+
+    /** Convert a cycle count to ticks. */
+    Tick cyclesToTicks(Cycles c) const { return c * period_; }
+
+    /** Convert ticks to whole cycles (floor). */
+    Cycles ticksToCycles(Tick t) const { return t / period_; }
+
+    /** The first clock edge at or after @p now. */
+    Tick
+    edgeAtOrAfter(Tick now) const
+    {
+        Tick rem = now % period_;
+        return rem == 0 ? now : now + (period_ - rem);
+    }
+
+    /** The first clock edge strictly after @p now. */
+    Tick edgeAfter(Tick now) const { return edgeAtOrAfter(now + 1); }
+
+  private:
+    Tick period_;
+};
+
+} // namespace epf
+
+#endif // EPF_SIM_CLOCK_HPP

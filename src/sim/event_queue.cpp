@@ -1,0 +1,50 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace epf
+{
+
+void
+EventQueue::schedule(Tick when, Callback fn)
+{
+    assert(fn);
+    if (when < now_)
+        when = now_; // clamp: events may not run in the past
+    heap_.push(Entry{when, seq_++, std::move(fn)});
+}
+
+bool
+EventQueue::runOne()
+{
+    if (heap_.empty())
+        return false;
+    // priority_queue::top() returns const&; move out via const_cast is the
+    // standard idiom for pop-with-move on a binary heap of move-only work.
+    Entry e = std::move(const_cast<Entry &>(heap_.top()));
+    heap_.pop();
+    assert(e.when >= now_);
+    now_ = e.when;
+    ++executed_;
+    e.fn();
+    return true;
+}
+
+void
+EventQueue::run(std::uint64_t limit)
+{
+    while (limit-- > 0 && runOne()) {
+    }
+}
+
+void
+EventQueue::runUntil(Tick until)
+{
+    while (!heap_.empty() && heap_.top().when <= until)
+        runOne();
+    if (now_ < until)
+        now_ = until;
+}
+
+} // namespace epf

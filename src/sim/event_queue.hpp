@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Deterministic discrete-event queue.
+ *
+ * All timed behaviour in the simulator — cache latencies, DRAM bank
+ * timing, core cycles, PPU execution — is expressed as events on a single
+ * queue.  Events scheduled for the same tick execute in insertion order,
+ * which keeps runs bit-for-bit reproducible.
+ */
+
+#ifndef EPF_SIM_EVENT_QUEUE_HPP
+#define EPF_SIM_EVENT_QUEUE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace epf
+{
+
+/**
+ * A time-ordered queue of callbacks.
+ *
+ * The queue owns simulated time: @ref now() advances only as events are
+ * executed.  Scheduling in the past is a programming error and is clamped
+ * to "now" (with an assert in debug builds).
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Schedule @p fn to run at absolute tick @p when. */
+    void schedule(Tick when, Callback fn);
+
+    /** Schedule @p fn to run @p delay ticks from now. */
+    void scheduleIn(Tick delay, Callback fn) { schedule(now_ + delay, std::move(fn)); }
+
+    /** True if no events remain. */
+    bool empty() const { return heap_.empty(); }
+
+    /** Tick of the next pending event (kTickMax if none). */
+    Tick nextEventTick() const { return heap_.empty() ? kTickMax : heap_.top().when; }
+
+    /**
+     * Execute the single oldest event.
+     * @return false if the queue was empty.
+     */
+    bool runOne();
+
+    /** Run until the queue drains or @p limit events have executed. */
+    void run(std::uint64_t limit = UINT64_MAX);
+
+    /** Run events with time <= @p until (inclusive). */
+    void runUntil(Tick until);
+
+    /** Total events executed so far (for stats and runaway detection). */
+    std::uint64_t executed() const { return executed_; }
+
+    /** Number of events currently pending. */
+    std::size_t pending() const { return heap_.size(); }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    Tick now_ = 0;
+    std::uint64_t seq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace epf
+
+#endif // EPF_SIM_EVENT_QUEUE_HPP

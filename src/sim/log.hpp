@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Minimal logging with severity levels.
+ *
+ * Debug tracing is compiled in but disabled by default; the harness can
+ * raise the level for diagnosing a single run.  Hot paths should guard
+ * trace calls with Log::traceEnabled().
+ */
+
+#ifndef EPF_SIM_LOG_HPP
+#define EPF_SIM_LOG_HPP
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace epf
+{
+
+/** Global log configuration. */
+class Log
+{
+  public:
+    enum Level
+    {
+        kError = 0,
+        kWarn = 1,
+        kInfo = 2,
+        kTrace = 3,
+    };
+
+    /** Current verbosity (messages at or below this level print). */
+    static Level &level()
+    {
+        static Level lvl = kWarn;
+        return lvl;
+    }
+
+    static bool traceEnabled() { return level() >= kTrace; }
+
+    /** Emit a message at @p lvl with a subsystem prefix. */
+    static void
+    write(Level lvl, const std::string &subsystem, const std::string &msg)
+    {
+        if (lvl > level())
+            return;
+        static const char *names[] = {"ERROR", "WARN", "INFO", "TRACE"};
+        std::cerr << "[" << names[lvl] << "][" << subsystem << "] " << msg
+                  << "\n";
+    }
+};
+
+} // namespace epf
+
+#endif // EPF_SIM_LOG_HPP

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Fundamental simulation types shared by every subsystem.
+ *
+ * The global tick is 62.5 ps (16 ticks per nanosecond).  This resolution
+ * was chosen so that every clock the reproduction needs — the 3.2 GHz main
+ * core, PPUs from 125 MHz to 4 GHz, and the 800 MHz DDR3 command clock —
+ * has an exact integer period in ticks.
+ */
+
+#ifndef EPF_SIM_TYPES_HPP
+#define EPF_SIM_TYPES_HPP
+
+#include <cstdint>
+#include <limits>
+
+namespace epf
+{
+
+/** Simulated time, in global ticks of 62.5 ps. */
+using Tick = std::uint64_t;
+
+/** A count of cycles in some clock domain. */
+using Cycles = std::uint64_t;
+
+/** A guest (virtual or physical) memory address. */
+using Addr = std::uint64_t;
+
+/** Ticks per nanosecond of simulated time. */
+constexpr Tick kTicksPerNs = 16;
+
+/** Ticks per second of simulated time. */
+constexpr Tick kTicksPerSec = kTicksPerNs * 1'000'000'000ULL;
+
+/** Sentinel for "never". */
+constexpr Tick kTickMax = std::numeric_limits<Tick>::max();
+
+/** Cache line size in bytes (fixed across the hierarchy). */
+constexpr unsigned kLineBytes = 64;
+
+/** log2(kLineBytes). */
+constexpr unsigned kLineShift = 6;
+
+/** Page size in bytes. */
+constexpr Addr kPageBytes = 4096;
+
+/** log2(kPageBytes). */
+constexpr unsigned kPageShift = 12;
+
+/** Align an address down to its cache-line base. */
+constexpr Addr
+lineAlign(Addr a)
+{
+    return a & ~static_cast<Addr>(kLineBytes - 1);
+}
+
+/** Byte offset of an address within its cache line. */
+constexpr unsigned
+lineOffset(Addr a)
+{
+    return static_cast<unsigned>(a & (kLineBytes - 1));
+}
+
+/** Align an address down to its page base. */
+constexpr Addr
+pageAlign(Addr a)
+{
+    return a & ~static_cast<Addr>(kPageBytes - 1);
+}
+
+/** Virtual page number of an address. */
+constexpr Addr
+pageNumber(Addr a)
+{
+    return a >> kPageShift;
+}
+
+} // namespace epf
+
+#endif // EPF_SIM_TYPES_HPP

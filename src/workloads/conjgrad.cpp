@@ -1,0 +1,204 @@
+#include "workloads/conjgrad.hpp"
+
+#include <cmath>
+
+#include "isa/builder.hpp"
+#include "sim/rng.hpp"
+
+namespace epf
+{
+
+namespace
+{
+
+template <typename T>
+Addr
+ga(const T *p)
+{
+    return reinterpret_cast<Addr>(p);
+}
+
+} // namespace
+
+ConjGradWorkload::ConjGradWorkload(const WorkloadScale &scale)
+{
+    n_ = scale.scaled(96 * 1024);
+}
+
+void
+ConjGradWorkload::setup(GuestMemory &mem, std::uint64_t seed)
+{
+    Rng rng(seed);
+    rowStart_.assign(n_ + 1, 0);
+    colIdx_.clear();
+    aVal_.clear();
+
+    for (std::uint64_t row = 0; row < n_; ++row) {
+        unsigned deg = kNnzPerRow - 2 + static_cast<unsigned>(rng.below(5));
+        for (unsigned d = 0; d < deg; ++d) {
+            colIdx_.push_back(static_cast<std::uint32_t>(rng.below(n_)));
+            aVal_.push_back(1.0 / static_cast<double>(1 + rng.below(1000)));
+        }
+        rowStart_[row + 1] = colIdx_.size();
+    }
+    nnz_ = colIdx_.size();
+
+    x_.assign(n_, 1.0);
+    y_.assign(n_, 0.0);
+
+    mem.addRegion("cg.rowstart", rowStart_.data(),
+                  rowStart_.size() * sizeof(std::uint64_t));
+    mem.addRegion("cg.colidx", colIdx_.data(),
+                  colIdx_.size() * sizeof(std::uint32_t));
+    mem.addRegion("cg.aval", aVal_.data(), aVal_.size() * sizeof(double));
+    mem.addRegion("cg.x", x_.data(), x_.size() * sizeof(double));
+    mem.addRegion("cg.y", y_.data(), y_.size() * sizeof(double));
+}
+
+Generator<MicroOp>
+ConjGradWorkload::trace(bool with_swpf)
+{
+    OpFactory f;
+
+    for (unsigned iter = 0; iter < kIters; ++iter) {
+        // y = A * x  (the dominant irregular kernel).
+        for (std::uint64_t row = 0; row < n_; ++row) {
+            ValueId v_re;
+            co_yield f.load(ga(&rowStart_[row + 1]), 1, v_re);
+            double sum = 0.0;
+            const std::uint64_t kend = rowStart_[row + 1];
+            for (std::uint64_t k = rowStart_[row]; k < kend; ++k) {
+                if (with_swpf && k + kSwpfDist < nnz_) {
+                    // swpf(&x[colidx[k+dist]])
+                    ValueId v_c2;
+                    co_yield f.load(ga(&colIdx_[k + kSwpfDist]), 2, v_c2);
+                    ValueId v_a2;
+                    co_yield f.workVal(1, v_a2, v_c2);
+                    co_yield OpFactory::swpf(
+                        ga(&x_[colIdx_[k + kSwpfDist]]), v_a2);
+                }
+                ValueId v_c;
+                co_yield f.load(ga(&colIdx_[k]), 3, v_c);
+                ValueId v_a;
+                co_yield f.load(ga(&aVal_[k]), 4, v_a);
+                ValueId v_x;
+                co_yield f.load(ga(&x_[colIdx_[k]]), 5, v_x, v_c);
+                sum += aVal_[k] * x_[colIdx_[k]];
+                co_yield OpFactory::workDep(2, v_a, v_x);
+            }
+            // Row-loop exit mispredicts when the row degree changes.
+            const std::uint64_t deg = kend - rowStart_[row];
+            if (deg != prevDegree_) {
+                prevDegree_ = deg;
+                co_yield OpFactory::branchMiss(v_re);
+            }
+            y_[row] = sum;
+            co_yield OpFactory::store(ga(&y_[row]), 6);
+        }
+        // Vector update phase (streaming): x = y / ||y||-ish scaling.
+        double norm = 0.0;
+        for (std::uint64_t i = 0; i < n_; ++i)
+            norm += y_[i] * y_[i];
+        const double inv = norm > 0.0 ? 1.0 / std::sqrt(norm) : 1.0;
+        for (std::uint64_t i = 0; i < n_; ++i) {
+            ValueId v_y;
+            co_yield f.load(ga(&y_[i]), 7, v_y);
+            x_[i] = y_[i] * inv;
+            co_yield OpFactory::workDep(1, v_y);
+            co_yield OpFactory::store(ga(&x_[i]), 8);
+        }
+    }
+}
+
+void
+ConjGradWorkload::programManual(ProgrammablePrefetcher &ppf)
+{
+    const Addr col_base = ga(colIdx_.data());
+    const Addr x_base = ga(x_.data());
+    const Addr a_base = ga(aVal_.data());
+
+    const unsigned g_col = ppf.allocGlobal(col_base);
+    const unsigned g_x = ppf.allocGlobal(x_base);
+    const unsigned g_a = ppf.allocGlobal(a_base);
+
+    // on_col_prefetch: the fetched word is a column index; gather x.
+    KernelBuilder kpf("on_col_prefetch");
+    kpf.vaddr(1)
+        .ldLine32(2, 1, 0)
+        .shli(2, 2, 3)
+        .gread(3, g_x)
+        .add(2, 2, 3)
+        .prefetch(2)
+        .halt();
+    KernelId k_pf = ppf.kernels().add(kpf.build());
+
+    // on_col_load: prefetch colidx and a[] ahead, chain into the gather.
+    KernelBuilder kld("on_col_load");
+    kld.vaddr(1)
+        .gread(2, g_col)
+        .sub(1, 1, 2)
+        .shri(1, 1, 2)   // element index in colidx
+        .lookahead(3, 0)
+        .add(1, 1, 3)    // idx + lookahead
+        .mov(4, 1)
+        .shli(4, 4, 3)
+        .gread(5, g_a)
+        .add(4, 4, 5)
+        .prefetch(4)     // a[idx+K]
+        .shli(1, 1, 2)
+        .add(1, 1, 2)
+        .prefetchCb(1, k_pf) // colidx[idx+K] -> gather chain
+        .halt();
+    KernelId k_ld = ppf.kernels().add(kld.build());
+
+    FilterEntry fe;
+    fe.name = "colidx";
+    fe.base = col_base;
+    fe.limit = col_base + nnz_ * 4;
+    fe.onLoad = k_ld;
+    fe.timeSource = true;
+    fe.timedStart = true;
+    ppf.addFilter(fe);
+
+    FilterEntry xe;
+    xe.name = "x";
+    xe.base = x_base;
+    xe.limit = x_base + n_ * 8;
+    xe.timedEnd = true;
+    ppf.addFilter(xe);
+}
+
+std::vector<std::shared_ptr<LoopIR>>
+ConjGradWorkload::buildIR()
+{
+    auto ir = std::make_shared<LoopIR>();
+    IrNode *col_b = ir->addArray("colidx", ga(colIdx_.data()), 4, nnz_);
+    IrNode *x_b = ir->addArray("x", ga(x_.data()), 8, n_);
+    IrNode *a_b = ir->addArray("aval", ga(aVal_.data()), 8, nnz_);
+    IrNode *k = ir->indVar();
+
+    // Body (flattened over nnz): c = colidx[k]; sum += a[k] * x[c].
+    IrNode *c = ir->load(ir->index(col_b, k, 4), 4, "colidx");
+    (void)ir->load(ir->index(a_b, k, 8), 8, "aval");
+    (void)ir->load(ir->index(x_b, c, 8), 8, "x");
+
+    // swpf(&x[colidx[k + 48]])
+    IrNode *c2 = ir->loadForSwpf(
+        ir->index(col_b, ir->bin(IrBin::kAdd, k, ir->cnst(kSwpfDist)), 4),
+        4, "colidx_pf");
+    ir->swpf(ir->index(x_b, c2, 8));
+
+    return {ir};
+}
+
+std::uint64_t
+ConjGradWorkload::checksum() const
+{
+    // Quantised to be robust to floating-point association order.
+    double s = 0.0;
+    for (double v : x_)
+        s += v;
+    return static_cast<std::uint64_t>(s * 4096.0);
+}
+
+} // namespace epf

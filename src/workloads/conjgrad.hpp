@@ -1,0 +1,53 @@
+/**
+ * @file
+ * ConjGrad: the NAS CG conjugate-gradient kernel.
+ *
+ * Pattern (Table 2): stride-indirect.  The dominant cost of CG is the
+ * sparse matrix-vector product y = A*x over a CSR matrix: streaming loads
+ * of colidx[] and a[] plus the irregular gather x[colidx[k]].  Several CG
+ * iterations repeat the identical access pattern, which is what lets a
+ * sufficiently large history prefetcher (GHB-large) predict it.
+ */
+
+#ifndef EPF_WORKLOADS_CONJGRAD_HPP
+#define EPF_WORKLOADS_CONJGRAD_HPP
+
+#include <vector>
+
+#include "workloads/workload.hpp"
+
+namespace epf
+{
+
+/** The ConjGrad workload. */
+class ConjGradWorkload : public Workload
+{
+  public:
+    explicit ConjGradWorkload(const WorkloadScale &scale = {});
+
+    std::string name() const override { return "ConjGrad"; }
+    void setup(GuestMemory &mem, std::uint64_t seed) override;
+    Generator<MicroOp> trace(bool with_swpf) override;
+    void programManual(ProgrammablePrefetcher &ppf) override;
+    std::vector<std::shared_ptr<LoopIR>> buildIR() override;
+    std::uint64_t checksum() const override;
+
+  private:
+    static constexpr unsigned kSwpfDist = 48; ///< nnz ahead
+    static constexpr unsigned kIters = 3;
+    static constexpr unsigned kNnzPerRow = 11;
+
+    std::uint64_t n_;
+    std::uint64_t nnz_ = 0;
+    std::vector<std::uint64_t> rowStart_; ///< n+1
+    std::vector<std::uint32_t> colIdx_;
+    std::vector<double> aVal_;
+    std::vector<double> x_;
+    std::vector<double> y_;
+    /** Last-outcome loop-exit predictor state (trace generation). */
+    std::uint64_t prevDegree_ = 0;
+};
+
+} // namespace epf
+
+#endif // EPF_WORKLOADS_CONJGRAD_HPP

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * G500-CSR: Graph500 breadth-first search over compressed sparse rows.
+ *
+ * Pattern (Table 2): BFS (arrays).  The queue is streamed; each dequeued
+ * vertex's row bounds are loaded from the vertex array; its edges are
+ * streamed from the edge array; and the visited/parent array is gathered
+ * per edge.  Manual PPU kernels fetch a data-dependent *range* of edges
+ * (a loop the compiler passes cannot express) and chase every edge's
+ * parent entry, with EWMA-driven lookahead in the queue.
+ */
+
+#ifndef EPF_WORKLOADS_G500_CSR_HPP
+#define EPF_WORKLOADS_G500_CSR_HPP
+
+#include <vector>
+
+#include "workloads/graph_gen.hpp"
+#include "workloads/workload.hpp"
+
+namespace epf
+{
+
+/** The G500-CSR workload. */
+class G500CsrWorkload : public Workload
+{
+  public:
+    explicit G500CsrWorkload(const WorkloadScale &scale = {},
+                             unsigned graph_scale = 17,
+                             unsigned edgefactor = 8);
+
+    std::string name() const override { return "G500-CSR"; }
+    void setup(GuestMemory &mem, std::uint64_t seed) override;
+    Generator<MicroOp> trace(bool with_swpf) override;
+    void programManual(ProgrammablePrefetcher &ppf) override;
+    std::vector<std::shared_ptr<LoopIR>> buildIR() override;
+    std::uint64_t checksum() const override;
+
+    std::uint64_t verticesVisited() const { return visited_; }
+
+  private:
+    static constexpr std::uint64_t kUnvisited = ~std::uint64_t{0};
+    static constexpr unsigned kSwpfDistQ = 8;  ///< queue entries ahead
+    static constexpr unsigned kSwpfDistE = 16; ///< edges ahead
+    /** Edge lines the manual vertex kernel prefetches at most. */
+    static constexpr unsigned kMaxEdgeLines = 16;
+
+    unsigned graphScale_;
+    unsigned edgeFactor_;
+    std::uint32_t n_ = 0;
+    std::uint64_t m_ = 0;
+
+    std::vector<std::uint64_t> rowStart_;
+    std::vector<std::uint64_t> dest_;
+    std::vector<std::uint64_t> parent_;
+    std::vector<std::uint64_t> queue_;
+    std::uint32_t root_ = 0;
+    std::uint64_t visited_ = 0;
+    /** Last-outcome branch-predictor state (trace generation). */
+    bool prevUnvisited_ = false;
+    std::uint64_t prevDegree_ = 0;
+};
+
+} // namespace epf
+
+#endif // EPF_WORKLOADS_G500_CSR_HPP

@@ -1,0 +1,294 @@
+#include "workloads/g500_list.hpp"
+
+#include "isa/builder.hpp"
+#include "sim/rng.hpp"
+
+namespace epf
+{
+
+namespace
+{
+
+template <typename T>
+Addr
+ga(const T *p)
+{
+    return reinterpret_cast<Addr>(p);
+}
+
+} // namespace
+
+G500ListWorkload::G500ListWorkload(const WorkloadScale &scale,
+                                   unsigned graph_scale,
+                                   unsigned edgefactor)
+    : graphScale_(graph_scale), edgeFactor_(edgefactor)
+{
+    if (scale.factor < 0.5 && graphScale_ > 11)
+        graphScale_ -= 1;
+    if (scale.factor < 0.15 && graphScale_ > 11)
+        graphScale_ -= 1;
+}
+
+void
+G500ListWorkload::setup(GuestMemory &mem, std::uint64_t seed)
+{
+    Rng rng(seed);
+    n_ = std::uint32_t{1} << graphScale_;
+    EdgeList edges = rmatEdges(graphScale_, edgeFactor_, rng);
+
+    // Count directed (symmetrised) edges to size the node pool.
+    std::uint64_t directed = 0;
+    for (const auto &[u, v] : edges) {
+        if (u != v)
+            directed += 2;
+    }
+    pool_.assign(directed, EdgeNode{});
+    vertices_.assign(n_, Vertex{});
+
+    // Scatter-allocate nodes from a shuffled pool.
+    std::vector<std::uint64_t> perm(directed);
+    for (std::uint64_t i = 0; i < directed; ++i)
+        perm[i] = i;
+    for (std::uint64_t i = directed - 1; i > 0; --i)
+        std::swap(perm[i], perm[rng.below(i + 1)]);
+
+    std::uint64_t slot = 0;
+    auto link = [&](std::uint32_t from, std::uint32_t to) {
+        EdgeNode &node = pool_[perm[slot++]];
+        node.dst = to;
+        node.next = vertices_[from].head;
+        vertices_[from].head = &node;
+        vertices_[from].degree += 1;
+    };
+    for (const auto &[u, v] : edges) {
+        if (u == v)
+            continue;
+        link(u, v);
+        link(v, u);
+    }
+    m_ = directed;
+
+    parent_.assign(n_, kUnvisited);
+    queue_.assign(n_, 0);
+
+    // Distinct BFS roots with usable degree.
+    roots_.clear();
+    for (std::uint32_t v = 0; v < n_ && roots_.size() < kBfsRuns; ++v) {
+        if (vertices_[v].degree >= 2)
+            roots_.push_back(v);
+    }
+
+    mem.addRegion("g500l.vertices", vertices_.data(),
+                  vertices_.size() * sizeof(Vertex));
+    mem.addRegion("g500l.pool", pool_.data(),
+                  pool_.size() * sizeof(EdgeNode));
+    mem.addRegion("g500l.parent", parent_.data(),
+                  parent_.size() * sizeof(std::uint64_t));
+    mem.addRegion("g500l.queue", queue_.data(),
+                  queue_.size() * sizeof(std::uint64_t));
+}
+
+Generator<MicroOp>
+G500ListWorkload::trace(bool with_swpf)
+{
+    OpFactory f;
+    visitedTotal_ = 0;
+
+    for (unsigned run = 0; run < roots_.size(); ++run) {
+        // Reset the parent array (streaming stores, stride friendly).
+        for (std::uint32_t i = 0; i < n_; ++i) {
+            parent_[i] = kUnvisited;
+            if ((i & 7) == 0)
+                co_yield OpFactory::store(ga(&parent_[i]), 9);
+        }
+
+        const std::uint32_t root = roots_[run];
+        std::uint64_t qhead = 0, qtail = 0;
+        queue_[qtail++] = root;
+        parent_[root] = root;
+        ++visitedTotal_;
+
+        while (qhead < qtail) {
+            if (with_swpf && qhead + kSwpfDistQ < qtail) {
+                ValueId v_q2;
+                co_yield f.load(ga(&queue_[qhead + kSwpfDistQ]), 1, v_q2);
+                ValueId v_a2;
+                co_yield f.workVal(1, v_a2, v_q2);
+                co_yield OpFactory::swpf(
+                    ga(&vertices_[queue_[qhead + kSwpfDistQ]]), v_a2);
+            }
+
+            ValueId v_q;
+            co_yield f.load(ga(&queue_[qhead]), 2, v_q);
+            const std::uint64_t v = queue_[qhead++];
+
+            ValueId v_h;
+            co_yield f.load(ga(&vertices_[v]), 3, v_h, v_q);
+
+            ValueId v_prev = v_h;
+            unsigned len = 0;
+            for (EdgeNode *l = vertices_[v].head; l != nullptr;
+                 l = l->next) {
+                ++len;
+                // The node load: dst and next live in one line; its
+                // address came from the previous node (pointer chase).
+                ValueId v_n;
+                co_yield f.load(ga(l), 4, v_n, v_prev);
+                const std::uint64_t w = l->dst;
+                ValueId v_p;
+                co_yield f.load(ga(&parent_[w]), 5, v_p, v_n);
+                co_yield OpFactory::workDep(2, v_p);
+                const bool unvisited = parent_[w] == kUnvisited;
+                if (unvisited != prevUnvisited_) {
+                    prevUnvisited_ = unvisited;
+                    co_yield OpFactory::branchMiss(v_p);
+                }
+                if (unvisited) {
+                    parent_[w] = v;
+                    ++visitedTotal_;
+                    co_yield OpFactory::store(ga(&parent_[w]), 6, v_p);
+                    queue_[qtail] = w;
+                    co_yield OpFactory::store(ga(&queue_[qtail]), 7, v_p);
+                    ++qtail;
+                }
+                v_prev = v_n;
+            }
+            // List-exit branch: resolves on the last node's next field.
+            if (len != prevLen_) {
+                prevLen_ = len;
+                co_yield OpFactory::branchMiss(v_prev);
+            }
+        }
+    }
+}
+
+void
+G500ListWorkload::programManual(ProgrammablePrefetcher &ppf)
+{
+    const Addr q_base = ga(queue_.data());
+    const Addr vtx_base = ga(vertices_.data());
+    const Addr par_base = ga(parent_.data());
+
+    const unsigned g_q = ppf.allocGlobal(q_base);
+    const unsigned g_vtx = ppf.allocGlobal(vtx_base);
+    const unsigned g_par = ppf.allocGlobal(par_base);
+
+    // on_node_prefetch (tag kernel): gather this node's parent entry and
+    // chase the next pointer until null — the sequential chain that caps
+    // this benchmark's speedup.
+    KernelBuilder knode("on_node_prefetch");
+    {
+        KernelBuilder::Label done = knode.newLabel();
+        knode.vaddr(1)
+            .ldLine(2, 1, 0) // dst
+            .shli(2, 2, 3)
+            .gread(3, g_par)
+            .add(2, 2, 3)
+            .prefetch(2)     // parent[dst]
+            .ldLine(4, 1, 8) // next
+            .li(5, 0)
+            .beq(4, 5, done);
+        knode.prefetchTag(4, /*tag placeholder*/ 0);
+        knode.bind(done).halt();
+    }
+    KernelId k_node = ppf.kernels().add(knode.build());
+    std::int32_t tag_node = ppf.registerTag(k_node);
+    for (auto &in : ppf.kernels().mutableKernel(k_node).code) {
+        if (in.op == Opcode::kPrefetchTag)
+            in.imm = tag_node;
+    }
+
+    // on_vertex_prefetch: start the list walk from the head pointer.
+    KernelBuilder kvtx("on_vertex_prefetch");
+    {
+        KernelBuilder::Label done = kvtx.newLabel();
+        kvtx.vaddr(1)
+            .ldLine(2, 1, 0) // head
+            .li(3, 0)
+            .beq(2, 3, done)
+            .prefetchTag(2, tag_node)
+            .bind(done)
+            .halt();
+    }
+    KernelId k_vtx = ppf.kernels().add(kvtx.build());
+
+    // on_queue_prefetch: future queue entry -> vertex header.
+    KernelBuilder kqpf("on_queue_prefetch");
+    kqpf.vaddr(1)
+        .ldLine(2, 1, 0)
+        .shli(2, 2, 4) // 16-byte Vertex
+        .gread(3, g_vtx)
+        .add(2, 2, 3)
+        .prefetchCb(2, k_vtx)
+        .halt();
+    KernelId k_qpf = ppf.kernels().add(kqpf.build());
+
+    KernelBuilder kql("on_queue_load");
+    kql.vaddr(1)
+        .gread(2, g_q)
+        .sub(1, 1, 2)
+        .shri(1, 1, 3)
+        .lookahead(3, 0)
+        .add(1, 1, 3)
+        .shli(1, 1, 3)
+        .add(1, 1, 2)
+        .prefetchCb(1, k_qpf)
+        .halt();
+    KernelId k_ql = ppf.kernels().add(kql.build());
+
+    FilterEntry fq;
+    fq.name = "queue";
+    fq.base = q_base;
+    fq.limit = q_base + static_cast<std::uint64_t>(n_) * 8;
+    fq.onLoad = k_ql;
+    fq.timeSource = true;
+    fq.timedStart = true;
+    ppf.addFilter(fq);
+
+    // First-hop chain timing (queue -> vertex header), as in G500-CSR.
+    FilterEntry fv;
+    fv.name = "vertices";
+    fv.base = vtx_base;
+    fv.limit = vtx_base + static_cast<std::uint64_t>(n_) * sizeof(Vertex);
+    fv.timedEnd = true;
+    ppf.addFilter(fv);
+}
+
+std::vector<std::shared_ptr<LoopIR>>
+G500ListWorkload::buildIR()
+{
+    auto ir = std::make_shared<LoopIR>();
+    IrNode *q_b = ir->addArray("queue", ga(queue_.data()), 8, n_);
+    IrNode *vtx_b = ir->addArray("vertices", ga(vertices_.data()),
+                                 sizeof(Vertex), n_);
+    IrNode *x = ir->indVar();
+
+    IrNode *qv = ir->load(ir->index(q_b, x, 8), 8, "queue");
+    (void)ir->load(ir->index(vtx_b, qv, sizeof(Vertex)), 8, "vertex");
+
+    // The list walk: a loop-carried pointer phi defeats both passes.
+    IrNode *l = ir->phi("l");
+    (void)ir->load(l, 8, "node");
+
+    // swpf(&vertices[queue[x+8]]) and the first node via a dereference.
+    IrNode *q2 = ir->loadForSwpf(
+        ir->index(q_b, ir->bin(IrBin::kAdd, x, ir->cnst(kSwpfDistQ)), 8),
+        8, "queue_pf");
+    IrNode *vtx_addr = ir->index(vtx_b, q2, sizeof(Vertex));
+    ir->swpf(vtx_addr);
+    IrNode *head = ir->loadForSwpf(vtx_addr, 8, "head_ptr");
+    ir->swpf(head);
+
+    return {ir};
+}
+
+std::uint64_t
+G500ListWorkload::checksum() const
+{
+    std::uint64_t x = visitedTotal_;
+    for (std::uint64_t p : parent_)
+        x = x * 31 + (p == kUnvisited ? 7 : p);
+    return x;
+}
+
+} // namespace epf

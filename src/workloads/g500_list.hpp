@@ -1,0 +1,79 @@
+/**
+ * @file
+ * G500-List: Graph500 BFS over linked-list adjacency structures.
+ *
+ * Pattern (Table 2): BFS (lists).  Each vertex holds the head of a
+ * linked list of edge nodes, scatter-allocated through memory.  Walking
+ * a list is inherently sequential — each node's address comes from the
+ * previous node — which caps the memory-level parallelism any prefetcher
+ * can extract (the paper's lowest speedup, with low L1 utilisation but a
+ * large L2 benefit).  Several BFS runs from different roots repeat the
+ * per-vertex miss sequences, which is what lets GHB-large help here.
+ */
+
+#ifndef EPF_WORKLOADS_G500_LIST_HPP
+#define EPF_WORKLOADS_G500_LIST_HPP
+
+#include <vector>
+
+#include "workloads/graph_gen.hpp"
+#include "workloads/workload.hpp"
+
+namespace epf
+{
+
+/** The G500-List workload. */
+class G500ListWorkload : public Workload
+{
+  public:
+    explicit G500ListWorkload(const WorkloadScale &scale = {},
+                              unsigned graph_scale = 14,
+                              unsigned edgefactor = 16);
+
+    std::string name() const override { return "G500-List"; }
+    void setup(GuestMemory &mem, std::uint64_t seed) override;
+    Generator<MicroOp> trace(bool with_swpf) override;
+    void programManual(ProgrammablePrefetcher &ppf) override;
+    std::vector<std::shared_ptr<LoopIR>> buildIR() override;
+    std::uint64_t checksum() const override;
+
+  private:
+    /** An edge-list node (32 B, scatter-allocated). */
+    struct EdgeNode
+    {
+        std::uint64_t dst = 0;
+        EdgeNode *next = nullptr;
+        std::uint64_t pad0 = 0;
+        std::uint64_t pad1 = 0;
+    };
+
+    /** Per-vertex list header (16 B). */
+    struct Vertex
+    {
+        EdgeNode *head = nullptr;
+        std::uint64_t degree = 0;
+    };
+
+    static constexpr std::uint64_t kUnvisited = ~std::uint64_t{0};
+    static constexpr unsigned kSwpfDistQ = 8;
+    static constexpr unsigned kBfsRuns = 2;
+
+    unsigned graphScale_;
+    unsigned edgeFactor_;
+    std::uint32_t n_ = 0;
+    std::uint64_t m_ = 0;
+
+    std::vector<Vertex> vertices_;
+    std::vector<EdgeNode> pool_;
+    std::vector<std::uint64_t> parent_;
+    std::vector<std::uint64_t> queue_;
+    std::vector<std::uint32_t> roots_;
+    std::uint64_t visitedTotal_ = 0;
+    /** Last-outcome branch-predictor state (trace generation). */
+    bool prevUnvisited_ = false;
+    unsigned prevLen_ = 0;
+};
+
+} // namespace epf
+
+#endif // EPF_WORKLOADS_G500_LIST_HPP

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Graph generators: Graph500-style R-MAT (Kronecker) and a power-law
+ * web-graph generator for PageRank, plus a CSR builder.
+ */
+
+#ifndef EPF_WORKLOADS_GRAPH_GEN_HPP
+#define EPF_WORKLOADS_GRAPH_GEN_HPP
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace epf
+{
+
+/** An edge list. */
+using EdgeList = std::vector<std::pair<std::uint32_t, std::uint32_t>>;
+
+/**
+ * Graph500 R-MAT generator: 2^scale vertices, edgefactor * 2^scale
+ * undirected edges with the standard (A,B,C) = (0.57, 0.19, 0.19)
+ * partition probabilities.
+ */
+EdgeList rmatEdges(unsigned scale, unsigned edgefactor, Rng &rng);
+
+/** Power-law out-degree web graph (for PageRank's web-Google stand-in). */
+EdgeList powerLawEdges(std::uint32_t nodes, std::uint64_t edges, Rng &rng);
+
+/** Compressed sparse row form of a directed graph. */
+struct Csr
+{
+    std::uint32_t n = 0;
+    /** Row starts: n+1 entries (64-bit, as Graph500's xoff). */
+    std::vector<std::uint64_t> rowStart;
+    /** Edge targets (64-bit, as Graph500's xadj). */
+    std::vector<std::uint64_t> dest;
+};
+
+/** Build CSR from an edge list; @p symmetrise adds reverse edges. */
+Csr buildCsr(std::uint32_t n, const EdgeList &edges, bool symmetrise);
+
+} // namespace epf
+
+#endif // EPF_WORKLOADS_GRAPH_GEN_HPP

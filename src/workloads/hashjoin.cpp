@@ -1,0 +1,424 @@
+#include "workloads/hashjoin.hpp"
+
+#include <cassert>
+
+#include "isa/builder.hpp"
+#include "sim/rng.hpp"
+
+namespace epf
+{
+
+namespace
+{
+
+template <typename T>
+Addr
+ga(const T *p)
+{
+    return reinterpret_cast<Addr>(p);
+}
+
+/** A build-side key for index @p i (distinct, scattered). */
+std::uint64_t
+buildKey(std::uint64_t i, std::uint64_t seed)
+{
+    return splitmix64(i ^ (seed * 0x5851F42D4C957F2DULL)) | 1;
+}
+
+} // namespace
+
+HashJoinWorkload::HashJoinWorkload(Variant v, const WorkloadScale &scale)
+    : variant_(v)
+{
+    if (variant_ == Variant::kOpen) {
+        buildTuples_ = scale.scaled(256 * 1024);
+        probes_ = scale.scaled(512 * 1024);
+        numBuckets_ = std::uint64_t{1} << 19; // 50% occupancy, 8 MB
+    } else {
+        buildTuples_ = scale.scaled(256 * 1024);
+        probes_ = scale.scaled(224 * 1024);
+        numBuckets_ = std::uint64_t{1} << 16; // avg chain length 4
+    }
+    unsigned bits = 0;
+    while ((std::uint64_t{1} << bits) < numBuckets_)
+        ++bits;
+    hashShift_ = 64 - bits;
+}
+
+std::uint64_t
+HashJoinWorkload::hashOpen(std::uint64_t k) const
+{
+    return (k * kHashMult) >> hashShift_;
+}
+
+std::uint64_t
+HashJoinWorkload::hashChained(std::uint64_t k) const
+{
+    return (k * kHashMult) >> hashShift_;
+}
+
+void
+HashJoinWorkload::setup(GuestMemory &mem, std::uint64_t seed)
+{
+    Rng rng(seed);
+    outCount_ = 0;
+    matches_ = 0;
+
+    // Probe keys: ~half hit the build side, half miss.
+    probeKeys_.resize(probes_);
+    for (std::uint64_t i = 0; i < probes_; ++i) {
+        if (rng.below(2) == 0)
+            probeKeys_[i] = buildKey(rng.below(buildTuples_), seed);
+        else
+            probeKeys_[i] = splitmix64(rng.next()) | 2;
+    }
+    outKeys_.assign(probes_, 0);
+
+    if (variant_ == Variant::kOpen) {
+        open_.assign(numBuckets_, Bucket{});
+        for (std::uint64_t i = 0; i < buildTuples_; ++i) {
+            std::uint64_t k = buildKey(i, seed);
+            std::uint64_t h = hashOpen(k);
+            while (open_[h].key != 0)
+                h = (h + 1) & (numBuckets_ - 1);
+            open_[h] = Bucket{k, i};
+        }
+        mem.addRegion("hj.htab", open_.data(),
+                      open_.size() * sizeof(Bucket));
+    } else {
+        headers_.assign(numBuckets_, Header{});
+        pool_.assign(buildTuples_, Node{});
+        // Scatter-allocate nodes: a random permutation of the pool, as a
+        // long-running allocator would produce.
+        std::vector<std::uint32_t> perm(buildTuples_);
+        for (std::uint64_t i = 0; i < buildTuples_; ++i)
+            perm[i] = static_cast<std::uint32_t>(i);
+        for (std::uint64_t i = buildTuples_ - 1; i > 0; --i)
+            std::swap(perm[i], perm[rng.below(i + 1)]);
+
+        for (std::uint64_t i = 0; i < buildTuples_; ++i) {
+            std::uint64_t k = buildKey(i, seed);
+            std::uint64_t h = hashChained(k);
+            Node &n = pool_[perm[i]];
+            n.key = k;
+            n.payload = i;
+            n.next = headers_[h].head;
+            headers_[h].head = &n;
+            headers_[h].count += 1;
+        }
+        mem.addRegion("hj.headers", headers_.data(),
+                      headers_.size() * sizeof(Header));
+        mem.addRegion("hj.pool", pool_.data(),
+                      pool_.size() * sizeof(Node));
+    }
+
+    mem.addRegion("hj.probekeys", probeKeys_.data(),
+                  probeKeys_.size() * sizeof(std::uint64_t));
+    mem.addRegion("hj.out", outKeys_.data(),
+                  outKeys_.size() * sizeof(std::uint64_t));
+}
+
+Generator<MicroOp>
+HashJoinWorkload::trace(bool with_swpf)
+{
+    OpFactory f;
+    const std::uint64_t mask = numBuckets_ - 1;
+
+    for (std::uint64_t x = 0; x < probes_; ++x) {
+        if (with_swpf && x + kSwpfDist < probes_) {
+            // swpf(&htab[hash(keys[x+dist])]): reload the key (usually a
+            // cache hit), redo the hash, issue the prefetch.
+            ValueId v_k2;
+            co_yield f.load(ga(&probeKeys_[x + kSwpfDist]), 1, v_k2);
+            ValueId v_h2;
+            co_yield f.workVal(2, v_h2, v_k2);
+            const std::uint64_t k2 = probeKeys_[x + kSwpfDist];
+            if (variant_ == Variant::kOpen) {
+                co_yield OpFactory::swpf(ga(&open_[hashOpen(k2)]), v_h2);
+            } else {
+                co_yield OpFactory::swpf(ga(&headers_[hashChained(k2)]),
+                                         v_h2);
+            }
+        }
+
+        ValueId v_k;
+        co_yield f.load(ga(&probeKeys_[x]), 2, v_k);
+        const std::uint64_t k = probeKeys_[x];
+        ValueId v_h;
+        co_yield f.workVal(4, v_h, v_k); // multiply-shift-mask hash
+
+        if (variant_ == Variant::kOpen) {
+            std::uint64_t h = hashOpen(k);
+            for (;;) {
+                ValueId v_b;
+                co_yield f.load(ga(&open_[h]), 3, v_b, v_h);
+                co_yield OpFactory::workDep(2, v_b); // compare + bookkeeping
+                const bool matched = open_[h].key == k;
+                // The match branch depends on the bucket contents; a
+                // last-outcome predictor misses whenever it flips.
+                if (matched != prevOutcome_) {
+                    prevOutcome_ = matched;
+                    co_yield OpFactory::branchMiss(v_b);
+                }
+                if (matched) {
+                    matches_ += 1;
+                    outKeys_[outCount_] = k;
+                    co_yield OpFactory::store(ga(&outKeys_[outCount_]), 4,
+                                              v_b);
+                    ++outCount_;
+                    break;
+                }
+                if (open_[h].key == 0)
+                    break;
+                h = (h + 1) & mask;
+                v_h = v_b; // next probe depends on this bucket's contents
+            }
+        } else {
+            const std::uint64_t h = hashChained(k);
+            ValueId v_hd;
+            co_yield f.load(ga(&headers_[h]), 3, v_hd, v_h);
+            ValueId v_prev = v_hd;
+            unsigned len = 0;
+            for (Node *l = headers_[h].head; l != nullptr; l = l->next) {
+                ++len;
+                ValueId v_n;
+                co_yield f.load(ga(l), 5, v_n, v_prev);
+                co_yield OpFactory::workDep(2, v_n);
+                const bool matched = l->key == k;
+                if (matched != prevOutcome_) {
+                    prevOutcome_ = matched;
+                    co_yield OpFactory::branchMiss(v_n);
+                }
+                if (matched) {
+                    matches_ += 1;
+                    outKeys_[outCount_] = k;
+                    co_yield OpFactory::store(ga(&outKeys_[outCount_]), 4,
+                                              v_n);
+                    ++outCount_;
+                }
+                v_prev = v_n; // pointer chase serialises the walk
+            }
+            // Loop-exit branch: mispredicts when this bucket's chain
+            // length differs from the previous bucket's.
+            if (len != prevLen_) {
+                prevLen_ = len;
+                co_yield OpFactory::branchMiss(v_prev);
+            }
+        }
+    }
+}
+
+void
+HashJoinWorkload::programManual(ProgrammablePrefetcher &ppf)
+{
+    const Addr keys_base = ga(probeKeys_.data());
+    const std::uint64_t mask = numBuckets_ - 1;
+
+    const unsigned g_keys = ppf.allocGlobal(keys_base);
+
+    if (variant_ == Variant::kOpen) {
+        const Addr htab_base = ga(open_.data());
+        const unsigned g_htab = ppf.allocGlobal(htab_base);
+
+        // on_keys_prefetch: hash the fetched key, prefetch its bucket.
+        KernelBuilder kpf("on_keys_prefetch");
+        kpf.vaddr(1)
+            .ldLine(2, 1, 0)
+            .muli(2, 2, static_cast<std::int64_t>(kHashMult))
+            .shri(2, 2, hashShift_)
+            .andi(2, 2, static_cast<std::int64_t>(mask))
+            .shli(2, 2, 4) // 16-byte buckets
+            .gread(3, g_htab)
+            .add(2, 2, 3)
+            .prefetch(2)
+            .halt();
+        KernelId k_pf = ppf.kernels().add(kpf.build());
+
+        KernelBuilder kld("on_keys_load");
+        kld.vaddr(1)
+            .gread(2, g_keys)
+            .sub(1, 1, 2)
+            .shri(1, 1, 3)
+            .lookahead(3, 0)
+            .add(1, 1, 3)
+            .shli(1, 1, 3)
+            .add(1, 1, 2)
+            .prefetchCb(1, k_pf)
+            .halt();
+        KernelId k_ld = ppf.kernels().add(kld.build());
+
+        FilterEntry fe;
+        fe.name = "probekeys";
+        fe.base = keys_base;
+        fe.limit = keys_base + probes_ * 8;
+        fe.onLoad = k_ld;
+        fe.timeSource = true;
+        fe.timedStart = true;
+        ppf.addFilter(fe);
+
+        FilterEntry he;
+        he.name = "htab";
+        he.base = htab_base;
+        he.limit = htab_base + numBuckets_ * sizeof(Bucket);
+        he.timedEnd = true;
+        ppf.addFilter(he);
+        return;
+    }
+
+    // HJ-8: keys -> header -> tag-chained list walk (the control-flow
+    // loop only hand-written events can express, Section 7.1).
+    const Addr hdr_base = ga(headers_.data());
+    const unsigned g_hdr = ppf.allocGlobal(hdr_base);
+
+    // on_node_prefetch (tag kernel): walk to the next node until null.
+    KernelBuilder knode("on_node_prefetch");
+    {
+        KernelBuilder::Label done = knode.newLabel();
+        knode.vaddr(1)
+            .ldLine(2, 1, 8) // node->next at offset 8
+            .li(3, 0)
+            .beq(2, 3, done);
+        // prefetch.tag placeholder: tag patched after registration
+        knode.prefetchTag(2, /*tag=*/0);
+        knode.bind(done).halt();
+    }
+    KernelId k_node = ppf.kernels().add(knode.build());
+    std::int32_t tag_node = ppf.registerTag(k_node);
+    // Patch the self-referencing tag now that it is known.
+    for (auto &in : ppf.kernels().mutableKernel(k_node).code) {
+        if (in.op == Opcode::kPrefetchTag)
+            in.imm = tag_node;
+    }
+
+    // on_header_prefetch: start the walk at the head pointer.
+    KernelBuilder khdr("on_header_prefetch");
+    {
+        KernelBuilder::Label done = khdr.newLabel();
+        khdr.vaddr(1)
+            .ldLine(2, 1, 0) // header.head at offset 0
+            .li(3, 0)
+            .beq(2, 3, done)
+            .prefetchTag(2, tag_node)
+            .bind(done)
+            .halt();
+    }
+    KernelId k_hdr = ppf.kernels().add(khdr.build());
+
+    // on_keys_prefetch: hash the fetched key, chain into the header.
+    KernelBuilder kpf("on_keys_prefetch");
+    kpf.vaddr(1)
+        .ldLine(2, 1, 0)
+        .muli(2, 2, static_cast<std::int64_t>(kHashMult))
+        .shri(2, 2, hashShift_)
+        .andi(2, 2, static_cast<std::int64_t>(mask))
+        .shli(2, 2, 4) // 16-byte headers
+        .gread(3, g_hdr)
+        .add(2, 2, 3)
+        .prefetchCb(2, k_hdr)
+        .halt();
+    KernelId k_pf = ppf.kernels().add(kpf.build());
+
+    KernelBuilder kld("on_keys_load");
+    kld.vaddr(1)
+        .gread(2, g_keys)
+        .sub(1, 1, 2)
+        .shri(1, 1, 3)
+        .lookahead(3, 0)
+        .add(1, 1, 3)
+        .shli(1, 1, 3)
+        .add(1, 1, 2)
+        .prefetchCb(1, k_pf)
+        .halt();
+    KernelId k_ld = ppf.kernels().add(kld.build());
+
+    FilterEntry fe;
+    fe.name = "probekeys";
+    fe.base = keys_base;
+    fe.limit = keys_base + probes_ * 8;
+    fe.onLoad = k_ld;
+    fe.timeSource = true;
+    fe.timedStart = true;
+    ppf.addFilter(fe);
+
+    FilterEntry pe;
+    pe.name = "pool";
+    pe.base = ga(pool_.data());
+    pe.limit = ga(pool_.data()) + pool_.size() * sizeof(Node);
+    pe.timedEnd = true;
+    ppf.addFilter(pe);
+}
+
+std::vector<std::shared_ptr<LoopIR>>
+HashJoinWorkload::buildIR()
+{
+    auto ir = std::make_shared<LoopIR>();
+    const std::uint64_t mask = numBuckets_ - 1;
+
+    IrNode *keys_b =
+        ir->addArray("probekeys", ga(probeKeys_.data()), 8, probes_);
+    IrNode *x = ir->indVar();
+
+    IrNode *k = ir->load(ir->index(keys_b, x, 8), 8, "keys");
+    auto hashOf = [&](IrNode *key) {
+        return ir->bin(
+            IrBin::kAnd,
+            ir->bin(IrBin::kShr,
+                    ir->bin(IrBin::kMul, key,
+                            ir->invariant("hashmult",
+                                          kHashMult)),
+                    ir->cnst(hashShift_)),
+            ir->invariant("mask", mask));
+    };
+
+    if (variant_ == Variant::kOpen) {
+        IrNode *htab_b = ir->addArray("htab", ga(open_.data()),
+                                      sizeof(Bucket), numBuckets_);
+        // Body: bucket = htab[hash(k)].
+        (void)ir->load(ir->index(htab_b, hashOf(k), sizeof(Bucket)), 8,
+                       "htab");
+        // swpf(&htab[hash(keys[x+dist])])
+        IrNode *k2 = ir->loadForSwpf(
+            ir->index(keys_b,
+                      ir->bin(IrBin::kAdd, x, ir->cnst(kSwpfDist)), 8),
+            8, "keys_pf");
+        ir->swpf(ir->index(htab_b, hashOf(k2), sizeof(Bucket)));
+        return {ir};
+    }
+
+    IrNode *hdr_b = ir->addArray("headers", ga(headers_.data()),
+                                 sizeof(Header), numBuckets_);
+    // Body: header load, then a pointer-chased list walk whose address
+    // is a loop-carried phi — exactly what defeats the automatic passes.
+    IrNode *hdr =
+        ir->load(ir->index(hdr_b, hashOf(k), sizeof(Header)), 8, "header");
+    (void)hdr;
+    IrNode *l = ir->phi("l"); // current node pointer (control dependent)
+    (void)ir->load(l, 8, "node");
+
+    // Software prefetches: header, then the "first N" chain nodes via
+    // nested dereferences (expressible without loops).
+    IrNode *k2 = ir->loadForSwpf(
+        ir->index(keys_b, ir->bin(IrBin::kAdd, x, ir->cnst(kSwpfDist)), 8),
+        8, "keys_pf");
+    IrNode *hdr_addr = ir->index(hdr_b, hashOf(k2), sizeof(Header));
+    ir->swpf(hdr_addr);
+    IrNode *chase = ir->loadForSwpf(hdr_addr, 8, "head_ptr");
+    ir->swpf(chase); // first node
+    for (unsigned d = 1; d < kConvertedDepth; ++d) {
+        chase = ir->loadForSwpf(ir->bin(IrBin::kAdd, chase, ir->cnst(8)),
+                                8, "next_ptr");
+        ir->swpf(chase); // d+1'th node
+    }
+    return {ir};
+}
+
+std::uint64_t
+HashJoinWorkload::checksum() const
+{
+    std::uint64_t x = matches_;
+    for (std::uint64_t i = 0; i < outCount_; ++i)
+        x = x * 1099511628211ULL + outKeys_[i];
+    return x;
+}
+
+} // namespace epf

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * HJ-2 / HJ-8: main-memory hash-join probe kernels (Blanas et al.).
+ *
+ * Pattern (Table 2): stride-hash-indirect; HJ-8 adds linked-list bucket
+ * walks.  HJ-2 uses an open-addressed bucket array (at most a couple of
+ * probes per lookup); HJ-8 uses chained buckets whose nodes are
+ * scatter-allocated, so each probe walks a short pointer chain — the
+ * paper's Figure 1 kernel.
+ */
+
+#ifndef EPF_WORKLOADS_HASHJOIN_HPP
+#define EPF_WORKLOADS_HASHJOIN_HPP
+
+#include <vector>
+
+#include "workloads/workload.hpp"
+
+namespace epf
+{
+
+/** The hash-join workload (both variants). */
+class HashJoinWorkload : public Workload
+{
+  public:
+    /** Bucket organisation. */
+    enum class Variant
+    {
+        kOpen,    ///< HJ-2: open addressing, bucket array
+        kChained, ///< HJ-8: linked-list buckets
+    };
+
+    HashJoinWorkload(Variant v, const WorkloadScale &scale = {});
+
+    std::string
+    name() const override
+    {
+        return variant_ == Variant::kOpen ? "HJ-2" : "HJ-8";
+    }
+
+    void setup(GuestMemory &mem, std::uint64_t seed) override;
+    Generator<MicroOp> trace(bool with_swpf) override;
+    void programManual(ProgrammablePrefetcher &ppf) override;
+    std::vector<std::shared_ptr<LoopIR>> buildIR() override;
+    std::uint64_t checksum() const override;
+
+    /** Matches found (functional validation). */
+    std::uint64_t matches() const { return matches_; }
+
+  private:
+    /** HJ-2 bucket (16 B). */
+    struct Bucket
+    {
+        std::uint64_t key = 0; ///< 0 = empty
+        std::uint64_t payload = 0;
+    };
+
+    /** HJ-8 chain node (32 B, scatter-allocated). */
+    struct Node
+    {
+        std::uint64_t key = 0;
+        Node *next = nullptr;
+        std::uint64_t payload = 0;
+        std::uint64_t pad = 0;
+    };
+
+    /** HJ-8 bucket header (16 B). */
+    struct Header
+    {
+        Node *head = nullptr;
+        std::uint64_t count = 0;
+    };
+
+    std::uint64_t hashOpen(std::uint64_t k) const;
+    std::uint64_t hashChained(std::uint64_t k) const;
+
+    static constexpr std::uint64_t kHashMult = 0x9E3779B97F4A7C15ULL;
+    static constexpr unsigned kSwpfDist = 24;
+    /** Chain depth the converted pass prefetches ("first N"). */
+    static constexpr unsigned kConvertedDepth = 2;
+
+    Variant variant_;
+    std::uint64_t buildTuples_;
+    std::uint64_t probes_;
+    std::uint64_t numBuckets_; ///< power of two
+    unsigned hashShift_ = 0;
+
+    std::vector<std::uint64_t> probeKeys_;
+    std::vector<Bucket> open_;
+    std::vector<Header> headers_;
+    std::vector<Node> pool_;
+    std::vector<std::uint64_t> outKeys_;
+    std::uint64_t outCount_ = 0;
+    std::uint64_t matches_ = 0;
+    /** Last-outcome branch-predictor state (trace generation). */
+    bool prevOutcome_ = false;
+    unsigned prevLen_ = 0;
+};
+
+} // namespace epf
+
+#endif // EPF_WORKLOADS_HASHJOIN_HPP

@@ -1,0 +1,186 @@
+#include "workloads/intsort.hpp"
+
+#include "isa/builder.hpp"
+#include "sim/rng.hpp"
+
+namespace epf
+{
+
+namespace
+{
+
+template <typename T>
+Addr
+ga(const T *p)
+{
+    return reinterpret_cast<Addr>(p);
+}
+
+} // namespace
+
+IntSortWorkload::IntSortWorkload(const WorkloadScale &scale)
+{
+    numKeys_ = scale.scaled(std::uint64_t{1} << 21); // 8 MB of keys
+    keyRange_ = std::uint64_t{1} << 19;              // 2 MB of counts
+}
+
+void
+IntSortWorkload::setup(GuestMemory &mem, std::uint64_t seed)
+{
+    Rng rng(seed);
+    keys_.resize(numKeys_);
+    for (auto &k : keys_)
+        k = static_cast<std::uint32_t>(rng.below(keyRange_));
+    counts_.assign(keyRange_, 0);
+
+    mem.addRegion("is.keys", keys_.data(),
+                  keys_.size() * sizeof(std::uint32_t));
+    mem.addRegion("is.counts", counts_.data(),
+                  counts_.size() * sizeof(std::uint32_t));
+}
+
+Generator<MicroOp>
+IntSortWorkload::trace(bool with_swpf)
+{
+    OpFactory f;
+
+    for (unsigned iter = 0; iter < kIters; ++iter) {
+        for (std::uint64_t x = 0; x < numKeys_; ++x) {
+            if (with_swpf && x + kSwpfDist < numKeys_) {
+                // swpf(&counts[keys[x+dist]])
+                ValueId v_k2;
+                co_yield f.load(ga(&keys_[x + kSwpfDist]), 1, v_k2);
+                ValueId v_a2;
+                co_yield f.workVal(1, v_a2, v_k2);
+                co_yield OpFactory::swpf(
+                    ga(&counts_[keys_[x + kSwpfDist]]), v_a2);
+            }
+            ValueId v_k;
+            co_yield f.load(ga(&keys_[x]), 2, v_k);
+            const std::uint32_t k = keys_[x];
+            ValueId v_c;
+            co_yield f.load(ga(&counts_[k]), 3, v_c, v_k);
+            counts_[k] += 1;
+            co_yield OpFactory::store(ga(&counts_[k]), 4, v_k, v_c);
+        }
+    }
+
+    // Prefix-sum pass over the counts (streaming; stride friendly).
+    std::uint32_t acc = 0;
+    for (std::uint64_t i = 0; i < keyRange_; ++i) {
+        ValueId v;
+        co_yield f.load(ga(&counts_[i]), 5, v);
+        acc += counts_[i];
+        co_yield OpFactory::work(1);
+        counts_[i] = acc;
+        co_yield OpFactory::store(ga(&counts_[i]), 6, v);
+    }
+}
+
+void
+IntSortWorkload::programManual(ProgrammablePrefetcher &ppf)
+{
+    const Addr keys_base = ga(keys_.data());
+    const Addr counts_base = ga(counts_.data());
+
+    const unsigned g_keys = ppf.allocGlobal(keys_base);
+    const unsigned g_counts = ppf.allocGlobal(counts_base);
+
+    // on_keys_prefetch: bucket index arrives; prefetch its count line.
+    KernelBuilder kpf("on_keys_prefetch");
+    kpf.vaddr(1)
+        .ldLine32(2, 1, 0)
+        .shli(2, 2, 2)
+        .gread(3, g_counts)
+        .add(2, 2, 3)
+        .prefetch(2)
+        .halt();
+    KernelId k_pf = ppf.kernels().add(kpf.build());
+
+    // on_keys_load: chase `lookahead` keys ahead.
+    KernelBuilder kld("on_keys_load");
+    kld.vaddr(1)
+        .gread(2, g_keys)
+        .sub(1, 1, 2)
+        .shri(1, 1, 2)
+        .lookahead(3, 0)
+        .add(1, 1, 3)
+        .shli(1, 1, 2)
+        .add(1, 1, 2)
+        .prefetchCb(1, k_pf)
+        .halt();
+    KernelId k_ld = ppf.kernels().add(kld.build());
+
+    FilterEntry fe;
+    fe.name = "keys";
+    fe.base = keys_base;
+    fe.limit = keys_base + numKeys_ * 4;
+    fe.onLoad = k_ld;
+    fe.timeSource = true;
+    fe.timedStart = true;
+    ppf.addFilter(fe);
+
+    FilterEntry ce;
+    ce.name = "counts";
+    ce.base = counts_base;
+    ce.limit = counts_base + keyRange_ * 4;
+    ce.timedEnd = true;
+    ppf.addFilter(ce);
+}
+
+std::vector<std::shared_ptr<LoopIR>>
+IntSortWorkload::buildIR()
+{
+    auto ir = std::make_shared<LoopIR>();
+    IrNode *keys_b = ir->addArray("keys", ga(keys_.data()), 4, numKeys_);
+    IrNode *counts_b =
+        ir->addArray("counts", ga(counts_.data()), 4, keyRange_);
+    IrNode *x = ir->indVar();
+
+    // Body: k = keys[x]; counts[k]++.
+    IrNode *k = ir->load(ir->index(keys_b, x, 4), 4, "keys");
+    (void)ir->load(ir->index(counts_b, k, 4), 4, "counts");
+
+    // swpf(&counts[keys[x + 64]])
+    IrNode *k2 = ir->loadForSwpf(
+        ir->index(keys_b, ir->bin(IrBin::kAdd, x, ir->cnst(kSwpfDist)), 4),
+        4, "keys_pf");
+    ir->swpf(ir->index(counts_b, k2, 4));
+
+    return {ir};
+}
+
+std::uint64_t
+IntSortWorkload::checksum() const
+{
+    std::uint64_t x = 0;
+    for (std::uint32_t v : counts_)
+        x = x * 1099511628211ULL + v;
+    return x;
+}
+
+std::uint64_t
+IntSortWorkload::reference(std::uint64_t num_keys, std::uint64_t range,
+                           unsigned iters, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::uint32_t> keys(num_keys);
+    for (auto &k : keys)
+        k = static_cast<std::uint32_t>(rng.below(range));
+    std::vector<std::uint32_t> counts(range, 0);
+    for (unsigned it = 0; it < iters; ++it) {
+        for (auto k : keys)
+            counts[k] += 1;
+    }
+    std::uint32_t acc = 0;
+    for (auto &c : counts) {
+        acc += c;
+        c = acc;
+    }
+    std::uint64_t x = 0;
+    for (std::uint32_t v : counts)
+        x = x * 1099511628211ULL + v;
+    return x;
+}
+
+} // namespace epf

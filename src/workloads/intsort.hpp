@@ -1,0 +1,49 @@
+/**
+ * @file
+ * IntSort: the NAS Parallel Benchmarks integer-sort (IS) counting kernel.
+ *
+ * Pattern (Table 2): stride-indirect.  The ranking pass streams a large
+ * key array and increments a bucket-count array indexed by each key; the
+ * count array is much bigger than the LLC so the indirect increments
+ * miss.  Two ranking iterations plus the prefix-sum pass are modelled.
+ */
+
+#ifndef EPF_WORKLOADS_INTSORT_HPP
+#define EPF_WORKLOADS_INTSORT_HPP
+
+#include <vector>
+
+#include "workloads/workload.hpp"
+
+namespace epf
+{
+
+/** The IntSort workload. */
+class IntSortWorkload : public Workload
+{
+  public:
+    explicit IntSortWorkload(const WorkloadScale &scale = {});
+
+    std::string name() const override { return "IntSort"; }
+    void setup(GuestMemory &mem, std::uint64_t seed) override;
+    Generator<MicroOp> trace(bool with_swpf) override;
+    void programManual(ProgrammablePrefetcher &ppf) override;
+    std::vector<std::shared_ptr<LoopIR>> buildIR() override;
+    std::uint64_t checksum() const override;
+
+    static std::uint64_t reference(std::uint64_t keys, std::uint64_t range,
+                                   unsigned iters, std::uint64_t seed);
+
+  private:
+    static constexpr unsigned kSwpfDist = 64; ///< keys ahead
+    static constexpr unsigned kIters = 2;
+
+    std::uint64_t numKeys_;
+    std::uint64_t keyRange_; ///< bucket count (power of two)
+    std::vector<std::uint32_t> keys_;
+    std::vector<std::uint32_t> counts_;
+};
+
+} // namespace epf
+
+#endif // EPF_WORKLOADS_INTSORT_HPP

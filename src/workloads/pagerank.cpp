@@ -1,0 +1,168 @@
+#include "workloads/pagerank.hpp"
+
+#include "isa/builder.hpp"
+#include "sim/rng.hpp"
+
+namespace epf
+{
+
+namespace
+{
+
+template <typename T>
+Addr
+ga(const T *p)
+{
+    return reinterpret_cast<Addr>(p);
+}
+
+} // namespace
+
+PageRankWorkload::PageRankWorkload(const WorkloadScale &scale)
+{
+    nodes_ = static_cast<std::uint32_t>(scale.scaled(128 * 1024));
+    numEdges_ = scale.scaled(768 * 1024);
+}
+
+void
+PageRankWorkload::setup(GuestMemory &mem, std::uint64_t seed)
+{
+    Rng rng(seed);
+    EdgeList edges = powerLawEdges(nodes_, numEdges_, rng);
+    Csr g = buildCsr(nodes_, edges, /*symmetrise=*/false);
+    rowStart_ = std::move(g.rowStart);
+    edgeDst_ = std::move(g.dest);
+    numEdges_ = edgeDst_.size();
+
+    nodeData_.assign(nodes_, NodeData{});
+    for (std::uint32_t u = 0; u < nodes_; ++u) {
+        std::uint64_t deg = rowStart_[u + 1] - rowStart_[u];
+        nodeData_[u].rank = 1.0 / nodes_;
+        nodeData_[u].invOutDeg = deg > 0 ? 1.0 / static_cast<double>(deg)
+                                         : 0.0;
+    }
+    newRank_.assign(nodes_, 0.0);
+
+    mem.addRegion("pr.rowstart", rowStart_.data(),
+                  rowStart_.size() * sizeof(std::uint64_t));
+    mem.addRegion("pr.edgedst", edgeDst_.data(),
+                  edgeDst_.size() * sizeof(std::uint64_t));
+    mem.addRegion("pr.nodedata", nodeData_.data(),
+                  nodeData_.size() * sizeof(NodeData));
+    mem.addRegion("pr.newrank", newRank_.data(),
+                  newRank_.size() * sizeof(double));
+}
+
+Generator<MicroOp>
+PageRankWorkload::trace(bool with_swpf)
+{
+    (void)with_swpf; // software prefetch not possible (opaque iterators)
+    OpFactory f;
+
+    // One PageRank power iteration: in-rank gathered over all edges.
+    for (std::uint32_t u = 0; u < nodes_; ++u) {
+        ValueId v_re;
+        co_yield f.load(ga(&rowStart_[u + 1]), 1, v_re);
+        double sum = 0.0;
+        const std::uint64_t end = rowStart_[u + 1];
+        for (std::uint64_t e = rowStart_[u]; e < end; ++e) {
+            ValueId v_d;
+            co_yield f.load(ga(&edgeDst_[e]), 2, v_d);
+            const std::uint64_t v = edgeDst_[e];
+            ValueId v_nd;
+            co_yield f.load(ga(&nodeData_[v]), 3, v_nd, v_d);
+            sum += nodeData_[v].rank * nodeData_[v].invOutDeg;
+            co_yield OpFactory::workDep(3, v_nd);
+        }
+        // Edge-loop exit mispredicts when the out-degree changes.
+        const std::uint64_t deg = end - rowStart_[u];
+        if (deg != prevDegree_) {
+            prevDegree_ = deg;
+            co_yield OpFactory::branchMiss(v_re);
+        }
+        newRank_[u] = 0.15 / nodes_ + 0.85 * sum;
+        co_yield OpFactory::store(ga(&newRank_[u]), 4);
+    }
+}
+
+void
+PageRankWorkload::programManual(ProgrammablePrefetcher &ppf)
+{
+    const Addr dst_base = ga(edgeDst_.data());
+    const Addr nd_base = ga(nodeData_.data());
+
+    const unsigned g_dst = ppf.allocGlobal(dst_base);
+    const unsigned g_nd = ppf.allocGlobal(nd_base);
+
+    // on_edges_prefetch: the fetched word is a target vertex id.
+    KernelBuilder kpf("on_edges_prefetch");
+    kpf.vaddr(1)
+        .ldLine(2, 1, 0)
+        .shli(2, 2, 4) // 16-byte NodeData
+        .gread(3, g_nd)
+        .add(2, 2, 3)
+        .prefetch(2)
+        .halt();
+    KernelId k_pf = ppf.kernels().add(kpf.build());
+
+    KernelBuilder kld("on_edges_load");
+    kld.vaddr(1)
+        .gread(2, g_dst)
+        .sub(1, 1, 2)
+        .shri(1, 1, 3)
+        .lookahead(3, 0)
+        .add(1, 1, 3)
+        .shli(1, 1, 3)
+        .add(1, 1, 2)
+        .prefetchCb(1, k_pf)
+        .halt();
+    KernelId k_ld = ppf.kernels().add(kld.build());
+
+    FilterEntry fe;
+    fe.name = "edgedst";
+    fe.base = dst_base;
+    fe.limit = dst_base + numEdges_ * 8;
+    fe.onLoad = k_ld;
+    fe.timeSource = true;
+    fe.timedStart = true;
+    ppf.addFilter(fe);
+
+    FilterEntry ne;
+    ne.name = "nodedata";
+    ne.base = nd_base;
+    ne.limit = nd_base + static_cast<std::uint64_t>(nodes_) *
+                             sizeof(NodeData);
+    ne.timedEnd = true;
+    ppf.addFilter(ne);
+}
+
+std::vector<std::shared_ptr<LoopIR>>
+PageRankWorkload::buildIR()
+{
+    auto ir = std::make_shared<LoopIR>();
+    // BGL's templated iterators expose no addresses at the source level,
+    // so no software prefetches exist and none can be inserted...
+    ir->opaqueIterators = true;
+
+    // ...but the IR the compiler sees still has the loads, so the pragma
+    // pass can discover the stride-indirect pattern (Section 7.1).
+    IrNode *dst_b =
+        ir->addArray("edgedst", ga(edgeDst_.data()), 8, numEdges_);
+    IrNode *nd_b = ir->addArray("nodedata", ga(nodeData_.data()),
+                                sizeof(NodeData), nodes_);
+    IrNode *e = ir->indVar();
+    IrNode *d = ir->load(ir->index(dst_b, e, 8), 8, "edgedst");
+    (void)ir->load(ir->index(nd_b, d, sizeof(NodeData)), 8, "nodedata");
+    return {ir};
+}
+
+std::uint64_t
+PageRankWorkload::checksum() const
+{
+    double s = 0.0;
+    for (double v : newRank_)
+        s += v;
+    return static_cast<std::uint64_t>(s * 1e6);
+}
+
+} // namespace epf

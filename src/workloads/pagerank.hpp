@@ -1,0 +1,57 @@
+/**
+ * @file
+ * PageRank over a power-law web graph (the paper's BGL/web-Google run).
+ *
+ * Pattern (Table 2): stride-indirect — streaming the edge array and
+ * gathering rank/out-degree data of edge targets.  The Boost Graph
+ * Library source iterates edge *pairs* through templated iterators, so no
+ * address expression is available for manual software prefetches; the
+ * pragma pass, working at the IR level, is unaffected (Section 7.1).
+ */
+
+#ifndef EPF_WORKLOADS_PAGERANK_HPP
+#define EPF_WORKLOADS_PAGERANK_HPP
+
+#include <vector>
+
+#include "workloads/graph_gen.hpp"
+#include "workloads/workload.hpp"
+
+namespace epf
+{
+
+/** The PageRank workload. */
+class PageRankWorkload : public Workload
+{
+  public:
+    explicit PageRankWorkload(const WorkloadScale &scale = {});
+
+    std::string name() const override { return "PageRank"; }
+    void setup(GuestMemory &mem, std::uint64_t seed) override;
+    Generator<MicroOp> trace(bool with_swpf) override;
+    void programManual(ProgrammablePrefetcher &ppf) override;
+    std::vector<std::shared_ptr<LoopIR>> buildIR() override;
+    bool supportsSoftware() const override { return false; }
+    std::uint64_t checksum() const override;
+
+  private:
+    /** Per-node rank state (16 B). */
+    struct NodeData
+    {
+        double rank = 0.0;
+        double invOutDeg = 0.0;
+    };
+
+    std::uint32_t nodes_;
+    std::uint64_t numEdges_;
+    std::vector<std::uint64_t> rowStart_;
+    std::vector<std::uint64_t> edgeDst_;
+    std::vector<NodeData> nodeData_;
+    std::vector<double> newRank_;
+    /** Last-outcome loop-exit predictor state (trace generation). */
+    std::uint64_t prevDegree_ = 0;
+};
+
+} // namespace epf
+
+#endif // EPF_WORKLOADS_PAGERANK_HPP

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * RandAcc: the HPCC RandomAccess (GUPS) kernel.
+ *
+ * Pattern (Table 2): stride-hash-indirect.  Batches of 128 LFSR values
+ * are generated into a small array, then applied as XOR updates to a
+ * large table indexed by the low bits of each value.  The table is far
+ * larger than the LLC, so nearly every update misses.
+ */
+
+#ifndef EPF_WORKLOADS_RANDACC_HPP
+#define EPF_WORKLOADS_RANDACC_HPP
+
+#include <vector>
+
+#include "workloads/workload.hpp"
+
+namespace epf
+{
+
+/** The RandAcc workload. */
+class RandAccWorkload : public Workload
+{
+  public:
+    explicit RandAccWorkload(const WorkloadScale &scale = {});
+
+    std::string name() const override { return "RandAcc"; }
+    void setup(GuestMemory &mem, std::uint64_t seed) override;
+    Generator<MicroOp> trace(bool with_swpf) override;
+    void programManual(ProgrammablePrefetcher &ppf) override;
+    std::vector<std::shared_ptr<LoopIR>> buildIR() override;
+    std::uint64_t checksum() const override;
+
+    /** Reference result for validation (same updates, plain C++). */
+    static std::uint64_t reference(std::uint64_t table_entries,
+                                   std::uint64_t updates,
+                                   std::uint64_t seed);
+
+  private:
+    static constexpr unsigned kBatch = 128;
+    static constexpr unsigned kSwpfDist = 32;
+
+    std::uint64_t lfsrNext(std::uint64_t r) const;
+
+    std::uint64_t tableEntries_;
+    std::uint64_t updates_;
+    std::uint64_t seed_ = 0;
+    std::vector<std::uint64_t> table_;
+    std::vector<std::uint64_t> ran_;
+};
+
+} // namespace epf
+
+#endif // EPF_WORKLOADS_RANDACC_HPP

@@ -1,0 +1,46 @@
+#include "workloads/workload.hpp"
+
+#include "workloads/conjgrad.hpp"
+#include "workloads/g500_csr.hpp"
+#include "workloads/g500_list.hpp"
+#include "workloads/hashjoin.hpp"
+#include "workloads/intsort.hpp"
+#include "workloads/pagerank.hpp"
+#include "workloads/randacc.hpp"
+
+namespace epf
+{
+
+std::vector<std::string>
+workloadNames()
+{
+    // The order used throughout the paper's figures.
+    return {"G500-CSR", "G500-List", "HJ-2",    "HJ-8",
+            "PageRank", "RandAcc",   "IntSort", "ConjGrad"};
+}
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &name, const WorkloadScale &scale)
+{
+    if (name == "G500-CSR")
+        return std::make_unique<G500CsrWorkload>(scale);
+    if (name == "G500-List")
+        return std::make_unique<G500ListWorkload>(scale);
+    if (name == "HJ-2")
+        return std::make_unique<HashJoinWorkload>(
+            HashJoinWorkload::Variant::kOpen, scale);
+    if (name == "HJ-8")
+        return std::make_unique<HashJoinWorkload>(
+            HashJoinWorkload::Variant::kChained, scale);
+    if (name == "PageRank")
+        return std::make_unique<PageRankWorkload>(scale);
+    if (name == "RandAcc")
+        return std::make_unique<RandAccWorkload>(scale);
+    if (name == "IntSort")
+        return std::make_unique<IntSortWorkload>(scale);
+    if (name == "ConjGrad")
+        return std::make_unique<ConjGradWorkload>(scale);
+    return nullptr;
+}
+
+} // namespace epf

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The benchmark interface.
+ *
+ * Each Table 2 workload provides:
+ *  - setup(): allocate and initialise its real data structures, register
+ *    them as guest memory regions;
+ *  - trace(): the main-core micro-op stream (optionally with the
+ *    software-prefetch variant's extra instructions);
+ *  - programManual(): the hand-written PPU kernels of Section 5;
+ *  - buildIR(): the loop IR the compiler passes of Section 6 consume;
+ *  - checksum(): a functional result to validate against a reference.
+ */
+
+#ifndef EPF_WORKLOADS_WORKLOAD_HPP
+#define EPF_WORKLOADS_WORKLOAD_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compiler/ir.hpp"
+#include "cpu/generator.hpp"
+#include "cpu/micro_op.hpp"
+#include "mem/guest_memory.hpp"
+#include "ppf/ppf.hpp"
+
+namespace epf
+{
+
+/** Scale factor for benchmark inputs (1.0 = the defaults in DESIGN.md). */
+struct WorkloadScale
+{
+    double factor = 1.0;
+
+    std::uint64_t
+    scaled(std::uint64_t n) const
+    {
+        auto v = static_cast<std::uint64_t>(static_cast<double>(n) * factor);
+        return v > 1 ? v : 1;
+    }
+};
+
+/** Base class of all benchmarks. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Short name as used in the paper's figures. */
+    virtual std::string name() const = 0;
+
+    /** Allocate data and register guest regions. */
+    virtual void setup(GuestMemory &mem, std::uint64_t seed) = 0;
+
+    /**
+     * The main-core trace.  @p with_swpf adds the software-prefetch
+     * variant's extra address-generation work and prefetch instructions.
+     */
+    virtual Generator<MicroOp> trace(bool with_swpf) = 0;
+
+    /** Install the hand-written event kernels (Section 5). */
+    virtual void programManual(ProgrammablePrefetcher &ppf) = 0;
+
+    /** Loop IR for the compiler passes; one entry per annotated loop. */
+    virtual std::vector<std::shared_ptr<LoopIR>> buildIR() = 0;
+
+    /** False when software prefetches cannot be inserted (PageRank). */
+    virtual bool supportsSoftware() const { return true; }
+
+    /** Functional result for validation. */
+    virtual std::uint64_t checksum() const = 0;
+};
+
+/** Registry entry used by benches and examples. */
+std::vector<std::string> workloadNames();
+
+/** Instantiate a workload by its paper name (nullptr if unknown). */
+std::unique_ptr<Workload> makeWorkload(const std::string &name,
+                                       const WorkloadScale &scale = {});
+
+} // namespace epf
+
+#endif // EPF_WORKLOADS_WORKLOAD_HPP

@@ -1,0 +1,618 @@
+/**
+ * @file
+ * Unit tests for the memory hierarchy: guest memory regions, caches
+ * (hits, LRU, MSHRs, writebacks, prefetch bookkeeping, tag adoption),
+ * DRAM timing and TLB/page-table behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "mem/cache.hpp"
+#include "mem/dram.hpp"
+#include "mem/guest_memory.hpp"
+#include "mem/hierarchy.hpp"
+#include "mem/tlb.hpp"
+#include "sim/event_queue.hpp"
+
+namespace epf
+{
+namespace
+{
+
+// ---------------------------------------------------------------------
+// GuestMemory
+// ---------------------------------------------------------------------
+
+TEST(GuestMemoryTest, RegionLookup)
+{
+    GuestMemory gm;
+    std::vector<std::uint64_t> a(64, 7), b(64, 9);
+    gm.addRegion("a", a.data(), a.size() * 8);
+    gm.addRegion("b", b.data(), b.size() * 8);
+
+    Addr pa = reinterpret_cast<Addr>(a.data());
+    Addr pb = reinterpret_cast<Addr>(b.data());
+    EXPECT_TRUE(gm.contains(pa));
+    EXPECT_TRUE(gm.contains(pa + 511));
+    EXPECT_FALSE(gm.contains(pa + 512));
+    EXPECT_TRUE(gm.contains(pb, 8));
+    EXPECT_EQ(gm.read64(pa), 7u);
+    EXPECT_EQ(gm.read64(pb + 8), 9u);
+}
+
+TEST(GuestMemoryTest, ContainsRejectsStraddle)
+{
+    GuestMemory gm;
+    std::vector<std::uint64_t> a(8, 1);
+    gm.addRegion("a", a.data(), a.size() * 8);
+    Addr pa = reinterpret_cast<Addr>(a.data());
+    EXPECT_TRUE(gm.contains(pa + 56, 8));
+    EXPECT_FALSE(gm.contains(pa + 60, 8));
+}
+
+TEST(GuestMemoryTest, ReadLineCopiesData)
+{
+    GuestMemory gm;
+    alignas(64) std::uint64_t buf[16];
+    for (int i = 0; i < 16; ++i)
+        buf[i] = static_cast<std::uint64_t>(i) * 3;
+    gm.addRegion("buf", buf, sizeof(buf));
+
+    LineData line;
+    ASSERT_TRUE(gm.readLine(lineAlign(reinterpret_cast<Addr>(&buf[8])),
+                            line));
+    std::uint64_t v;
+    std::memcpy(&v, line.data(), 8);
+    EXPECT_EQ(v, buf[8]);
+}
+
+TEST(GuestMemoryTest, UnmappedLineReadsFalse)
+{
+    GuestMemory gm;
+    LineData line;
+    EXPECT_FALSE(gm.readLine(0x100000, line));
+}
+
+// ---------------------------------------------------------------------
+// Cache (with a scripted parent level)
+// ---------------------------------------------------------------------
+
+/** A parent that answers reads after a fixed delay and logs traffic. */
+class FakeParent : public MemLevel
+{
+  public:
+    explicit FakeParent(EventQueue &eq, Tick delay = 100)
+        : eq_(eq), delay_(delay)
+    {
+    }
+
+    void
+    readLine(const LineRequest &req, DoneFn done) override
+    {
+        ++reads;
+        lastRead = req;
+        eq_.scheduleIn(delay_, std::move(done));
+    }
+
+    void
+    writeLine(const LineRequest &req) override
+    {
+        ++writes;
+        lastWrite = req;
+    }
+
+    unsigned reads = 0;
+    unsigned writes = 0;
+    LineRequest lastRead;
+    LineRequest lastWrite;
+
+  private:
+    EventQueue &eq_;
+    Tick delay_;
+};
+
+CacheParams
+smallCache()
+{
+    CacheParams p;
+    p.name = "t";
+    p.sizeBytes = 1024; // 8 sets x 2 ways x 64 B
+    p.ways = 2;
+    p.accessLatency = 10;
+    p.mshrs = 2;
+    return p;
+}
+
+TEST(CacheTest, MissThenHit)
+{
+    EventQueue eq;
+    FakeParent parent(eq);
+    Cache c(eq, smallCache(), parent);
+
+    bool done1 = false;
+    EXPECT_EQ(c.demandAccess(true, 0x1000, 0x1000, [&] { done1 = true; }),
+              Cache::DemandResult::Miss);
+    eq.run();
+    EXPECT_TRUE(done1);
+    EXPECT_EQ(parent.reads, 1u);
+
+    bool done2 = false;
+    EXPECT_EQ(c.demandAccess(true, 0x1008, 0x1008, [&] { done2 = true; }),
+              Cache::DemandResult::Hit);
+    eq.run();
+    EXPECT_TRUE(done2);
+    EXPECT_EQ(parent.reads, 1u); // no second fetch
+    EXPECT_EQ(c.stats().loads, 2u);
+    EXPECT_EQ(c.stats().loadHits, 1u);
+}
+
+TEST(CacheTest, HitLatencyIsAccessLatency)
+{
+    EventQueue eq;
+    FakeParent parent(eq);
+    Cache c(eq, smallCache(), parent);
+    c.demandAccess(true, 0x1000, 0x1000, [] {});
+    eq.run();
+    Tick t0 = eq.now();
+    Tick t_done = 0;
+    c.demandAccess(true, 0x1000, 0x1000, [&] { t_done = eq.now(); });
+    eq.run();
+    EXPECT_EQ(t_done - t0, 10u);
+}
+
+TEST(CacheTest, MergesConcurrentMisses)
+{
+    EventQueue eq;
+    FakeParent parent(eq);
+    Cache c(eq, smallCache(), parent);
+
+    int done = 0;
+    EXPECT_EQ(c.demandAccess(true, 0x2000, 0x2000, [&] { ++done; }),
+              Cache::DemandResult::Miss);
+    EXPECT_EQ(c.demandAccess(true, 0x2010, 0x2010, [&] { ++done; }),
+              Cache::DemandResult::Merged);
+    eq.run();
+    EXPECT_EQ(done, 2);
+    EXPECT_EQ(parent.reads, 1u);
+    EXPECT_EQ(c.stats().demandMerges, 1u);
+}
+
+TEST(CacheTest, RejectsWhenMshrsExhausted)
+{
+    EventQueue eq;
+    FakeParent parent(eq);
+    Cache c(eq, smallCache(), parent); // 2 MSHRs
+
+    EXPECT_EQ(c.demandAccess(true, 0x0000, 0x0000, [] {}),
+              Cache::DemandResult::Miss);
+    EXPECT_EQ(c.demandAccess(true, 0x4000, 0x4000, [] {}),
+              Cache::DemandResult::Miss);
+    EXPECT_FALSE(c.hasFreeMshr());
+    EXPECT_EQ(c.demandAccess(true, 0x8000, 0x8000, [] {}),
+              Cache::DemandResult::NoMshr);
+    eq.run();
+    EXPECT_TRUE(c.hasFreeMshr());
+    EXPECT_EQ(c.stats().mshrRejects, 1u);
+}
+
+TEST(CacheTest, LruEviction)
+{
+    EventQueue eq;
+    FakeParent parent(eq);
+    Cache c(eq, smallCache(), parent); // 8 sets, 2 ways
+
+    // Three lines mapping to set 0 (stride = sets * 64 = 512).
+    c.demandAccess(true, 0x0000, 0x0000, [] {});
+    eq.run();
+    c.demandAccess(true, 0x0200, 0x0200, [] {});
+    eq.run();
+    // Touch 0x0000 so 0x0200 is LRU.
+    c.demandAccess(true, 0x0000, 0x0000, [] {});
+    eq.run();
+    c.demandAccess(true, 0x0400, 0x0400, [] {});
+    eq.run();
+
+    EXPECT_TRUE(c.hasLine(0x0000));
+    EXPECT_FALSE(c.hasLine(0x0200)); // evicted
+    EXPECT_TRUE(c.hasLine(0x0400));
+}
+
+TEST(CacheTest, DirtyEvictionWritesBack)
+{
+    EventQueue eq;
+    FakeParent parent(eq);
+    Cache c(eq, smallCache(), parent);
+
+    c.demandAccess(false, 0x0000, 0x0000, [] {}); // store -> dirty
+    eq.run();
+    c.demandAccess(true, 0x0200, 0x0200, [] {});
+    eq.run();
+    c.demandAccess(true, 0x0400, 0x0400, [] {}); // evicts dirty 0x0000
+    eq.run();
+    EXPECT_EQ(parent.writes, 1u);
+    EXPECT_EQ(parent.lastWrite.paddr, 0x0000u);
+    EXPECT_EQ(c.stats().writebacks, 1u);
+}
+
+TEST(CacheTest, PrefetchFillAndUseTracking)
+{
+    EventQueue eq;
+    FakeParent parent(eq);
+    Cache c(eq, smallCache(), parent);
+
+    LineRequest req;
+    req.paddr = 0x3000;
+    req.vaddr = 0x3000;
+    req.isPrefetch = true;
+    EXPECT_EQ(c.prefetchAccess(req), Cache::PrefetchResult::Issued);
+    eq.run();
+    EXPECT_EQ(c.stats().prefetchFills, 1u);
+    EXPECT_EQ(c.stats().pfUsed, 0u);
+
+    // Demand hit marks it used exactly once.
+    c.demandAccess(true, 0x3000, 0x3000, [] {});
+    c.demandAccess(true, 0x3008, 0x3008, [] {});
+    eq.run();
+    EXPECT_EQ(c.stats().pfUsed, 1u);
+}
+
+TEST(CacheTest, UnusedPrefetchCountedOnEviction)
+{
+    EventQueue eq;
+    FakeParent parent(eq);
+    Cache c(eq, smallCache(), parent);
+
+    LineRequest req;
+    req.paddr = 0x0000;
+    req.isPrefetch = true;
+    c.prefetchAccess(req);
+    eq.run();
+    // Evict it with two demand lines in the same set.
+    c.demandAccess(true, 0x0200, 0x0200, [] {});
+    eq.run();
+    c.demandAccess(true, 0x0400, 0x0400, [] {});
+    eq.run();
+    EXPECT_EQ(c.stats().pfUnusedEvicted, 1u);
+}
+
+TEST(CacheTest, PrefetchToPresentLineDropped)
+{
+    EventQueue eq;
+    FakeParent parent(eq);
+    Cache c(eq, smallCache(), parent);
+    c.demandAccess(true, 0x5000, 0x5000, [] {});
+    eq.run();
+    LineRequest req;
+    req.paddr = 0x5000;
+    req.isPrefetch = true;
+    EXPECT_EQ(c.prefetchAccess(req), Cache::PrefetchResult::Present);
+    EXPECT_EQ(parent.reads, 1u);
+}
+
+TEST(CacheTest, DemandMergingIntoPrefetchCountsLate)
+{
+    EventQueue eq;
+    FakeParent parent(eq);
+    Cache c(eq, smallCache(), parent);
+
+    LineRequest req;
+    req.paddr = 0x6000;
+    req.isPrefetch = true;
+    c.prefetchAccess(req);
+    bool done = false;
+    EXPECT_EQ(c.demandAccess(true, 0x6000, 0x6000, [&] { done = true; }),
+              Cache::DemandResult::Merged);
+    eq.run();
+    EXPECT_TRUE(done);
+    EXPECT_EQ(c.stats().pfUsedLate, 1u);
+    EXPECT_EQ(c.stats().pfUsed, 1u);
+}
+
+TEST(CacheTest, MergedPrefetchAdoptsTagOntoMshr)
+{
+    EventQueue eq;
+    FakeParent parent(eq);
+    Cache c(eq, smallCache(), parent);
+
+    class Listener : public MemoryListener
+    {
+      public:
+        void
+        notifyPrefetchFill(const LineRequest &req) override
+        {
+            fills.push_back(req);
+        }
+        std::vector<LineRequest> fills;
+    } listener;
+    c.setListener(&listener);
+
+    // Demand miss in flight...
+    c.demandAccess(true, 0x7000, 0x7000, [] {});
+    // ...then a tagged prefetch to the same line merges and the MSHR
+    // adopts the tag, so the fill still triggers the event.
+    LineRequest req;
+    req.paddr = 0x7000;
+    req.vaddr = 0x7000;
+    req.isPrefetch = true;
+    req.tag = 5;
+    EXPECT_EQ(c.prefetchAccess(req), Cache::PrefetchResult::Issued);
+    eq.run();
+    ASSERT_EQ(listener.fills.size(), 1u);
+    EXPECT_EQ(listener.fills[0].tag, 5);
+}
+
+TEST(CacheTest, LowerLevelInterfaceQueuesOnMshrPressure)
+{
+    EventQueue eq;
+    FakeParent parent(eq);
+    Cache c(eq, smallCache(), parent); // 2 MSHRs
+
+    int done = 0;
+    LineRequest r1{0x0000, 0x0000};
+    LineRequest r2{0x4000, 0x4000};
+    LineRequest r3{0x8000, 0x8000};
+    c.readLine(r1, [&] { ++done; });
+    c.readLine(r2, [&] { ++done; });
+    c.readLine(r3, [&] { ++done; }); // overflows, must not be lost
+    eq.run();
+    EXPECT_EQ(done, 3);
+    EXPECT_EQ(parent.reads, 3u);
+}
+
+TEST(CacheTest, FullLineWritebackAllocatesWithoutFetch)
+{
+    EventQueue eq;
+    FakeParent parent(eq);
+    Cache c(eq, smallCache(), parent);
+    LineRequest wb{0x9000, 0x9000};
+    c.writeLine(wb);
+    EXPECT_TRUE(c.hasLine(0x9000));
+    EXPECT_EQ(parent.reads, 0u);
+}
+
+// ---------------------------------------------------------------------
+// DRAM
+// ---------------------------------------------------------------------
+
+TEST(DramTest, ColdReadLatency)
+{
+    EventQueue eq;
+    DramParams p;
+    Dram d(eq, p);
+    Tick done_at = 0;
+    LineRequest r{0x0, 0x0};
+    d.readLine(r, [&] { done_at = eq.now(); });
+    eq.run();
+    // frontend + tRCD + tCL + burst on an idle closed bank.
+    EXPECT_EQ(done_at, p.frontendDelay + p.trcd + p.tcl + p.tburst);
+    EXPECT_EQ(d.stats().rowMisses, 1u);
+}
+
+TEST(DramTest, RowHitIsFaster)
+{
+    EventQueue eq;
+    DramParams p;
+    Dram d(eq, p);
+    Tick first = 0, second = 0;
+    LineRequest a{0x0, 0x0};
+    LineRequest b{0x40 * 8, 0x40 * 8}; // same bank (stride 8 lines), same row
+    d.readLine(a, [&] { first = eq.now(); });
+    eq.run();
+    Tick t0 = eq.now();
+    d.readLine(b, [&] { second = eq.now(); });
+    eq.run();
+    EXPECT_EQ(d.stats().rowHits, 1u);
+    EXPECT_LT(second - t0, first);
+}
+
+TEST(DramTest, BanksOverlap)
+{
+    EventQueue eq;
+    DramParams p;
+    Dram d(eq, p);
+    // Two different banks: almost fully overlapped.
+    Tick done_a = 0, done_b = 0;
+    LineRequest a{0x000, 0x000}; // bank 0
+    LineRequest b{0x040, 0x040}; // bank 1
+    d.readLine(a, [&] { done_a = eq.now(); });
+    d.readLine(b, [&] { done_b = eq.now(); });
+    eq.run();
+    Tick serial = 2 * (p.frontendDelay + p.trcd + p.tcl + p.tburst);
+    EXPECT_LT(std::max(done_a, done_b), serial);
+}
+
+TEST(DramTest, SameBankSerialises)
+{
+    EventQueue eq;
+    DramParams p;
+    Dram d(eq, p);
+    // Same bank, different rows: precharge + activate between them.
+    Tick done_b = 0;
+    LineRequest a{0x00000, 0x00000};
+    LineRequest b{0x20000, 0x20000}; // same bank 0, different row
+    d.readLine(a, [] {});
+    d.readLine(b, [&] { done_b = eq.now(); });
+    eq.run();
+    EXPECT_EQ(d.stats().rowMisses, 2u);
+    EXPECT_GT(done_b, p.frontendDelay + p.trcd + p.tcl + p.tburst);
+}
+
+TEST(DramTest, WritesCountButDontCallBack)
+{
+    EventQueue eq;
+    Dram d(eq, DramParams{});
+    LineRequest w{0x100, 0x100};
+    d.writeLine(w);
+    eq.run();
+    EXPECT_EQ(d.stats().writes, 1u);
+    EXPECT_EQ(d.stats().reads, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Page table and TLB
+// ---------------------------------------------------------------------
+
+TEST(PageTableTest, StableAndDistinct)
+{
+    GuestMemory gm;
+    std::vector<std::uint64_t> buf(4096 * 4, 0); // 16 pages worth
+    gm.addRegion("buf", buf.data(), buf.size() * 8);
+    PageTable pt(gm);
+
+    Addr base = reinterpret_cast<Addr>(buf.data());
+    Addr p1 = pt.translate(base);
+    Addr p1_again = pt.translate(base + 8);
+    EXPECT_EQ(p1 >> kPageShift, p1_again >> kPageShift);
+    EXPECT_EQ(p1 & (kPageBytes - 1), base & (kPageBytes - 1));
+
+    Addr p2 = pt.translate(base + kPageBytes);
+    EXPECT_NE(p1 >> kPageShift, p2 >> kPageShift);
+}
+
+TEST(TlbTest, HitAfterWalkAndFlush)
+{
+    EventQueue eq;
+    GuestMemory gm;
+    std::vector<std::uint64_t> buf(1024, 0);
+    gm.addRegion("buf", buf.data(), buf.size() * 8);
+    PageTable pt(gm);
+    FakeParent walk_mem(eq, 50);
+    Tlb tlb(eq, TlbParams{}, pt, walk_mem);
+
+    Addr va = reinterpret_cast<Addr>(buf.data());
+    Addr got = 0;
+    tlb.translate(va, [&](Addr pa, bool fault) {
+        EXPECT_FALSE(fault);
+        got = pa;
+    });
+    eq.run();
+    EXPECT_NE(got, 0u);
+    EXPECT_EQ(tlb.stats().walks, 1u);
+    EXPECT_GT(walk_mem.reads, 0u);
+
+    // Second translation hits the L1 TLB synchronously.
+    Addr got2 = 0;
+    tlb.translate(va + 8, [&](Addr pa, bool) { got2 = pa; });
+    EXPECT_EQ(got2, got + 8);
+    EXPECT_EQ(tlb.stats().l1Hits, 1u);
+
+    tlb.flush();
+    tlb.translate(va, [](Addr, bool) {});
+    eq.run();
+    EXPECT_EQ(tlb.stats().walks, 2u);
+}
+
+TEST(TlbTest, FaultReportedForUnmapped)
+{
+    EventQueue eq;
+    GuestMemory gm; // nothing mapped
+    PageTable pt(gm);
+    FakeParent walk_mem(eq, 50);
+    Tlb tlb(eq, TlbParams{}, pt, walk_mem);
+
+    bool faulted = false;
+    tlb.translate(0xdead000, [&](Addr, bool fault) { faulted = fault; });
+    eq.run();
+    EXPECT_TRUE(faulted);
+    EXPECT_EQ(tlb.stats().faults, 1u);
+}
+
+TEST(TlbTest, ConcurrentWalksAreBounded)
+{
+    EventQueue eq;
+    GuestMemory gm;
+    std::vector<std::uint64_t> buf(4096 * 8, 0);
+    gm.addRegion("buf", buf.data(), buf.size() * 8);
+    PageTable pt(gm);
+    FakeParent walk_mem(eq, 500);
+    TlbParams tp;
+    tp.maxWalks = 2;
+    Tlb tlb(eq, tp, pt, walk_mem);
+
+    Addr base = reinterpret_cast<Addr>(buf.data());
+    int done = 0;
+    for (unsigned i = 0; i < 6; ++i) {
+        tlb.translate(base + i * kPageBytes,
+                      [&](Addr, bool fault) {
+                          EXPECT_FALSE(fault);
+                          ++done;
+                      });
+    }
+    eq.run();
+    EXPECT_EQ(done, 6);
+    EXPECT_EQ(tlb.stats().walks, 6u);
+}
+
+// ---------------------------------------------------------------------
+// Hierarchy
+// ---------------------------------------------------------------------
+
+TEST(HierarchyTest, LoadRoundTripAndStats)
+{
+    EventQueue eq;
+    GuestMemory gm;
+    std::vector<std::uint64_t> buf(1024, 5);
+    gm.addRegion("buf", buf.data(), buf.size() * 8);
+    MemoryHierarchy mem(eq, gm, MemParams::defaults());
+
+    Addr va = reinterpret_cast<Addr>(buf.data());
+    int done = 0;
+    mem.load(va, 0, [&] { ++done; });
+    eq.run();
+    EXPECT_EQ(done, 1);
+    EXPECT_EQ(mem.stats().coreLoads, 1u);
+    EXPECT_EQ(mem.l1().stats().loads, 1u);
+    EXPECT_GE(mem.dram().stats().reads, 1u);
+
+    // Second load to the same line: L1 hit, no extra DRAM reads.
+    auto dram_before = mem.dram().stats().reads;
+    mem.load(va + 8, 0, [&] { ++done; });
+    eq.run();
+    EXPECT_EQ(done, 2);
+    EXPECT_EQ(mem.dram().stats().reads, dram_before);
+}
+
+TEST(HierarchyTest, PrefetchSourceDrainedAndFaultsDropped)
+{
+    EventQueue eq;
+    GuestMemory gm;
+    std::vector<std::uint64_t> buf(1024, 5);
+    gm.addRegion("buf", buf.data(), buf.size() * 8);
+    MemoryHierarchy mem(eq, gm, MemParams::defaults());
+
+    class Src : public PrefetchSource
+    {
+      public:
+        std::vector<LineRequest> reqs;
+        bool hasRequest() const override { return !reqs.empty(); }
+        LineRequest
+        popRequest() override
+        {
+            LineRequest r = reqs.back();
+            reqs.pop_back();
+            return r;
+        }
+    } src;
+
+    Addr va = reinterpret_cast<Addr>(buf.data());
+    LineRequest ok;
+    ok.vaddr = va;
+    ok.isPrefetch = true;
+    LineRequest bad;
+    bad.vaddr = 0xdead0000;
+    bad.isPrefetch = true;
+    src.reqs = {ok, bad};
+
+    mem.setPrefetchSource(&src);
+    mem.kickPrefetcher();
+    eq.run();
+    EXPECT_EQ(mem.stats().pfIssued, 1u);
+    EXPECT_EQ(mem.stats().pfDropFault, 1u);
+    EXPECT_EQ(mem.l1().stats().prefetchFills, 1u);
+}
+
+} // namespace
+} // namespace epf

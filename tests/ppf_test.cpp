@@ -1,0 +1,523 @@
+/**
+ * @file
+ * Unit tests for the programmable prefetcher: address filter, observation
+ * queue, scheduler policies, EWMA lookahead, event chains via callback
+ * kernels and memory-request tags, context switches and blocked mode.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "isa/builder.hpp"
+#include "mem/guest_memory.hpp"
+#include "ppf/ewma.hpp"
+#include "ppf/filter.hpp"
+#include "ppf/ppf.hpp"
+#include "sim/event_queue.hpp"
+
+namespace epf
+{
+namespace
+{
+
+TEST(EwmaTest, FirstSampleSeeds)
+{
+    Ewma e(3);
+    EXPECT_FALSE(e.seeded());
+    e.sample(100);
+    EXPECT_TRUE(e.seeded());
+    EXPECT_EQ(e.value(), 100u);
+}
+
+TEST(EwmaTest, ConvergesToConstantInput)
+{
+    Ewma e(3);
+    e.sample(0);
+    for (int i = 0; i < 100; ++i)
+        e.sample(800);
+    EXPECT_NEAR(static_cast<double>(e.value()), 800.0, 8.0);
+}
+
+TEST(EwmaTest, SmoothsSpikes)
+{
+    Ewma e(3);
+    e.sample(100);
+    e.sample(1000); // single outlier moves it by only 1/8
+    EXPECT_EQ(e.value(), 100u + (1000u - 100u) / 8u);
+}
+
+class LookaheadParam
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t,
+                                                 std::uint64_t>>
+{
+};
+
+TEST_P(LookaheadParam, RatioTimesScale)
+{
+    auto [chain, iter] = GetParam();
+    LookaheadCalculator la(3, 64, 4, 2);
+    // Seed the iteration EWMA via evenly spaced accesses.
+    Tick t = 1000;
+    for (int i = 0; i < 200; ++i) {
+        la.observeAccess(t);
+        t += iter;
+    }
+    for (int i = 0; i < 200; ++i)
+        la.observeChain(chain);
+    std::uint64_t expect = 2 * ((chain + iter - 1) / iter);
+    if (expect > 64)
+        expect = 64;
+    EXPECT_NEAR(static_cast<double>(la.lookahead()),
+                static_cast<double>(expect), 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ratios, LookaheadParam,
+    ::testing::Values(std::make_tuple(1600, 160),   // 10x -> 20
+                      std::make_tuple(800, 400),    // 2x -> 4
+                      std::make_tuple(3200, 100),   // 32x -> clamp 64
+                      std::make_tuple(160, 1600))); // <1 -> 2
+
+TEST(LookaheadTest, InitialBeforeSamples)
+{
+    LookaheadCalculator la(3, 64, 4, 2);
+    EXPECT_EQ(la.lookahead(), 4u);
+}
+
+TEST(FilterTableTest, OverlappingRangesBothMatch)
+{
+    FilterTable ft;
+    FilterEntry a;
+    a.name = "a";
+    a.base = 100;
+    a.limit = 200;
+    FilterEntry b;
+    b.name = "b";
+    b.base = 150;
+    b.limit = 250;
+    ft.add(a);
+    ft.add(b);
+
+    std::vector<int> hits;
+    ft.match(170, [&](int idx, const FilterEntry &) { hits.push_back(idx); });
+    EXPECT_EQ(hits, (std::vector<int>{0, 1}));
+    hits.clear();
+    ft.match(120, [&](int idx, const FilterEntry &) { hits.push_back(idx); });
+    EXPECT_EQ(hits, (std::vector<int>{0}));
+    hits.clear();
+    ft.match(250, [&](int idx, const FilterEntry &) { hits.push_back(idx); });
+    EXPECT_TRUE(hits.empty());
+}
+
+/** Fixture: a PPF over a small guest array, with a captured kick. */
+class PpfTest : public ::testing::Test
+{
+  protected:
+    PpfTest()
+    {
+        data_.resize(4096);
+        for (std::size_t i = 0; i < data_.size(); ++i)
+            data_[i] = i;
+        gmem_.addRegion("data", data_.data(), data_.size() * 8);
+    }
+
+    Addr base() const { return reinterpret_cast<Addr>(data_.data()); }
+
+    std::unique_ptr<ProgrammablePrefetcher>
+    make(PpfConfig cfg = {})
+    {
+        auto p = std::make_unique<ProgrammablePrefetcher>(eq_, gmem_, cfg);
+        p->setKick([this] { ++kicks_; });
+        return p;
+    }
+
+    /** Drain queued requests into a vector. */
+    std::vector<LineRequest>
+    drain(ProgrammablePrefetcher &p)
+    {
+        std::vector<LineRequest> out;
+        while (p.hasRequest())
+            out.push_back(p.popRequest());
+        return out;
+    }
+
+    EventQueue eq_;
+    GuestMemory gmem_;
+    std::vector<std::uint64_t> data_;
+    int kicks_ = 0;
+};
+
+TEST_F(PpfTest, LoadObservationRunsKernelAndEmits)
+{
+    auto ppf = make();
+    unsigned g = ppf->allocGlobal(128);
+    KernelBuilder b("next");
+    b.vaddr(1).gread(2, g).add(1, 1, 2).prefetch(1).halt();
+    KernelId k = ppf->kernels().add(b.build());
+
+    FilterEntry fe;
+    fe.name = "data";
+    fe.base = base();
+    fe.limit = base() + 1024;
+    fe.onLoad = k;
+    ppf->addFilter(fe);
+
+    ppf->notifyDemand(base() + 64, true, false, 0);
+    eq_.run();
+
+    EXPECT_EQ(ppf->stats().eventsRun, 1u);
+    auto reqs = drain(*ppf);
+    ASSERT_EQ(reqs.size(), 1u);
+    EXPECT_EQ(reqs[0].vaddr, base() + 64 + 128);
+    EXPECT_GT(kicks_, 0);
+}
+
+TEST_F(PpfTest, LoadsOutsideRangeIgnored)
+{
+    auto ppf = make();
+    KernelBuilder b("k");
+    b.halt();
+    KernelId k = ppf->kernels().add(b.build());
+    FilterEntry fe;
+    fe.base = base();
+    fe.limit = base() + 64;
+    fe.onLoad = k;
+    ppf->addFilter(fe);
+
+    ppf->notifyDemand(base() + 128, true, false, 0);
+    ppf->notifyDemand(base() - 8, true, false, 0);
+    eq_.run();
+    EXPECT_EQ(ppf->stats().observations, 0u);
+}
+
+TEST_F(PpfTest, StoresDoNotTrigger)
+{
+    auto ppf = make();
+    KernelBuilder b("k");
+    b.halt();
+    KernelId k = ppf->kernels().add(b.build());
+    FilterEntry fe;
+    fe.base = base();
+    fe.limit = base() + 1024;
+    fe.onLoad = k;
+    ppf->addFilter(fe);
+    ppf->notifyDemand(base(), false, false, 0);
+    eq_.run();
+    EXPECT_EQ(ppf->stats().observations, 0u);
+}
+
+TEST_F(PpfTest, CallbackKernelSeesFetchedLine)
+{
+    auto ppf = make();
+    // The kernel doubles the observed word (8 * data value) as address.
+    KernelBuilder b("use_data");
+    b.vaddr(1).ldLine(2, 1, 0).shli(2, 2, 3).prefetch(2).halt();
+    KernelId k = ppf->kernels().add(b.build());
+
+    LineRequest fill;
+    fill.vaddr = base() + 16 * 8; // data_[16] = 16
+    fill.isPrefetch = true;
+    fill.cbKernel = k;
+    ppf->notifyPrefetchFill(fill);
+    eq_.run();
+
+    auto reqs = drain(*ppf);
+    ASSERT_EQ(reqs.size(), 1u);
+    EXPECT_EQ(reqs[0].vaddr, 16u * 8u);
+}
+
+TEST_F(PpfTest, TagRoutesToRegisteredKernel)
+{
+    auto ppf = make();
+    KernelBuilder b("tagk");
+    b.li(1, 0x42).prefetch(1).halt();
+    KernelId k = ppf->kernels().add(b.build());
+    std::int32_t tag = ppf->registerTag(k);
+
+    LineRequest fill;
+    fill.vaddr = base();
+    fill.isPrefetch = true;
+    fill.tag = tag;
+    ppf->notifyPrefetchFill(fill);
+    eq_.run();
+    auto reqs = drain(*ppf);
+    ASSERT_EQ(reqs.size(), 1u);
+    EXPECT_EQ(reqs[0].vaddr, 0x42u);
+}
+
+TEST_F(PpfTest, ObservationQueueDropsOldest)
+{
+    PpfConfig cfg;
+    cfg.numPpus = 1;
+    cfg.obsQueueCapacity = 4;
+    cfg.dispatchOverhead = 1000; // keep the PPU busy long enough
+    auto ppf = make(cfg);
+    KernelBuilder b("k");
+    b.halt();
+    KernelId k = ppf->kernels().add(b.build());
+    FilterEntry fe;
+    fe.base = base();
+    fe.limit = base() + 32768;
+    fe.onLoad = k;
+    ppf->addFilter(fe);
+
+    for (int i = 0; i < 10; ++i)
+        ppf->notifyDemand(base() + static_cast<Addr>(i) * 64, true, false,
+                          0);
+    EXPECT_GT(ppf->stats().obsDropped, 0u);
+    eq_.run();
+}
+
+TEST_F(PpfTest, LowestIdPolicySkewsWork)
+{
+    PpfConfig cfg;
+    cfg.numPpus = 4;
+    cfg.policy = SchedulePolicy::kLowestId;
+    auto ppf = make(cfg);
+    KernelBuilder b("k");
+    b.li(1, 1).prefetch(1).halt();
+    KernelId k = ppf->kernels().add(b.build());
+    FilterEntry fe;
+    fe.base = base();
+    fe.limit = base() + 32768;
+    fe.onLoad = k;
+    ppf->addFilter(fe);
+
+    // Sequential (non-overlapping) events all land on PPU 0.
+    for (int i = 0; i < 6; ++i) {
+        ppf->notifyDemand(base() + static_cast<Addr>(i) * 64, true, false,
+                          0);
+        eq_.run();
+    }
+    EXPECT_EQ(ppf->ppuStats()[0].events, 6u);
+    EXPECT_EQ(ppf->ppuStats()[1].events, 0u);
+}
+
+TEST_F(PpfTest, RoundRobinSpreadsWork)
+{
+    PpfConfig cfg;
+    cfg.numPpus = 4;
+    cfg.policy = SchedulePolicy::kRoundRobin;
+    auto ppf = make(cfg);
+    KernelBuilder b("k");
+    b.li(1, 1).prefetch(1).halt();
+    KernelId k = ppf->kernels().add(b.build());
+    FilterEntry fe;
+    fe.base = base();
+    fe.limit = base() + 32768;
+    fe.onLoad = k;
+    ppf->addFilter(fe);
+
+    for (int i = 0; i < 8; ++i) {
+        ppf->notifyDemand(base() + static_cast<Addr>(i) * 64, true, false,
+                          0);
+        eq_.run();
+    }
+    for (unsigned p = 0; p < 4; ++p)
+        EXPECT_EQ(ppf->ppuStats()[p].events, 2u);
+}
+
+TEST_F(PpfTest, TrappingKernelCounted)
+{
+    auto ppf = make();
+    KernelBuilder b("trap");
+    b.li(1, 1).li(2, 0).div(1, 1, 2).halt();
+    KernelId k = ppf->kernels().add(b.build());
+    FilterEntry fe;
+    fe.base = base();
+    fe.limit = base() + 1024;
+    fe.onLoad = k;
+    ppf->addFilter(fe);
+
+    ppf->notifyDemand(base(), true, false, 0);
+    eq_.run();
+    EXPECT_EQ(ppf->stats().traps, 1u);
+}
+
+TEST_F(PpfTest, RequestQueueCapacityDropsOldest)
+{
+    PpfConfig cfg;
+    cfg.reqQueueCapacity = 4;
+    auto ppf = make(cfg);
+    // Kernel emitting 8 prefetches.
+    KernelBuilder b("k8");
+    b.li(1, 0x1000);
+    for (int i = 0; i < 8; ++i)
+        b.addi(1, 1, 64).prefetch(1);
+    b.halt();
+    KernelId k = ppf->kernels().add(b.build());
+    FilterEntry fe;
+    fe.base = base();
+    fe.limit = base() + 1024;
+    fe.onLoad = k;
+    ppf->addFilter(fe);
+
+    ppf->notifyDemand(base(), true, false, 0);
+    eq_.run();
+    EXPECT_EQ(ppf->stats().reqDropped, 4u);
+    EXPECT_EQ(drain(*ppf).size(), 4u);
+}
+
+TEST_F(PpfTest, EwmaChainSampling)
+{
+    auto ppf = make();
+    KernelBuilder b("k");
+    b.vaddr(1).prefetch(1).halt();
+    KernelId k = ppf->kernels().add(b.build());
+
+    FilterEntry src;
+    src.name = "src";
+    src.base = base();
+    src.limit = base() + 1024;
+    src.onLoad = k;
+    src.timeSource = true;
+    src.timedStart = true;
+    int src_idx = ppf->addFilter(src);
+
+    FilterEntry dst;
+    dst.name = "dst";
+    dst.base = base() + 2048;
+    dst.limit = base() + 4096;
+    dst.timedEnd = true;
+    ppf->addFilter(dst);
+
+    // A timed fill arriving at the dst range samples the chain EWMA.
+    LineRequest fill;
+    fill.vaddr = base() + 2048;
+    fill.isPrefetch = true;
+    fill.hasTimedStart = true;
+    fill.timedStart = 0;
+    fill.timedOrigin = static_cast<std::int16_t>(src_idx);
+    eq_.schedule(1600, [&] { ppf->notifyPrefetchFill(fill); });
+    eq_.run();
+    EXPECT_EQ(ppf->stats().chainSamples, 1u);
+
+    // Synthesised completions must not sample.
+    LineRequest synth = fill;
+    synth.synthesized = true;
+    ppf->notifyPrefetchFill(synth);
+    eq_.run();
+    EXPECT_EQ(ppf->stats().chainSamples, 1u);
+}
+
+TEST_F(PpfTest, ContextSwitchAbortsEventsKeepsConfig)
+{
+    auto ppf = make();
+    KernelBuilder b("k");
+    b.li(1, 1).prefetch(1).halt();
+    KernelId k = ppf->kernels().add(b.build());
+    FilterEntry fe;
+    fe.base = base();
+    fe.limit = base() + 1024;
+    fe.onLoad = k;
+    ppf->addFilter(fe);
+    ppf->setGlobal(3, 77);
+
+    ppf->notifyDemand(base(), true, false, 0);
+    // Context switch before the scheduled event executes.
+    ppf->contextSwitch();
+    eq_.run();
+    EXPECT_EQ(ppf->stats().eventsRun, 0u);
+    EXPECT_FALSE(ppf->hasRequest());
+    // Configuration survives: a new observation works.
+    ppf->notifyDemand(base(), true, false, 0);
+    eq_.run();
+    EXPECT_EQ(ppf->stats().eventsRun, 1u);
+    EXPECT_EQ(ppf->global(3), 77u);
+}
+
+TEST_F(PpfTest, BlockedModeStallsPpuUntilFill)
+{
+    PpfConfig cfg;
+    cfg.numPpus = 1;
+    cfg.blocking = true;
+    auto ppf = make(cfg);
+
+    KernelBuilder cb("cb");
+    cb.li(1, 0x9000).prefetch(1).halt();
+    KernelId k_cb = ppf->kernels().add(cb.build());
+
+    KernelBuilder b("chain");
+    b.li(1, 0x8000).prefetchCb(1, k_cb).halt();
+    KernelId k = ppf->kernels().add(b.build());
+
+    FilterEntry fe;
+    fe.base = base();
+    fe.limit = base() + 1024;
+    fe.onLoad = k;
+    ppf->addFilter(fe);
+
+    ppf->notifyDemand(base(), true, false, 0);
+    eq_.run();
+    EXPECT_EQ(ppf->stats().blockedStalls, 1u);
+
+    // A second observation cannot be scheduled: the single PPU stalls.
+    ppf->notifyDemand(base() + 64, true, false, 0);
+    eq_.run();
+    EXPECT_EQ(ppf->stats().eventsRun, 1u);
+
+    // The fill arrives, runs the callback on the same PPU and frees it.
+    auto reqs = drain(*ppf);
+    ASSERT_EQ(reqs.size(), 1u);
+    EXPECT_EQ(reqs[0].originPpu, 0);
+    LineRequest fill = reqs[0];
+    fill.vaddr = base() + 512; // somewhere readable
+    ppf->notifyPrefetchFill(fill);
+    eq_.run();
+    EXPECT_EQ(ppf->stats().eventsRun, 3u); // cb + queued second obs
+}
+
+TEST_F(PpfTest, BlockedModeReleasedOnDrop)
+{
+    PpfConfig cfg;
+    cfg.numPpus = 1;
+    cfg.blocking = true;
+    auto ppf = make(cfg);
+
+    KernelBuilder cb("cb");
+    cb.halt();
+    KernelId k_cb = ppf->kernels().add(cb.build());
+    KernelBuilder b("chain");
+    b.li(1, 0x8000).prefetchCb(1, k_cb).halt();
+    KernelId k = ppf->kernels().add(b.build());
+    FilterEntry fe;
+    fe.base = base();
+    fe.limit = base() + 1024;
+    fe.onLoad = k;
+    ppf->addFilter(fe);
+
+    ppf->notifyDemand(base(), true, false, 0);
+    eq_.run();
+    auto reqs = drain(*ppf);
+    ASSERT_EQ(reqs.size(), 1u);
+    // The request faults / is dropped: the PPU must be released.
+    ppf->notifyPrefetchDropped(reqs[0]);
+    eq_.run();
+    ppf->notifyDemand(base() + 64, true, false, 0);
+    eq_.run();
+    EXPECT_EQ(ppf->stats().eventsRun, 2u);
+}
+
+TEST_F(PpfTest, ActivityAccounting)
+{
+    PpfConfig cfg;
+    cfg.numPpus = 2;
+    auto ppf = make(cfg);
+    KernelBuilder b("k");
+    b.li(1, 1).addi(1, 1, 1).addi(1, 1, 1).prefetch(1).halt();
+    KernelId k = ppf->kernels().add(b.build());
+    FilterEntry fe;
+    fe.base = base();
+    fe.limit = base() + 1024;
+    fe.onLoad = k;
+    ppf->addFilter(fe);
+
+    ppf->notifyDemand(base(), true, false, 0);
+    eq_.run();
+    EXPECT_GT(ppf->ppuStats()[0].busyTicks, 0u);
+    EXPECT_EQ(ppf->ppuStats()[1].busyTicks, 0u);
+}
+
+} // namespace
+} // namespace epf

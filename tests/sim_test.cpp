@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Unit tests for the simulation kernel: event queue, clock domains,
+ * RNG determinism and statistics helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/clock.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+#include "sim/types.hpp"
+
+namespace epf
+{
+namespace
+{
+
+TEST(EventQueueTest, StartsAtTickZero)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueueTest, ExecutesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueueTest, SameTickIsFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 16; ++i)
+        eq.schedule(5, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(order[static_cast<unsigned>(i)], i);
+}
+
+TEST(EventQueueTest, EventsMayScheduleEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&] {
+        ++fired;
+        eq.scheduleIn(4, [&] { ++fired; });
+    });
+    eq.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.now(), 5u);
+}
+
+TEST(EventQueueTest, PastSchedulingClampsToNow)
+{
+    EventQueue eq;
+    Tick seen = kTickMax;
+    eq.schedule(100, [&] {
+        eq.schedule(50, [&] { seen = eq.now(); }); // in the past
+    });
+    eq.run();
+    EXPECT_EQ(seen, 100u);
+}
+
+TEST(EventQueueTest, RunUntilStopsAtBoundary)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(20, [&] { ++fired; });
+    eq.runUntil(15);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 15u);
+    eq.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueTest, RunOneReturnsFalseWhenEmpty)
+{
+    EventQueue eq;
+    EXPECT_FALSE(eq.runOne());
+}
+
+TEST(EventQueueTest, ExecutedCountsEvents)
+{
+    EventQueue eq;
+    for (int i = 0; i < 7; ++i)
+        eq.schedule(static_cast<Tick>(i), [] {});
+    eq.run();
+    EXPECT_EQ(eq.executed(), 7u);
+}
+
+TEST(EventQueueTest, NextEventTick)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.nextEventTick(), kTickMax);
+    eq.schedule(42, [] {});
+    EXPECT_EQ(eq.nextEventTick(), 42u);
+}
+
+struct ClockCase
+{
+    std::uint64_t mhz;
+    Tick period;
+};
+
+class ClockDomainParam : public ::testing::TestWithParam<ClockCase>
+{
+};
+
+TEST_P(ClockDomainParam, PeriodMatchesFrequency)
+{
+    auto [mhz, period] = GetParam();
+    ClockDomain cd = ClockDomain::fromMHz(mhz);
+    EXPECT_EQ(cd.period(), period);
+    EXPECT_NEAR(cd.frequencyHz(), mhz * 1e6, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table1Clocks, ClockDomainParam,
+    ::testing::Values(ClockCase{3200, 5}, ClockCase{1000, 16},
+                      ClockCase{2000, 8}, ClockCase{4000, 4},
+                      ClockCase{500, 32}, ClockCase{250, 64},
+                      ClockCase{125, 128}, ClockCase{800, 20}));
+
+TEST(ClockDomainTest, EdgeSnapping)
+{
+    ClockDomain cd(16); // 1 GHz
+    EXPECT_EQ(cd.edgeAtOrAfter(0), 0u);
+    EXPECT_EQ(cd.edgeAtOrAfter(1), 16u);
+    EXPECT_EQ(cd.edgeAtOrAfter(16), 16u);
+    EXPECT_EQ(cd.edgeAfter(16), 32u);
+    EXPECT_EQ(cd.cyclesToTicks(3), 48u);
+    EXPECT_EQ(cd.ticksToCycles(47), 2u);
+}
+
+TEST(RngTest, DeterministicForSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    bool any_diff = false;
+    for (int i = 0; i < 64; ++i)
+        any_diff |= a.next() != b.next();
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, BelowRespectsBound)
+{
+    Rng r(7);
+    for (std::uint64_t bound : {1ULL, 2ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(r.below(bound), bound);
+    }
+}
+
+TEST(RngTest, UniformInUnitInterval)
+{
+    Rng r(9);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(SplitMixTest, IsDeterministicAndMixing)
+{
+    EXPECT_EQ(splitmix64(1), splitmix64(1));
+    EXPECT_NE(splitmix64(1), splitmix64(2));
+}
+
+TEST(StatsTest, RegistrySetGet)
+{
+    StatRegistry r;
+    EXPECT_FALSE(r.has("x"));
+    EXPECT_DOUBLE_EQ(r.get("x", -1.0), -1.0);
+    r.set("x", 3.5);
+    EXPECT_TRUE(r.has("x"));
+    EXPECT_DOUBLE_EQ(r.get("x"), 3.5);
+}
+
+TEST(StatsTest, SampleSummaryQuartiles)
+{
+    SampleSummary s =
+        SampleSummary::of({1.0, 2.0, 3.0, 4.0, 5.0});
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.median, 3.0);
+    EXPECT_DOUBLE_EQ(s.max, 5.0);
+    EXPECT_DOUBLE_EQ(s.q1, 2.0);
+    EXPECT_DOUBLE_EQ(s.q3, 4.0);
+    EXPECT_DOUBLE_EQ(s.mean, 3.0);
+}
+
+TEST(StatsTest, SampleSummaryEmptyAndSingle)
+{
+    SampleSummary e = SampleSummary::of({});
+    EXPECT_DOUBLE_EQ(e.max, 0.0);
+    SampleSummary one = SampleSummary::of({7.0});
+    EXPECT_DOUBLE_EQ(one.min, 7.0);
+    EXPECT_DOUBLE_EQ(one.median, 7.0);
+    EXPECT_DOUBLE_EQ(one.max, 7.0);
+}
+
+TEST(StatsTest, Geomean)
+{
+    EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-9);
+    EXPECT_NEAR(geomean({3.0}), 3.0, 1e-9);
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+    // Non-positive entries are ignored.
+    EXPECT_NEAR(geomean({2.0, 8.0, 0.0}), 4.0, 1e-9);
+}
+
+TEST(TypesTest, LineHelpers)
+{
+    EXPECT_EQ(lineAlign(0x1234), 0x1200u);
+    EXPECT_EQ(lineOffset(0x1234), 0x34u);
+    EXPECT_EQ(pageAlign(0x12345), 0x12000u);
+    EXPECT_EQ(pageNumber(0x12345), 0x12u);
+}
+
+} // namespace
+} // namespace epf
