@@ -2,23 +2,32 @@
  * @file
  * Shared plumbing for the figure-reproduction harnesses.
  *
- * Every binary reads EPF_SCALE (default 0.25) to size the benchmark
- * inputs and prints the same rows/series as the corresponding figure or
- * table of the paper.  Absolute numbers differ from the paper (different
- * substrate, scaled inputs); the *shape* is the reproduction target —
- * see EXPERIMENTS.md.
+ * Every binary queues its whole run grid into a SweepEngine, executes it
+ * in parallel across host threads, then formats the same rows/series as
+ * the corresponding figure or table of the paper.  Absolute numbers
+ * differ from the paper (different substrate, scaled inputs); the
+ * *shape* is the reproduction target — see EXPERIMENTS.md.
+ *
+ * Environment knobs shared by all harnesses:
+ *   EPF_SCALE    input scale factor (default 0.25; fig9b defaults 0.1)
+ *   EPF_THREADS  sweep worker threads (default: all cores)
+ *   EPF_SEED     base seed each cell's seed is derived from
+ *   EPF_JSON     when set, also dump every run as JSON to this path
+ *                ("-" for stdout)
+ *   EPF_PROGRESS when set, print per-run progress lines to stderr
  */
 
 #ifndef EPF_BENCH_BENCH_COMMON_HPP
 #define EPF_BENCH_BENCH_COMMON_HPP
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
 #include <vector>
 
-#include "runner/experiment.hpp"
+#include "runner/sweep.hpp"
 #include "runner/tables.hpp"
 
 namespace epf::bench
@@ -41,35 +50,77 @@ baseConfig(Technique t, double scale)
     return cfg;
 }
 
-/** Cache of baseline (no-prefetch) cycle counts per workload. */
-class BaselineCache
+/** A SweepEngine configured from the environment. */
+inline SweepEngine
+makeEngine()
 {
-  public:
-    explicit BaselineCache(double scale) : scale_(scale) {}
-
-    std::uint64_t
-    cycles(const std::string &wl)
-    {
-        auto it = cache_.find(wl);
-        if (it != cache_.end())
-            return it->second;
-        RunResult r =
-            runExperiment(wl, baseConfig(Technique::kNone, scale_));
-        cache_[wl] = r.cycles;
-        checksums_[wl] = r.checksum;
-        return r.cycles;
+    SweepEngine::Options opts;
+    opts.threads = sweepThreadsFromEnv(0);
+    if (const char *s = std::getenv("EPF_SEED"))
+        opts.baseSeed = std::strtoull(s, nullptr, 0);
+    if (std::getenv("EPF_PROGRESS")) {
+        opts.progress = [](std::size_t done, std::size_t total,
+                           const SweepOutcome &o) {
+            const std::string tech =
+                techniqueName(o.cell.config.technique);
+            std::cerr << "[" << done << "/" << total << "] "
+                      << o.cell.workload << " / " << tech
+                      << (o.cell.label.empty() || o.cell.label == tech
+                              ? ""
+                              : " " + o.cell.label)
+                      << (o.failed ? " FAILED: " + o.error : "") << "\n";
+        };
     }
+    return SweepEngine(opts);
+}
 
-    std::uint64_t checksum(const std::string &wl) const
-    {
-        return checksums_.at(wl);
+/**
+ * Exit with a diagnostic if any sweep cell failed: a default-constructed
+ * RunResult (cycles 0) must never flow silently into a figure.
+ */
+inline void
+requireAllOk(const std::vector<SweepOutcome> &outcomes)
+{
+    bool ok = true;
+    for (const auto &o : outcomes) {
+        if (o.failed) {
+            std::cerr << "run failed: " << o.cell.workload << " / "
+                      << techniqueName(o.cell.config.technique)
+                      << (o.cell.label.empty() ? "" : " " + o.cell.label)
+                      << ": " << o.error << "\n";
+            ok = false;
+        }
     }
+    if (!ok)
+        std::exit(1);
+}
 
-  private:
-    double scale_;
-    std::map<std::string, std::uint64_t> cache_;
-    std::map<std::string, std::uint64_t> checksums_;
-};
+/** Honour EPF_JSON: dump the raw sweep next to the formatted table. */
+inline void
+maybeWriteJson(const std::vector<SweepOutcome> &outcomes)
+{
+    const char *path = std::getenv("EPF_JSON");
+    if (!path)
+        return;
+    if (std::string(path) == "-") {
+        SweepEngine::writeJson(std::cout, outcomes, true);
+        return;
+    }
+    std::ofstream os(path);
+    if (!os) {
+        std::cerr << "EPF_JSON: cannot open " << path << "\n";
+        return;
+    }
+    SweepEngine::writeJson(os, outcomes, true);
+    std::cerr << "sweep JSON written to " << path << "\n";
+}
+
+/** Speedup of @p r over @p base_cycles ("n/a"/"BADSUM" handled by caller). */
+inline double
+speedupOver(std::uint64_t base_cycles, const RunResult &r)
+{
+    return static_cast<double>(base_cycles) / static_cast<double>(r.cycles);
+}
 
 } // namespace epf::bench
 

@@ -2,7 +2,8 @@
  * @file
  * Figure 10: per-PPU activity factors (12 PPUs at 1 GHz, lowest-ID-first
  * scheduling): min / quartiles / median / max of the fraction of time
- * each unit is awake.
+ * each unit is awake.  One manual-technique run per workload, swept in
+ * parallel.
  */
 
 #include "bench_common.hpp"
@@ -20,21 +21,31 @@ main()
                  "(scale "
               << scale << ") ===\n";
 
+    const auto workloads = workloadNames();
+
+    SweepEngine engine = makeEngine();
+    engine.addGrid(workloads, {Technique::kManual},
+                   baseConfig(Technique::kManual, scale),
+                   Technique::kNone);
+    const auto outcomes = engine.run();
+    requireAllOk(outcomes);
+
     TextTable table({"Benchmark", "min", "q1", "median", "q3", "max",
                      "idle PPUs"});
 
-    for (const auto &wl : workloadNames()) {
-        RunResult r =
-            runExperiment(wl, baseConfig(Technique::kManual, scale));
+    for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+        const RunResult &r = outcomes[wi].result;
         SampleSummary s = SampleSummary::of(r.ppuActivity);
         unsigned idle = 0;
         for (double a : r.ppuActivity)
             idle += a == 0.0 ? 1 : 0;
-        table.addRow({wl, TextTable::num(s.min), TextTable::num(s.q1),
-                      TextTable::num(s.median), TextTable::num(s.q3),
-                      TextTable::num(s.max), std::to_string(idle)});
+        table.addRow({workloads[wi], TextTable::num(s.min),
+                      TextTable::num(s.q1), TextTable::num(s.median),
+                      TextTable::num(s.q3), TextTable::num(s.max),
+                      std::to_string(idle)});
     }
     table.print(std::cout);
+    maybeWriteJson(outcomes);
     std::cout << "\npaper: lowest-ID-first skews work onto low PPUs; "
                  "PageRank/RandAcc/IntSort leave at least one PPU\n"
                  "unused; no PPU runs continuously (max factor 0.82).\n";

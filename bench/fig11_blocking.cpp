@@ -3,7 +3,8 @@
  * Figure 11: performance with event triggering vs with PPUs blocking on
  * intermediate loads (12 units in both cases).  Blocking should be
  * competitive only for simple stride-indirect patterns and collapse for
- * complex chains.
+ * complex chains.  Baseline, blocked and event-triggered runs per
+ * workload execute as one parallel sweep over identical inputs.
  */
 
 #include "bench_common.hpp"
@@ -18,23 +19,30 @@ main()
     std::cout << "=== Figure 11: blocked vs event-triggered PPUs (scale "
               << scale << ") ===\n";
 
-    TextTable table(
-        {"Benchmark", "Blocked", "Events", "Events/Blocked"});
+    const std::vector<Technique> techs = {Technique::kNone,
+                                          Technique::kManualBlocked,
+                                          Technique::kManual};
+    const auto workloads = workloadNames();
 
-    BaselineCache base(scale);
-    for (const auto &wl : workloadNames()) {
-        RunResult blocked = runExperiment(
-            wl, baseConfig(Technique::kManualBlocked, scale));
-        RunResult events =
-            runExperiment(wl, baseConfig(Technique::kManual, scale));
-        double sb = static_cast<double>(base.cycles(wl)) /
-                    static_cast<double>(blocked.cycles);
-        double se = static_cast<double>(base.cycles(wl)) /
-                    static_cast<double>(events.cycles);
-        table.addRow({wl, TextTable::num(sb) + "x",
+    SweepEngine engine = makeEngine();
+    engine.addGrid(workloads, techs, baseConfig(Technique::kNone, scale),
+                   Technique::kNone);
+    const auto outcomes = engine.run();
+    requireAllOk(outcomes);
+
+    TextTable table({"Benchmark", "Blocked", "Events", "Events/Blocked"});
+
+    for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+        const RunResult &base = outcomes[wi * 3].result;
+        const RunResult &blocked = outcomes[wi * 3 + 1].result;
+        const RunResult &events = outcomes[wi * 3 + 2].result;
+        double sb = speedupOver(base.cycles, blocked);
+        double se = speedupOver(base.cycles, events);
+        table.addRow({workloads[wi], TextTable::num(sb) + "x",
                       TextTable::num(se) + "x", TextTable::num(se / sb)});
     }
     table.print(std::cout);
+    maybeWriteJson(outcomes);
     std::cout << "\npaper: close for plain stride-indirect; blocking "
                  "loses badly on complex patterns\n"
                  "(graph traversals, chained hash buckets).\n";

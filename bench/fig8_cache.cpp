@@ -3,7 +3,8 @@
  * Figure 8: (a) the fraction of prefetches brought into the L1 that are
  * used before eviction, and (b) the L1 read hit rate without prefetching
  * vs with the programmable prefetcher (plus the L2 hit rates that explain
- * G500-List's residual benefit).
+ * G500-List's residual benefit).  Both runs per workload go through one
+ * parallel sweep on the same dataset.
  */
 
 #include "bench_common.hpp"
@@ -19,21 +20,30 @@ main()
                  "(scale "
               << scale << ") ===\n";
 
+    const std::vector<Technique> techs = {Technique::kNone,
+                                          Technique::kManual};
+    const auto workloads = workloadNames();
+
+    SweepEngine engine = makeEngine();
+    engine.addGrid(workloads, techs, baseConfig(Technique::kNone, scale),
+                   Technique::kNone);
+    const auto outcomes = engine.run();
+    requireAllOk(outcomes);
+
     TextTable table({"Benchmark", "PF utilisation", "L1 hit (no PF)",
                      "L1 hit (PPF)", "L2 hit (no PF)", "L2 hit (PPF)"});
 
-    for (const auto &wl : workloadNames()) {
-        RunResult none =
-            runExperiment(wl, baseConfig(Technique::kNone, scale));
-        RunResult ppf =
-            runExperiment(wl, baseConfig(Technique::kManual, scale));
-        table.addRow({wl, TextTable::num(ppf.pfUtilisation),
+    for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+        const RunResult &none = outcomes[wi * 2].result;
+        const RunResult &ppf = outcomes[wi * 2 + 1].result;
+        table.addRow({workloads[wi], TextTable::num(ppf.pfUtilisation),
                       TextTable::num(none.l1ReadHitRate),
                       TextTable::num(ppf.l1ReadHitRate),
                       TextTable::num(none.l2HitRate),
                       TextTable::num(ppf.l2HitRate)});
     }
     table.print(std::cout);
+    maybeWriteJson(outcomes);
     std::cout << "\npaper: utilisation high everywhere except G500-List "
                  "(early prefetches evicted);\n"
                  "G500-List L1 hit rises only 0.34->0.42 but L2 hit "

@@ -1,7 +1,9 @@
 /**
  * @file
  * Figure 9(a): speedup of the (manually programmed) prefetcher as a
- * function of the PPU clock, 250 MHz to 2 GHz, with 12 PPUs.
+ * function of the PPU clock, 250 MHz to 2 GHz, with 12 PPUs.  One
+ * baseline plus four clock points per workload, swept in parallel over
+ * identical inputs.
  */
 
 #include "bench_common.hpp"
@@ -23,24 +25,34 @@ main()
     };
     const std::vector<Freq> freqs = {
         {"250MHz", 64}, {"500MHz", 32}, {"1GHz", 16}, {"2GHz", 8}};
+    const auto workloads = workloadNames();
+    const std::size_t ncols = 1 + freqs.size(); // baseline + clock points
+
+    SweepEngine engine = makeEngine();
+    for (const auto &wl : workloads) {
+        engine.add(wl, baseConfig(Technique::kNone, scale), "baseline");
+        for (const auto &f : freqs) {
+            RunConfig cfg = baseConfig(Technique::kManual, scale);
+            cfg.ppf.ppuPeriod = f.period;
+            engine.add(wl, cfg, f.name, Technique::kNone);
+        }
+    }
+    const auto outcomes = engine.run();
+    requireAllOk(outcomes);
 
     std::vector<std::string> header = {"Benchmark"};
     for (const auto &f : freqs)
         header.push_back(f.name);
     TextTable table(header);
 
-    BaselineCache base(scale);
     std::map<std::string, std::vector<double>> per_freq;
-
-    for (const auto &wl : workloadNames()) {
-        std::vector<std::string> row = {wl};
-        for (const auto &f : freqs) {
-            RunConfig cfg = baseConfig(Technique::kManual, scale);
-            cfg.ppf.ppuPeriod = f.period;
-            RunResult r = runExperiment(wl, cfg);
-            double s = static_cast<double>(base.cycles(wl)) /
-                       static_cast<double>(r.cycles);
-            per_freq[f.name].push_back(s);
+    for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+        const RunResult &base = outcomes[wi * ncols].result;
+        std::vector<std::string> row = {workloads[wi]};
+        for (std::size_t fi = 0; fi < freqs.size(); ++fi) {
+            const RunResult &r = outcomes[wi * ncols + 1 + fi].result;
+            double s = speedupOver(base.cycles, r);
+            per_freq[freqs[fi].name].push_back(s);
             row.push_back(TextTable::num(s) + "x");
         }
         table.addRow(std::move(row));
@@ -51,6 +63,7 @@ main()
     table.addRow(std::move(gm));
 
     table.print(std::cout);
+    maybeWriteJson(outcomes);
     std::cout << "\npaper: about half the workloads are insensitive to "
                  "PPU clock; HJ-2 needs 500MHz;\n"
                  "ConjGrad and G500-CSR keep scaling; majority of benefit "

@@ -2,7 +2,8 @@
  * @file
  * Figure 9(b): G500-CSR speedup for 3/6/12 PPUs across PPU clocks from
  * 125 MHz to 4 GHz — doubling the unit count should match doubling the
- * clock, since prefetch events are embarrassingly parallel.
+ * clock, since prefetch events are embarrassingly parallel.  The 18-cell
+ * grid plus baseline runs as one parallel sweep.
  */
 
 #include "bench_common.hpp"
@@ -27,29 +28,40 @@ main()
                                      {"500MHz", 32},  {"1GHz", 16},
                                      {"2GHz", 8},     {"4GHz", 4}};
     const std::vector<unsigned> ppus = {3, 6, 12};
+    const std::string wl = "G500-CSR";
+
+    SweepEngine engine = makeEngine();
+    engine.add(wl, baseConfig(Technique::kNone, scale), "baseline");
+    for (unsigned n : ppus) {
+        for (const auto &f : freqs) {
+            RunConfig cfg = baseConfig(Technique::kManual, scale);
+            cfg.ppf.numPpus = n;
+            cfg.ppf.ppuPeriod = f.period;
+            engine.add(wl, cfg, std::to_string(n) + "ppu/" + f.name,
+                       Technique::kNone);
+        }
+    }
+    const auto outcomes = engine.run();
+    requireAllOk(outcomes);
+    const std::uint64_t base_cycles = outcomes[0].result.cycles;
 
     std::vector<std::string> header = {"PPUs"};
     for (const auto &f : freqs)
         header.push_back(f.name);
     TextTable table(header);
 
-    BaselineCache base(scale);
-    std::uint64_t base_cycles = base.cycles("G500-CSR");
-
-    for (unsigned n : ppus) {
-        std::vector<std::string> row = {std::to_string(n)};
-        for (const auto &f : freqs) {
-            RunConfig cfg = baseConfig(Technique::kManual, scale);
-            cfg.ppf.numPpus = n;
-            cfg.ppf.ppuPeriod = f.period;
-            RunResult r = runExperiment("G500-CSR", cfg);
-            row.push_back(TextTable::num(static_cast<double>(base_cycles) /
-                                         static_cast<double>(r.cycles)) +
+    for (std::size_t ni = 0; ni < ppus.size(); ++ni) {
+        std::vector<std::string> row = {std::to_string(ppus[ni])};
+        for (std::size_t fi = 0; fi < freqs.size(); ++fi) {
+            const RunResult &r =
+                outcomes[1 + ni * freqs.size() + fi].result;
+            row.push_back(TextTable::num(speedupOver(base_cycles, r)) +
                           "x");
         }
         table.addRow(std::move(row));
     }
     table.print(std::cout);
+    maybeWriteJson(outcomes);
     std::cout << "\npaper: 3 PPUs @2GHz ~ 6 @1GHz ~ 12 @500MHz; "
                  "saturates by 12 PPUs @2GHz.\n";
     return 0;

@@ -2,7 +2,8 @@
  * @file
  * Section 7.1 dynamic-instruction overhead of software prefetching: the
  * paper reports +113% for IntSort, +83% for RandAcc and +56% for HJ-2 —
- * the cost the programmable prefetcher moves off the main core.
+ * the cost the programmable prefetcher moves off the main core.  Plain
+ * and software-prefetch runs sweep in parallel on identical inputs.
  */
 
 #include "bench_common.hpp"
@@ -18,26 +19,36 @@ main()
                  "(scale "
               << scale << ") ===\n";
 
+    const std::vector<Technique> techs = {Technique::kNone,
+                                          Technique::kSoftware};
+    const auto workloads = workloadNames();
+
+    SweepEngine engine = makeEngine();
+    engine.addGrid(workloads, techs, baseConfig(Technique::kNone, scale),
+                   Technique::kNone);
+    const auto outcomes = engine.run();
+    requireAllOk(outcomes);
+
     TextTable table({"Benchmark", "instrs (plain)", "instrs (swpf)",
                      "overhead"});
 
-    for (const auto &wl : workloadNames()) {
-        RunResult plain =
-            runExperiment(wl, baseConfig(Technique::kNone, scale));
-        RunResult sw =
-            runExperiment(wl, baseConfig(Technique::kSoftware, scale));
+    for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+        const RunResult &plain = outcomes[wi * 2].result;
+        const RunResult &sw = outcomes[wi * 2 + 1].result;
         if (!sw.available) {
-            table.addRow({wl, std::to_string(plain.instrs), "n/a", "n/a"});
+            table.addRow({workloads[wi], std::to_string(plain.instrs),
+                          "n/a", "n/a"});
             continue;
         }
         double ov = (static_cast<double>(sw.instrs) /
                          static_cast<double>(plain.instrs) -
                      1.0) * 100.0;
-        table.addRow({wl, std::to_string(plain.instrs),
+        table.addRow({workloads[wi], std::to_string(plain.instrs),
                       std::to_string(sw.instrs),
                       TextTable::num(ov, 1) + "%"});
     }
     table.print(std::cout);
+    maybeWriteJson(outcomes);
     std::cout << "\npaper: IntSort +113%, RandAcc +83%, HJ-2 +56%.\n";
     return 0;
 }

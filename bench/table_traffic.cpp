@@ -3,6 +3,7 @@
  * Section 7.1 "Extra Memory Accesses": DRAM accesses with the
  * programmable prefetcher relative to no prefetching.  The paper reports
  * negligible overhead except G500-List (+40%) and G500-CSR (+16%).
+ * Both runs per workload sweep in parallel on identical inputs.
  */
 
 #include "bench_common.hpp"
@@ -18,24 +19,33 @@ main()
                  "prefetcher (scale "
               << scale << ") ===\n";
 
+    const std::vector<Technique> techs = {Technique::kNone,
+                                          Technique::kManual};
+    const auto workloads = workloadNames();
+
+    SweepEngine engine = makeEngine();
+    engine.addGrid(workloads, techs, baseConfig(Technique::kNone, scale),
+                   Technique::kNone);
+    const auto outcomes = engine.run();
+    requireAllOk(outcomes);
+
     TextTable table({"Benchmark", "DRAM reads (none)", "DRAM reads (PPF)",
                      "extra"});
 
-    for (const auto &wl : workloadNames()) {
-        RunResult none =
-            runExperiment(wl, baseConfig(Technique::kNone, scale));
-        RunResult ppf =
-            runExperiment(wl, baseConfig(Technique::kManual, scale));
+    for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+        const RunResult &none = outcomes[wi * 2].result;
+        const RunResult &ppf = outcomes[wi * 2 + 1].result;
         double extra = none.dramReads > 0
                            ? (static_cast<double>(ppf.dramReads) /
                                   static_cast<double>(none.dramReads) -
                               1.0) * 100.0
                            : 0.0;
-        table.addRow({wl, std::to_string(none.dramReads),
+        table.addRow({workloads[wi], std::to_string(none.dramReads),
                       std::to_string(ppf.dramReads),
                       TextTable::num(extra, 1) + "%"});
     }
     table.print(std::cout);
+    maybeWriteJson(outcomes);
     std::cout << "\npaper: negligible except G500-List +40% (no "
                  "fine-grained parallelism) and G500-CSR +16%\n"
                  "(lookahead overestimated relative to the EWMAs).\n";

@@ -25,24 +25,20 @@
 namespace
 {
 
+// Links are guest addresses (0 = null): the PPU kernels read them out
+// of fetched lines, so they must live in the guest address space.
 struct Node
 {
     std::uint64_t value = 0;
-    Node *next = nullptr;
+    epf::Addr next = 0;
     std::uint64_t pad[6]; // 64 B nodes: one line each
 };
 
 struct Tower
 {
-    Node *head = nullptr;
+    epf::Addr head = 0;
     std::uint64_t len = 0;
 };
-
-epf::Addr
-ga(const void *p)
-{
-    return reinterpret_cast<epf::Addr>(p);
-}
 
 } // namespace
 
@@ -55,10 +51,19 @@ main(int argc, char **argv)
     const unsigned chain = 3;
 
     // Build the structure: towers_n towers, each with a short chain of
-    // scatter-allocated nodes.
+    // scatter-allocated nodes.  Regions are registered first so the
+    // chain links can be stored as guest addresses.
     epf::Rng rng(7);
     std::vector<Tower> towers(towers_n);
     std::vector<Node> pool(towers_n * chain);
+
+    epf::EventQueue eq;
+    epf::GuestMemory gmem;
+    const epf::Addr towers_base = gmem.addRegion(
+        "towers", towers.data(), towers.size() * sizeof(Tower));
+    const epf::Addr pool_base =
+        gmem.addRegion("pool", pool.data(), pool.size() * sizeof(Node));
+
     std::vector<std::uint32_t> perm(pool.size());
     for (std::size_t i = 0; i < perm.size(); ++i)
         perm[i] = static_cast<std::uint32_t>(i);
@@ -67,19 +72,14 @@ main(int argc, char **argv)
     std::size_t slot = 0;
     for (auto &t : towers) {
         for (unsigned c = 0; c < chain; ++c) {
-            Node &n = pool[perm[slot++]];
+            const std::uint32_t idx = perm[slot++];
+            Node &n = pool[idx];
             n.value = rng.next() & 0xFFFF;
             n.next = t.head;
-            t.head = &n;
+            t.head = pool_base + idx * sizeof(Node);
             t.len += 1;
         }
     }
-
-    epf::EventQueue eq;
-    epf::GuestMemory gmem;
-    gmem.addRegion("towers", towers.data(),
-                   towers.size() * sizeof(Tower));
-    gmem.addRegion("pool", pool.data(), pool.size() * sizeof(Node));
 
     epf::MemoryHierarchy mem(eq, gmem, epf::MemParams::defaults());
     epf::Core core(eq, epf::CoreParams{}, mem);
@@ -87,7 +87,7 @@ main(int argc, char **argv)
     // ---- Hand-written prefetch kernels ----------------------------
     epf::PpfConfig pcfg;
     epf::ProgrammablePrefetcher ppf(eq, gmem, pcfg);
-    unsigned g_towers = ppf.allocGlobal(ga(towers.data()));
+    unsigned g_towers = ppf.allocGlobal(towers_base);
 
     // Node fills chase the next pointer via a memory-request tag.
     epf::KernelBuilder knode("on_node_prefetch");
@@ -132,7 +132,7 @@ main(int argc, char **argv)
 
     epf::FilterEntry fe;
     fe.name = "towers";
-    fe.base = ga(towers.data());
+    fe.base = towers_base;
     fe.limit = fe.base + towers.size() * sizeof(Tower);
     fe.onLoad = k_load;
     fe.timeSource = true;
@@ -140,7 +140,7 @@ main(int argc, char **argv)
     ppf.addFilter(fe);
     epf::FilterEntry pe;
     pe.name = "pool";
-    pe.base = ga(pool.data());
+    pe.base = pool_base;
     pe.limit = pe.base + pool.size() * sizeof(Node);
     pe.timedEnd = true;
     ppf.addFilter(pe);
@@ -151,15 +151,19 @@ main(int argc, char **argv)
     std::cout << epf::disassemble(ppf.kernels()[k_node]) << "\n";
 
     // ---- The main-core traversal ----------------------------------
+    auto node_at = [&](epf::Addr a) -> const Node & {
+        return pool[(a - pool_base) / sizeof(Node)];
+    };
     auto traverse = [&](bool) -> epf::Generator<epf::MicroOp> {
         epf::OpFactory f;
         for (std::size_t i = 0; i < towers.size(); ++i) {
             epf::ValueId v_t;
-            co_yield f.load(ga(&towers[i]), 1, v_t);
+            co_yield f.load(towers_base + i * sizeof(Tower), 1, v_t);
             epf::ValueId prev = v_t;
-            for (Node *n = towers[i].head; n != nullptr; n = n->next) {
+            for (epf::Addr n = towers[i].head; n != 0;
+                 n = node_at(n).next) {
                 epf::ValueId v_n;
-                co_yield f.load(ga(n), 2, v_n, prev);
+                co_yield f.load(n, 2, v_n, prev);
                 co_yield epf::OpFactory::workDep(2, v_n);
                 prev = v_n;
             }

@@ -3,29 +3,58 @@
 #include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <stdexcept>
 
 namespace epf
 {
 
-void
+Addr
 GuestMemory::addRegion(const std::string &name, const void *ptr,
                        std::size_t size)
 {
     Region r;
     r.name = name;
-    r.base = reinterpret_cast<Addr>(ptr);
+    r.base = next_;
     r.size = size;
     r.host = static_cast<const std::byte *>(ptr);
-    auto pos = std::lower_bound(
-        regions_.begin(), regions_.end(), r.base,
-        [](const Region &a, Addr b) { return a.base < b; });
-    regions_.insert(pos, std::move(r));
+    // Bases are handed out page-aligned in registration order with a
+    // guard page between regions, so a kernel running off the end of one
+    // region never silently reads the next.
+    next_ += (size + 2 * kPageBytes - 1) & ~(kPageBytes - 1);
+    regions_.push_back(std::move(r)); // cursor only grows: stays sorted
+    return regions_.back().base;
 }
 
 void
 GuestMemory::clear()
 {
     regions_.clear();
+    next_ = kGuestBase;
+    lastRegion_ = 0;
+}
+
+Addr
+GuestMemory::guestAddr(const void *host) const
+{
+    const auto *p = static_cast<const std::byte *>(host);
+    // Consecutive translations overwhelmingly hit the same region, so a
+    // most-recently-matched cache keeps the per-micro-op cost at one
+    // range compare instead of a scan.
+    if (lastRegion_ < regions_.size()) {
+        const Region &r = regions_[lastRegion_];
+        if (p >= r.host && p < r.host + r.size)
+            return r.base + static_cast<Addr>(p - r.host);
+    }
+    for (std::size_t i = 0; i < regions_.size(); ++i) {
+        const Region &r = regions_[i];
+        if (p >= r.host && p < r.host + r.size) {
+            lastRegion_ = i;
+            return r.base + static_cast<Addr>(p - r.host);
+        }
+    }
+    throw std::logic_error(
+        "GuestMemory::guestAddr: host pointer not inside any registered "
+        "region");
 }
 
 const GuestMemory::Region *

@@ -3,12 +3,17 @@
  * Guest address space backed by live host arrays.
  *
  * Workloads register their real data structures (key arrays, hash tables,
- * CSR arrays, ...) as named regions.  The simulator treats the host
- * virtual addresses of those arrays as guest virtual addresses: loads in
- * the trace carry them, the prefetcher's address filter matches on them,
- * and "what a prefetched line contains" is answered by reading the live
- * host memory.  Addresses outside every region behave like unmapped pages
- * (a prefetch to them is dropped, as on a page fault in the paper).
+ * CSR arrays, ...) as named regions.  Each region is assigned a
+ * deterministic page-aligned *guest* base address (in registration
+ * order), decoupled from the host heap: loads in the trace carry guest
+ * addresses, the prefetcher's address filter matches on them, and "what
+ * a prefetched line contains" is answered by reading the live host
+ * memory behind the region.  Decoupling matters because simulated cache
+ * sets, page numbers and DRAM rows are all functions of the address —
+ * host pointers would make every run's timing depend on heap layout
+ * (ASLR, allocation order, concurrent sweeps).  Addresses outside every
+ * region behave like unmapped pages (a prefetch to them is dropped, as
+ * on a page fault in the paper).
  */
 
 #ifndef EPF_MEM_GUEST_MEMORY_HPP
@@ -32,20 +37,35 @@ using LineData = std::array<std::byte, kLineBytes>;
 class GuestMemory
 {
   public:
+    /** Guest base of the first registered region. */
+    static constexpr Addr kGuestBase = 0x4000'0000;
+
     /** A contiguous mapped region of the guest address space. */
     struct Region
     {
         std::string name;
-        Addr base;
+        Addr base; ///< assigned guest base (page-aligned)
         std::size_t size;
         const std::byte *host;
     };
 
-    /** Register @p size bytes at @p ptr under @p name. */
-    void addRegion(const std::string &name, const void *ptr, std::size_t size);
+    /**
+     * Register @p size bytes at host pointer @p ptr under @p name.
+     * @return the deterministic guest base address of the region.
+     */
+    Addr addRegion(const std::string &name, const void *ptr,
+                   std::size_t size);
 
-    /** Remove all regions (between experiment runs). */
+    /** Remove all regions and reset the allocator (between runs). */
     void clear();
+
+    /**
+     * Guest address of a host pointer into a registered region (the
+     * region's base plus the pointer's offset).  Throws std::logic_error
+     * when @p host points outside every region — a workload bug that
+     * must surface loudly, not as a silently dropped access.
+     */
+    Addr guestAddr(const void *host) const;
 
     /** True if [addr, addr+len) lies inside one mapped region. */
     bool contains(Addr addr, std::size_t len = 1) const;
@@ -68,6 +88,9 @@ class GuestMemory
     const Region *find(Addr addr) const;
 
     std::vector<Region> regions_; // sorted by base
+    Addr next_ = kGuestBase;      // allocation cursor
+    /** Most-recently-matched region index (guestAddr fast path). */
+    mutable std::size_t lastRegion_ = 0;
 };
 
 } // namespace epf

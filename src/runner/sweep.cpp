@@ -1,0 +1,226 @@
+#include "runner/sweep.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+#include "sim/rng.hpp"
+
+namespace epf
+{
+
+namespace
+{
+
+/** FNV-1a over the workload name: stable across platforms and runs. */
+std::uint64_t
+fnv1a(const std::string &s)
+{
+    std::uint64_t h = 0xCBF29CE484222325ULL;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001B3ULL;
+    }
+    return h;
+}
+
+/** Minimal JSON string escape (quotes, backslashes, control chars). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::uint64_t
+deriveCellSeed(std::uint64_t base, const std::string &workload,
+               Technique tech)
+{
+    std::uint64_t h = splitmix64(base ^ fnv1a(workload));
+    return splitmix64(h ^ (static_cast<std::uint64_t>(tech) + 1));
+}
+
+std::size_t
+SweepEngine::add(std::string workload, RunConfig cfg, std::string label,
+                 std::optional<Technique> seedAs)
+{
+    const Technique seed_tech = seedAs.value_or(cfg.technique);
+    cells_.push_back({std::move(workload), std::move(cfg),
+                      std::move(label), seed_tech});
+    return cells_.size() - 1;
+}
+
+std::size_t
+SweepEngine::addGrid(const std::vector<std::string> &workloads,
+                     const std::vector<Technique> &techniques,
+                     const RunConfig &proto, std::optional<Technique> seedAs)
+{
+    const std::size_t first = cells_.size();
+    for (const auto &wl : workloads) {
+        for (Technique t : techniques) {
+            RunConfig cfg = proto;
+            cfg.technique = t;
+            add(wl, std::move(cfg), techniqueName(t), seedAs);
+        }
+    }
+    return first;
+}
+
+std::vector<SweepOutcome>
+SweepEngine::run()
+{
+    const std::size_t total = cells_.size();
+    std::vector<SweepOutcome> outcomes(total);
+
+    unsigned threads = opts_.threads;
+    if (threads == 0) {
+        threads = std::thread::hardware_concurrency();
+        if (threads == 0)
+            threads = 1;
+    }
+    if (threads > total && total > 0)
+        threads = static_cast<unsigned>(total);
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex progress_mutex;
+
+    auto worker = [&] {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= total)
+                return;
+
+            SweepOutcome &out = outcomes[i];
+            out.cell = cells_[i];
+            if (opts_.deriveSeeds) {
+                out.cell.config.seed = deriveCellSeed(
+                    opts_.baseSeed, out.cell.workload,
+                    out.cell.seedTechnique);
+            }
+
+            const auto t0 = std::chrono::steady_clock::now();
+            try {
+                out.result =
+                    runExperiment(out.cell.workload, out.cell.config);
+            } catch (const std::exception &e) {
+                out.failed = true;
+                out.error = e.what();
+            } catch (...) {
+                out.failed = true;
+                out.error = "unknown exception";
+            }
+            out.hostSeconds =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+
+            const std::size_t finished = done.fetch_add(1) + 1;
+            if (opts_.progress) {
+                std::lock_guard<std::mutex> lock(progress_mutex);
+                opts_.progress(finished, total, out);
+            }
+        }
+    };
+
+    if (threads <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        for (unsigned t = 0; t < threads; ++t)
+            pool.emplace_back(worker);
+        for (auto &th : pool)
+            th.join();
+    }
+
+    cells_.clear();
+    return outcomes;
+}
+
+void
+SweepEngine::writeJson(std::ostream &os,
+                       const std::vector<SweepOutcome> &outcomes,
+                       bool detail)
+{
+    os << "[\n";
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        const SweepOutcome &o = outcomes[i];
+        const RunResult &r = o.result;
+        os << "  {\"workload\": \"" << jsonEscape(o.cell.workload)
+           << "\", \"technique\": \""
+           << jsonEscape(techniqueName(o.cell.config.technique))
+           << "\", \"label\": \"" << jsonEscape(o.cell.label)
+           << "\", \"seed\": \"" << o.cell.config.seed << "\"";
+        if (o.failed) {
+            os << ", \"failed\": true, \"error\": \""
+               << jsonEscape(o.error) << "\"";
+        } else if (!r.available) {
+            os << ", \"available\": false, \"note\": \""
+               << jsonEscape(r.note) << "\"";
+        } else {
+            os << ", \"cycles\": " << r.cycles
+               << ", \"instrs\": " << r.instrs << ", \"ticks\": " << r.ticks
+               << ", \"l1ReadHitRate\": " << r.l1ReadHitRate
+               << ", \"l2HitRate\": " << r.l2HitRate
+               << ", \"pfUtilisation\": " << r.pfUtilisation
+               << ", \"l1PrefetchFills\": " << r.l1PrefetchFills
+               << ", \"dramReads\": " << r.dramReads
+               << ", \"dramWrites\": " << r.dramWrites
+               << ", \"checksum\": \"" << r.checksum << "\"";
+            if (!r.ppuActivity.empty()) {
+                os << ", \"ppuActivity\": [";
+                for (std::size_t p = 0; p < r.ppuActivity.size(); ++p)
+                    os << (p ? ", " : "") << r.ppuActivity[p];
+                os << "]";
+            }
+            if (detail) {
+                os << ", \"detail\": {";
+                bool first = true;
+                for (const auto &[k, v] : r.detail.all()) {
+                    os << (first ? "" : ", ") << "\"" << jsonEscape(k)
+                       << "\": " << v;
+                    first = false;
+                }
+                os << "}";
+            }
+        }
+        os << ", \"hostSeconds\": " << o.hostSeconds << "}"
+           << (i + 1 < outcomes.size() ? "," : "") << "\n";
+    }
+    os << "]\n";
+}
+
+unsigned
+sweepThreadsFromEnv(unsigned fallback)
+{
+    if (const char *s = std::getenv("EPF_THREADS")) {
+        const long v = std::atol(s);
+        if (v > 0)
+            return static_cast<unsigned>(v);
+    }
+    return fallback;
+}
+
+} // namespace epf

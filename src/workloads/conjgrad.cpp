@@ -8,18 +8,6 @@
 namespace epf
 {
 
-namespace
-{
-
-template <typename T>
-Addr
-ga(const T *p)
-{
-    return reinterpret_cast<Addr>(p);
-}
-
-} // namespace
-
 ConjGradWorkload::ConjGradWorkload(const WorkloadScale &scale)
 {
     n_ = scale.scaled(96 * 1024);
@@ -28,6 +16,7 @@ ConjGradWorkload::ConjGradWorkload(const WorkloadScale &scale)
 void
 ConjGradWorkload::setup(GuestMemory &mem, std::uint64_t seed)
 {
+    attach(mem);
     Rng rng(seed);
     rowStart_.assign(n_ + 1, 0);
     colIdx_.clear();

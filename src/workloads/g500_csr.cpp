@@ -6,18 +6,6 @@
 namespace epf
 {
 
-namespace
-{
-
-template <typename T>
-Addr
-ga(const T *p)
-{
-    return reinterpret_cast<Addr>(p);
-}
-
-} // namespace
-
 G500CsrWorkload::G500CsrWorkload(const WorkloadScale &scale,
                                  unsigned graph_scale, unsigned edgefactor)
     : graphScale_(graph_scale), edgeFactor_(edgefactor)
@@ -32,6 +20,7 @@ G500CsrWorkload::G500CsrWorkload(const WorkloadScale &scale,
 void
 G500CsrWorkload::setup(GuestMemory &mem, std::uint64_t seed)
 {
+    attach(mem);
     Rng rng(seed);
     n_ = std::uint32_t{1} << graphScale_;
     EdgeList edges = rmatEdges(graphScale_, edgeFactor_, rng);

@@ -6,18 +6,6 @@
 namespace epf
 {
 
-namespace
-{
-
-template <typename T>
-Addr
-ga(const T *p)
-{
-    return reinterpret_cast<Addr>(p);
-}
-
-} // namespace
-
 G500ListWorkload::G500ListWorkload(const WorkloadScale &scale,
                                    unsigned graph_scale,
                                    unsigned edgefactor)
@@ -32,6 +20,7 @@ G500ListWorkload::G500ListWorkload(const WorkloadScale &scale,
 void
 G500ListWorkload::setup(GuestMemory &mem, std::uint64_t seed)
 {
+    attach(mem);
     Rng rng(seed);
     n_ = std::uint32_t{1} << graphScale_;
     EdgeList edges = rmatEdges(graphScale_, edgeFactor_, rng);
@@ -44,6 +33,19 @@ G500ListWorkload::setup(GuestMemory &mem, std::uint64_t seed)
     }
     pool_.assign(directed, EdgeNode{});
     vertices_.assign(n_, Vertex{});
+    parent_.assign(n_, kUnvisited);
+    queue_.assign(n_, 0);
+
+    // Regions first: the adjacency links are guest addresses, so the
+    // pool's guest base must be known before the lists are built.
+    mem.addRegion("g500l.vertices", vertices_.data(),
+                  vertices_.size() * sizeof(Vertex));
+    poolBase_ = mem.addRegion("g500l.pool", pool_.data(),
+                              pool_.size() * sizeof(EdgeNode));
+    mem.addRegion("g500l.parent", parent_.data(),
+                  parent_.size() * sizeof(std::uint64_t));
+    mem.addRegion("g500l.queue", queue_.data(),
+                  queue_.size() * sizeof(std::uint64_t));
 
     // Scatter-allocate nodes from a shuffled pool.
     std::vector<std::uint64_t> perm(directed);
@@ -54,10 +56,11 @@ G500ListWorkload::setup(GuestMemory &mem, std::uint64_t seed)
 
     std::uint64_t slot = 0;
     auto link = [&](std::uint32_t from, std::uint32_t to) {
-        EdgeNode &node = pool_[perm[slot++]];
+        const std::uint64_t idx = perm[slot++];
+        EdgeNode &node = pool_[idx];
         node.dst = to;
         node.next = vertices_[from].head;
-        vertices_[from].head = &node;
+        vertices_[from].head = poolBase_ + idx * sizeof(EdgeNode);
         vertices_[from].degree += 1;
     };
     for (const auto &[u, v] : edges) {
@@ -68,24 +71,12 @@ G500ListWorkload::setup(GuestMemory &mem, std::uint64_t seed)
     }
     m_ = directed;
 
-    parent_.assign(n_, kUnvisited);
-    queue_.assign(n_, 0);
-
     // Distinct BFS roots with usable degree.
     roots_.clear();
     for (std::uint32_t v = 0; v < n_ && roots_.size() < kBfsRuns; ++v) {
         if (vertices_[v].degree >= 2)
             roots_.push_back(v);
     }
-
-    mem.addRegion("g500l.vertices", vertices_.data(),
-                  vertices_.size() * sizeof(Vertex));
-    mem.addRegion("g500l.pool", pool_.data(),
-                  pool_.size() * sizeof(EdgeNode));
-    mem.addRegion("g500l.parent", parent_.data(),
-                  parent_.size() * sizeof(std::uint64_t));
-    mem.addRegion("g500l.queue", queue_.data(),
-                  queue_.size() * sizeof(std::uint64_t));
 }
 
 Generator<MicroOp>
@@ -127,14 +118,14 @@ G500ListWorkload::trace(bool with_swpf)
 
             ValueId v_prev = v_h;
             unsigned len = 0;
-            for (EdgeNode *l = vertices_[v].head; l != nullptr;
-                 l = l->next) {
+            for (Addr l = vertices_[v].head; l != 0;
+                 l = nodeAt(l).next) {
                 ++len;
                 // The node load: dst and next live in one line; its
                 // address came from the previous node (pointer chase).
                 ValueId v_n;
-                co_yield f.load(ga(l), 4, v_n, v_prev);
-                const std::uint64_t w = l->dst;
+                co_yield f.load(l, 4, v_n, v_prev);
+                const std::uint64_t w = nodeAt(l).dst;
                 ValueId v_p;
                 co_yield f.load(ga(&parent_[w]), 5, v_p, v_n);
                 co_yield OpFactory::workDep(2, v_p);

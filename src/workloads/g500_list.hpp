@@ -38,11 +38,13 @@ class G500ListWorkload : public Workload
     std::uint64_t checksum() const override;
 
   private:
-    /** An edge-list node (32 B, scatter-allocated). */
+    /** An edge-list node (32 B, scatter-allocated).  Links are *guest*
+     *  addresses (0 = null): the PPU kernels read them straight out of
+     *  fetched lines, so they must live in the guest address space. */
     struct EdgeNode
     {
         std::uint64_t dst = 0;
-        EdgeNode *next = nullptr;
+        Addr next = 0;
         std::uint64_t pad0 = 0;
         std::uint64_t pad1 = 0;
     };
@@ -50,9 +52,16 @@ class G500ListWorkload : public Workload
     /** Per-vertex list header (16 B). */
     struct Vertex
     {
-        EdgeNode *head = nullptr;
+        Addr head = 0; ///< guest address of the first node (0 = empty)
         std::uint64_t degree = 0;
     };
+
+    /** The node behind a guest chain address. */
+    const EdgeNode &
+    nodeAt(Addr a) const
+    {
+        return pool_[(a - poolBase_) / sizeof(EdgeNode)];
+    }
 
     static constexpr std::uint64_t kUnvisited = ~std::uint64_t{0};
     static constexpr unsigned kSwpfDistQ = 8;
@@ -65,6 +74,7 @@ class G500ListWorkload : public Workload
 
     std::vector<Vertex> vertices_;
     std::vector<EdgeNode> pool_;
+    Addr poolBase_ = 0; ///< guest base of pool_
     std::vector<std::uint64_t> parent_;
     std::vector<std::uint64_t> queue_;
     std::vector<std::uint32_t> roots_;

@@ -11,13 +11,6 @@ namespace epf
 namespace
 {
 
-template <typename T>
-Addr
-ga(const T *p)
-{
-    return reinterpret_cast<Addr>(p);
-}
-
 /** A build-side key for index @p i (distinct, scattered). */
 std::uint64_t
 buildKey(std::uint64_t i, std::uint64_t seed)
@@ -60,6 +53,7 @@ HashJoinWorkload::hashChained(std::uint64_t k) const
 void
 HashJoinWorkload::setup(GuestMemory &mem, std::uint64_t seed)
 {
+    attach(mem);
     Rng rng(seed);
     outCount_ = 0;
     matches_ = 0;
@@ -88,6 +82,12 @@ HashJoinWorkload::setup(GuestMemory &mem, std::uint64_t seed)
     } else {
         headers_.assign(numBuckets_, Header{});
         pool_.assign(buildTuples_, Node{});
+        // Regions first: the chain links are guest addresses, so the
+        // pool's guest base must be known before the lists are built.
+        mem.addRegion("hj.headers", headers_.data(),
+                      headers_.size() * sizeof(Header));
+        poolBase_ = mem.addRegion("hj.pool", pool_.data(),
+                                  pool_.size() * sizeof(Node));
         // Scatter-allocate nodes: a random permutation of the pool, as a
         // long-running allocator would produce.
         std::vector<std::uint32_t> perm(buildTuples_);
@@ -103,13 +103,9 @@ HashJoinWorkload::setup(GuestMemory &mem, std::uint64_t seed)
             n.key = k;
             n.payload = i;
             n.next = headers_[h].head;
-            headers_[h].head = &n;
+            headers_[h].head = poolBase_ + perm[i] * sizeof(Node);
             headers_[h].count += 1;
         }
-        mem.addRegion("hj.headers", headers_.data(),
-                      headers_.size() * sizeof(Header));
-        mem.addRegion("hj.pool", pool_.data(),
-                      pool_.size() * sizeof(Node));
     }
 
     mem.addRegion("hj.probekeys", probeKeys_.data(),
@@ -179,12 +175,13 @@ HashJoinWorkload::trace(bool with_swpf)
             co_yield f.load(ga(&headers_[h]), 3, v_hd, v_h);
             ValueId v_prev = v_hd;
             unsigned len = 0;
-            for (Node *l = headers_[h].head; l != nullptr; l = l->next) {
+            for (Addr l = headers_[h].head; l != 0;
+                 l = nodeAt(l).next) {
                 ++len;
                 ValueId v_n;
-                co_yield f.load(ga(l), 5, v_n, v_prev);
+                co_yield f.load(l, 5, v_n, v_prev);
                 co_yield OpFactory::workDep(2, v_n);
-                const bool matched = l->key == k;
+                const bool matched = nodeAt(l).key == k;
                 if (matched != prevOutcome_) {
                     prevOutcome_ = matched;
                     co_yield OpFactory::branchMiss(v_n);

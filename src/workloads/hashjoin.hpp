@@ -55,11 +55,13 @@ class HashJoinWorkload : public Workload
         std::uint64_t payload = 0;
     };
 
-    /** HJ-8 chain node (32 B, scatter-allocated). */
+    /** HJ-8 chain node (32 B, scatter-allocated).  Links are *guest*
+     *  addresses (0 = null): the PPU kernels read them straight out of
+     *  fetched lines, so they must live in the guest address space. */
     struct Node
     {
         std::uint64_t key = 0;
-        Node *next = nullptr;
+        Addr next = 0;
         std::uint64_t payload = 0;
         std::uint64_t pad = 0;
     };
@@ -67,12 +69,19 @@ class HashJoinWorkload : public Workload
     /** HJ-8 bucket header (16 B). */
     struct Header
     {
-        Node *head = nullptr;
+        Addr head = 0; ///< guest address of the first node (0 = empty)
         std::uint64_t count = 0;
     };
 
     std::uint64_t hashOpen(std::uint64_t k) const;
     std::uint64_t hashChained(std::uint64_t k) const;
+
+    /** The node behind a guest chain address. */
+    const Node &
+    nodeAt(Addr a) const
+    {
+        return pool_[(a - poolBase_) / sizeof(Node)];
+    }
 
     static constexpr std::uint64_t kHashMult = 0x9E3779B97F4A7C15ULL;
     static constexpr unsigned kSwpfDist = 24;
@@ -89,6 +98,7 @@ class HashJoinWorkload : public Workload
     std::vector<Bucket> open_;
     std::vector<Header> headers_;
     std::vector<Node> pool_;
+    Addr poolBase_ = 0; ///< guest base of pool_
     std::vector<std::uint64_t> outKeys_;
     std::uint64_t outCount_ = 0;
     std::uint64_t matches_ = 0;

@@ -6,18 +6,6 @@
 namespace epf
 {
 
-namespace
-{
-
-template <typename T>
-Addr
-ga(const T *p)
-{
-    return reinterpret_cast<Addr>(p);
-}
-
-} // namespace
-
 IntSortWorkload::IntSortWorkload(const WorkloadScale &scale)
 {
     numKeys_ = scale.scaled(std::uint64_t{1} << 21); // 8 MB of keys
@@ -27,6 +15,7 @@ IntSortWorkload::IntSortWorkload(const WorkloadScale &scale)
 void
 IntSortWorkload::setup(GuestMemory &mem, std::uint64_t seed)
 {
+    attach(mem);
     Rng rng(seed);
     keys_.resize(numKeys_);
     for (auto &k : keys_)

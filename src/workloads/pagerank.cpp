@@ -6,18 +6,6 @@
 namespace epf
 {
 
-namespace
-{
-
-template <typename T>
-Addr
-ga(const T *p)
-{
-    return reinterpret_cast<Addr>(p);
-}
-
-} // namespace
-
 PageRankWorkload::PageRankWorkload(const WorkloadScale &scale)
 {
     nodes_ = static_cast<std::uint32_t>(scale.scaled(128 * 1024));
@@ -27,6 +15,7 @@ PageRankWorkload::PageRankWorkload(const WorkloadScale &scale)
 void
 PageRankWorkload::setup(GuestMemory &mem, std::uint64_t seed)
 {
+    attach(mem);
     Rng rng(seed);
     EdgeList edges = powerLawEdges(nodes_, numEdges_, rng);
     Csr g = buildCsr(nodes_, edges, /*symmetrise=*/false);

@@ -9,14 +9,6 @@ namespace epf
 namespace
 {
 
-/** Guest address of a host object. */
-template <typename T>
-Addr
-ga(const T *p)
-{
-    return reinterpret_cast<Addr>(p);
-}
-
 constexpr std::uint64_t kPoly = 7;
 
 } // namespace
@@ -38,6 +30,7 @@ RandAccWorkload::lfsrNext(std::uint64_t r) const
 void
 RandAccWorkload::setup(GuestMemory &mem, std::uint64_t seed)
 {
+    attach(mem);
     seed_ = seed;
     table_.assign(tableEntries_, 0);
     for (std::uint64_t i = 0; i < tableEntries_; ++i)

@@ -51,7 +51,10 @@ class Workload
     /** Short name as used in the paper's figures. */
     virtual std::string name() const = 0;
 
-    /** Allocate data and register guest regions. */
+    /**
+     * Allocate data and register guest regions.  Implementations must
+     * call attach(mem) first so ga() can translate host pointers.
+     */
     virtual void setup(GuestMemory &mem, std::uint64_t seed) = 0;
 
     /**
@@ -71,6 +74,20 @@ class Workload
 
     /** Functional result for validation. */
     virtual std::uint64_t checksum() const = 0;
+
+  protected:
+    /** Remember the guest memory; call at the top of setup(). */
+    void attach(GuestMemory &mem) { gmem_ = &mem; }
+
+    /**
+     * Guest address of a host object inside a registered region.  Trace
+     * generation, manual kernels and the loop IR all describe *guest*
+     * addresses — never host pointers, whose values depend on heap
+     * layout and would make runs irreproducible.
+     */
+    Addr ga(const void *p) const { return gmem_->guestAddr(p); }
+
+    GuestMemory *gmem_ = nullptr;
 };
 
 /** Registry entry used by benches and examples. */

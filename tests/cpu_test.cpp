@@ -51,21 +51,21 @@ class CoreTest : public ::testing::Test
         eq_ = std::make_unique<EventQueue>();
         gmem_ = std::make_unique<GuestMemory>();
         buf_.assign(1 << 16, 1); // 512 KB: misses L1, mostly misses L2
-        gmem_->addRegion("buf", buf_.data(), buf_.size() * 8);
+        base_ = gmem_->addRegion("buf", buf_.data(), buf_.size() * 8);
         mem_ = std::make_unique<MemoryHierarchy>(*eq_, *gmem_,
                                                  MemParams::defaults());
         core_ = std::make_unique<Core>(*eq_, CoreParams{}, *mem_);
     }
 
-    Addr at(std::size_t i) { return reinterpret_cast<Addr>(&buf_[i]); }
+    Addr at(std::size_t i) { return base_ + i * 8; }
 
     /** Element index of the first page boundary inside the buffer, so
-     *  tests can keep all accesses within one 4 KB page. */
+     *  tests can keep all accesses within one 4 KB page.  Guest bases
+     *  are page-aligned, so the buffer starts on a boundary. */
     std::size_t
     pageStart() const
     {
-        Addr base = reinterpret_cast<Addr>(buf_.data());
-        return (kPageBytes - (base % kPageBytes)) % kPageBytes / 8;
+        return (kPageBytes - (base_ % kPageBytes)) % kPageBytes / 8;
     }
 
     /** Run a trace to completion, return consumed core cycles. */
@@ -83,6 +83,7 @@ class CoreTest : public ::testing::Test
     std::unique_ptr<EventQueue> eq_;
     std::unique_ptr<GuestMemory> gmem_;
     std::vector<std::uint64_t> buf_;
+    Addr base_ = 0;
     std::unique_ptr<MemoryHierarchy> mem_;
     std::unique_ptr<Core> core_;
 };

@@ -30,11 +30,8 @@ TEST(GuestMemoryTest, RegionLookup)
 {
     GuestMemory gm;
     std::vector<std::uint64_t> a(64, 7), b(64, 9);
-    gm.addRegion("a", a.data(), a.size() * 8);
-    gm.addRegion("b", b.data(), b.size() * 8);
-
-    Addr pa = reinterpret_cast<Addr>(a.data());
-    Addr pb = reinterpret_cast<Addr>(b.data());
+    Addr pa = gm.addRegion("a", a.data(), a.size() * 8);
+    Addr pb = gm.addRegion("b", b.data(), b.size() * 8);
     EXPECT_TRUE(gm.contains(pa));
     EXPECT_TRUE(gm.contains(pa + 511));
     EXPECT_FALSE(gm.contains(pa + 512));
@@ -47,8 +44,7 @@ TEST(GuestMemoryTest, ContainsRejectsStraddle)
 {
     GuestMemory gm;
     std::vector<std::uint64_t> a(8, 1);
-    gm.addRegion("a", a.data(), a.size() * 8);
-    Addr pa = reinterpret_cast<Addr>(a.data());
+    Addr pa = gm.addRegion("a", a.data(), a.size() * 8);
     EXPECT_TRUE(gm.contains(pa + 56, 8));
     EXPECT_FALSE(gm.contains(pa + 60, 8));
 }
@@ -59,11 +55,10 @@ TEST(GuestMemoryTest, ReadLineCopiesData)
     alignas(64) std::uint64_t buf[16];
     for (int i = 0; i < 16; ++i)
         buf[i] = static_cast<std::uint64_t>(i) * 3;
-    gm.addRegion("buf", buf, sizeof(buf));
+    Addr base = gm.addRegion("buf", buf, sizeof(buf));
 
     LineData line;
-    ASSERT_TRUE(gm.readLine(lineAlign(reinterpret_cast<Addr>(&buf[8])),
-                            line));
+    ASSERT_TRUE(gm.readLine(lineAlign(base + 8 * 8), line));
     std::uint64_t v;
     std::memcpy(&v, line.data(), 8);
     EXPECT_EQ(v, buf[8]);
@@ -74,6 +69,50 @@ TEST(GuestMemoryTest, UnmappedLineReadsFalse)
     GuestMemory gm;
     LineData line;
     EXPECT_FALSE(gm.readLine(0x100000, line));
+}
+
+TEST(GuestMemoryTest, BasesAreDeterministicAndHostIndependent)
+{
+    // Two registries with same-shaped regions behind different host
+    // allocations must assign identical guest bases: simulated timing
+    // depends on addresses, and addresses must not depend on the heap.
+    std::vector<std::uint64_t> a1(100), b1(7000);
+    std::vector<std::uint64_t> a2(100), b2(7000);
+    GuestMemory g1, g2;
+    Addr a1_base = g1.addRegion("a", a1.data(), a1.size() * 8);
+    Addr b1_base = g1.addRegion("b", b1.data(), b1.size() * 8);
+    Addr a2_base = g2.addRegion("a", a2.data(), a2.size() * 8);
+    Addr b2_base = g2.addRegion("b", b2.data(), b2.size() * 8);
+    EXPECT_EQ(a1_base, a2_base);
+    EXPECT_EQ(b1_base, b2_base);
+    EXPECT_EQ(a1_base, GuestMemory::kGuestBase);
+    // Page-aligned, with at least a guard page between regions.
+    EXPECT_EQ(b1_base % kPageBytes, 0u);
+    EXPECT_GE(b1_base, a1_base + a1.size() * 8 + kPageBytes);
+    EXPECT_FALSE(g1.contains(a1_base + a1.size() * 8));
+}
+
+TEST(GuestMemoryTest, GuestAddrTranslatesInteriorPointers)
+{
+    std::vector<std::uint64_t> a(64), b(64);
+    GuestMemory gm;
+    Addr a_base = gm.addRegion("a", a.data(), a.size() * 8);
+    Addr b_base = gm.addRegion("b", b.data(), b.size() * 8);
+    EXPECT_EQ(gm.guestAddr(a.data()), a_base);
+    EXPECT_EQ(gm.guestAddr(&a[17]), a_base + 17 * 8);
+    EXPECT_EQ(gm.guestAddr(&b[3]), b_base + 3 * 8);
+    // A pointer outside every region is a workload bug: loud failure.
+    int unregistered = 0;
+    EXPECT_THROW((void)gm.guestAddr(&unregistered), std::logic_error);
+}
+
+TEST(GuestMemoryTest, ClearResetsTheAllocator)
+{
+    std::vector<std::uint64_t> a(64);
+    GuestMemory gm;
+    Addr first = gm.addRegion("a", a.data(), a.size() * 8);
+    gm.clear();
+    EXPECT_EQ(gm.addRegion("a", a.data(), a.size() * 8), first);
 }
 
 // ---------------------------------------------------------------------
@@ -459,10 +498,8 @@ TEST(PageTableTest, StableAndDistinct)
 {
     GuestMemory gm;
     std::vector<std::uint64_t> buf(4096 * 4, 0); // 16 pages worth
-    gm.addRegion("buf", buf.data(), buf.size() * 8);
+    Addr base = gm.addRegion("buf", buf.data(), buf.size() * 8);
     PageTable pt(gm);
-
-    Addr base = reinterpret_cast<Addr>(buf.data());
     Addr p1 = pt.translate(base);
     Addr p1_again = pt.translate(base + 8);
     EXPECT_EQ(p1 >> kPageShift, p1_again >> kPageShift);
@@ -477,12 +514,10 @@ TEST(TlbTest, HitAfterWalkAndFlush)
     EventQueue eq;
     GuestMemory gm;
     std::vector<std::uint64_t> buf(1024, 0);
-    gm.addRegion("buf", buf.data(), buf.size() * 8);
+    Addr va = gm.addRegion("buf", buf.data(), buf.size() * 8);
     PageTable pt(gm);
     FakeParent walk_mem(eq, 50);
     Tlb tlb(eq, TlbParams{}, pt, walk_mem);
-
-    Addr va = reinterpret_cast<Addr>(buf.data());
     Addr got = 0;
     tlb.translate(va, [&](Addr pa, bool fault) {
         EXPECT_FALSE(fault);
@@ -525,14 +560,12 @@ TEST(TlbTest, ConcurrentWalksAreBounded)
     EventQueue eq;
     GuestMemory gm;
     std::vector<std::uint64_t> buf(4096 * 8, 0);
-    gm.addRegion("buf", buf.data(), buf.size() * 8);
+    Addr base = gm.addRegion("buf", buf.data(), buf.size() * 8);
     PageTable pt(gm);
     FakeParent walk_mem(eq, 500);
     TlbParams tp;
     tp.maxWalks = 2;
     Tlb tlb(eq, tp, pt, walk_mem);
-
-    Addr base = reinterpret_cast<Addr>(buf.data());
     int done = 0;
     for (unsigned i = 0; i < 6; ++i) {
         tlb.translate(base + i * kPageBytes,
@@ -555,10 +588,9 @@ TEST(HierarchyTest, LoadRoundTripAndStats)
     EventQueue eq;
     GuestMemory gm;
     std::vector<std::uint64_t> buf(1024, 5);
-    gm.addRegion("buf", buf.data(), buf.size() * 8);
+    Addr va = gm.addRegion("buf", buf.data(), buf.size() * 8);
     MemoryHierarchy mem(eq, gm, MemParams::defaults());
 
-    Addr va = reinterpret_cast<Addr>(buf.data());
     int done = 0;
     mem.load(va, 0, [&] { ++done; });
     eq.run();
@@ -580,7 +612,7 @@ TEST(HierarchyTest, PrefetchSourceDrainedAndFaultsDropped)
     EventQueue eq;
     GuestMemory gm;
     std::vector<std::uint64_t> buf(1024, 5);
-    gm.addRegion("buf", buf.data(), buf.size() * 8);
+    Addr va = gm.addRegion("buf", buf.data(), buf.size() * 8);
     MemoryHierarchy mem(eq, gm, MemParams::defaults());
 
     class Src : public PrefetchSource
@@ -597,7 +629,6 @@ TEST(HierarchyTest, PrefetchSourceDrainedAndFaultsDropped)
         }
     } src;
 
-    Addr va = reinterpret_cast<Addr>(buf.data());
     LineRequest ok;
     ok.vaddr = va;
     ok.isPrefetch = true;

@@ -119,10 +119,10 @@ class PpfTest : public ::testing::Test
         data_.resize(4096);
         for (std::size_t i = 0; i < data_.size(); ++i)
             data_[i] = i;
-        gmem_.addRegion("data", data_.data(), data_.size() * 8);
+        base_ = gmem_.addRegion("data", data_.data(), data_.size() * 8);
     }
 
-    Addr base() const { return reinterpret_cast<Addr>(data_.data()); }
+    Addr base() const { return base_; }
 
     std::unique_ptr<ProgrammablePrefetcher>
     make(PpfConfig cfg = {})
@@ -145,6 +145,7 @@ class PpfTest : public ::testing::Test
     EventQueue eq_;
     GuestMemory gmem_;
     std::vector<std::uint64_t> data_;
+    Addr base_ = 0;
     int kicks_ = 0;
 };
 
@@ -425,6 +426,134 @@ TEST_F(PpfTest, ContextSwitchAbortsEventsKeepsConfig)
     eq_.run();
     EXPECT_EQ(ppf->stats().eventsRun, 1u);
     EXPECT_EQ(ppf->global(3), 77u);
+}
+
+TEST_F(PpfTest, ContextSwitchAbortsInFlightViaEpochBump)
+{
+    auto ppf = make();
+    KernelBuilder b("k");
+    b.li(1, 1).prefetch(1).halt();
+    KernelId k = ppf->kernels().add(b.build());
+    FilterEntry fe;
+    fe.base = base();
+    fe.limit = base() + 1024;
+    fe.onLoad = k;
+    ppf->addFilter(fe);
+
+    // Several observations in flight (scheduled but not yet executed).
+    for (int i = 0; i < 3; ++i)
+        ppf->notifyDemand(base() + static_cast<Addr>(i) * 64, true, false,
+                          0);
+    EXPECT_EQ(ppf->stats().observations, 3u);
+    ppf->contextSwitch();
+    eq_.run();
+    // The epoch bump invalidated every scheduled event: none ran, none
+    // emitted, and no PPU is left marked busy.
+    EXPECT_EQ(ppf->stats().eventsRun, 0u);
+    EXPECT_FALSE(ppf->hasRequest());
+    ppf->notifyDemand(base(), true, false, 0);
+    eq_.run();
+    EXPECT_EQ(ppf->stats().eventsRun, 1u);
+}
+
+TEST_F(PpfTest, ContextSwitchKeepsConfigButResetsLookahead)
+{
+    auto ppf = make();
+    unsigned g = ppf->allocGlobal(0x1234);
+
+    FilterEntry src;
+    src.name = "src";
+    src.base = base();
+    src.limit = base() + 1024;
+    src.timeSource = true;
+    src.timedStart = true;
+    int src_idx = ppf->addFilter(src);
+
+    FilterEntry dst;
+    dst.name = "dst";
+    dst.base = base() + 2048;
+    dst.limit = base() + 4096;
+    dst.timedEnd = true;
+    ppf->addFilter(dst);
+
+    // Evenly spaced accesses seed the iteration EWMA; a slow timed
+    // chain fill seeds the chain EWMA, pushing the lookahead off its
+    // initial value.
+    const std::uint64_t initial = ppf->lookaheadOf(src_idx);
+    Tick t = 0;
+    for (int i = 0; i < 20; ++i) {
+        t += 160;
+        eq_.schedule(t, [&ppf, this, i] {
+            ppf->notifyDemand(base() + static_cast<Addr>(i % 8) * 64,
+                              true, false, 0);
+        });
+    }
+    LineRequest fill;
+    fill.vaddr = base() + 2048;
+    fill.isPrefetch = true;
+    fill.hasTimedStart = true;
+    fill.timedStart = 0;
+    fill.timedOrigin = static_cast<std::int16_t>(src_idx);
+    eq_.schedule(6400, [&] { ppf->notifyPrefetchFill(fill); });
+    eq_.run();
+    ASSERT_NE(ppf->lookaheadOf(src_idx), initial);
+
+    ppf->contextSwitch();
+    // Transient state (EWMAs) is gone...
+    EXPECT_EQ(ppf->lookaheadOf(src_idx), initial);
+    // ...but configuration survives: filters and globals.
+    EXPECT_EQ(ppf->filters().size(), 2u);
+    EXPECT_EQ(ppf->global(g), 0x1234u);
+}
+
+TEST_F(PpfTest, ResetClearsConfigurationUnlikeContextSwitch)
+{
+    auto ppf = make();
+    KernelBuilder b("k");
+    b.li(1, 1).prefetch(1).halt();
+    KernelId k = ppf->kernels().add(b.build());
+    FilterEntry fe;
+    fe.base = base();
+    fe.limit = base() + 1024;
+    fe.onLoad = k;
+    ppf->addFilter(fe);
+    unsigned g = ppf->allocGlobal(99);
+    ppf->notifyDemand(base(), true, false, 0);
+    eq_.run();
+    EXPECT_EQ(ppf->stats().eventsRun, 1u);
+
+    ppf->reset();
+    // Unlike contextSwitch, reset drops configuration and statistics.
+    EXPECT_EQ(ppf->filters().size(), 0u);
+    EXPECT_EQ(ppf->global(g), 0u);
+    EXPECT_EQ(ppf->stats().eventsRun, 0u);
+    EXPECT_EQ(ppf->stats().observations, 0u);
+    // The global allocator rewinds: the next allocation reuses slot 0.
+    EXPECT_EQ(ppf->allocGlobal(7), g);
+    // The old filter no longer matches anything.
+    ppf->notifyDemand(base(), true, false, 0);
+    eq_.run();
+    EXPECT_EQ(ppf->stats().observations, 0u);
+    EXPECT_EQ(ppf->stats().eventsRun, 0u);
+}
+
+TEST_F(PpfTest, ResetAbortsInFlightEvents)
+{
+    auto ppf = make();
+    KernelBuilder b("k");
+    b.li(1, 1).prefetch(1).halt();
+    KernelId k = ppf->kernels().add(b.build());
+    FilterEntry fe;
+    fe.base = base();
+    fe.limit = base() + 1024;
+    fe.onLoad = k;
+    ppf->addFilter(fe);
+
+    ppf->notifyDemand(base(), true, false, 0);
+    ppf->reset(); // epoch bump: the scheduled event must not run
+    eq_.run();
+    EXPECT_EQ(ppf->stats().eventsRun, 0u);
+    EXPECT_FALSE(ppf->hasRequest());
 }
 
 TEST_F(PpfTest, BlockedModeStallsPpuUntilFill)

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Tests for the parallel sweep engine: deterministic per-cell seed
+ * derivation, identical results at any thread count, grid layout,
+ * dataset pinning via seedAs, failure isolation and JSON emission.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "runner/sweep.hpp"
+
+namespace epf
+{
+namespace
+{
+
+constexpr double kTinyScale = 0.02;
+
+SweepEngine
+engineWith(unsigned threads)
+{
+    SweepEngine::Options opts;
+    opts.threads = threads;
+    return SweepEngine(opts);
+}
+
+RunConfig
+tinyConfig(Technique t)
+{
+    RunConfig cfg;
+    cfg.technique = t;
+    cfg.scale.factor = kTinyScale;
+    return cfg;
+}
+
+TEST(DeriveCellSeedTest, StableAndDecorrelated)
+{
+    const std::uint64_t s =
+        deriveCellSeed(1, "RandAcc", Technique::kStride);
+    EXPECT_EQ(s, deriveCellSeed(1, "RandAcc", Technique::kStride));
+    EXPECT_NE(s, deriveCellSeed(2, "RandAcc", Technique::kStride));
+    EXPECT_NE(s, deriveCellSeed(1, "IntSort", Technique::kStride));
+    EXPECT_NE(s, deriveCellSeed(1, "RandAcc", Technique::kNone));
+}
+
+TEST(SweepEngineTest, GridLayoutIsRowMajor)
+{
+    SweepEngine e = engineWith(1);
+    e.addGrid({"RandAcc", "IntSort"},
+              {Technique::kNone, Technique::kStride},
+              tinyConfig(Technique::kNone));
+    ASSERT_EQ(e.size(), 4u);
+    EXPECT_EQ(e.cells()[0].workload, "RandAcc");
+    EXPECT_EQ(e.cells()[0].config.technique, Technique::kNone);
+    EXPECT_EQ(e.cells()[1].workload, "RandAcc");
+    EXPECT_EQ(e.cells()[1].config.technique, Technique::kStride);
+    EXPECT_EQ(e.cells()[2].workload, "IntSort");
+    EXPECT_EQ(e.cells()[3].label, techniqueName(Technique::kStride));
+}
+
+/** The acceptance property: a grid run with 1 thread and with N
+ *  threads yields identical RunResults cell for cell. */
+TEST(SweepEngineTest, ThreadCountDoesNotChangeResults)
+{
+    const std::vector<std::string> wls = {"RandAcc", "IntSort"};
+    const std::vector<Technique> techs = {Technique::kNone,
+                                          Technique::kStride};
+
+    SweepEngine serial = engineWith(1);
+    serial.addGrid(wls, techs, tinyConfig(Technique::kNone));
+    const auto a = serial.run();
+
+    SweepEngine pooled = engineWith(4);
+    pooled.addGrid(wls, techs, tinyConfig(Technique::kNone));
+    const auto b = pooled.run();
+
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        SCOPED_TRACE(a[i].cell.workload + "/" + a[i].cell.label);
+        EXPECT_FALSE(a[i].failed);
+        EXPECT_FALSE(b[i].failed);
+        EXPECT_EQ(a[i].cell.config.seed, b[i].cell.config.seed);
+        EXPECT_EQ(a[i].result.checksum, b[i].result.checksum);
+        EXPECT_EQ(a[i].result.cycles, b[i].result.cycles);
+        EXPECT_EQ(a[i].result.instrs, b[i].result.instrs);
+        EXPECT_EQ(a[i].result.dramReads, b[i].result.dramReads);
+    }
+}
+
+TEST(SweepEngineTest, SeedAsPinsTheDataset)
+{
+    // Pinning every column to kNone's seed makes all techniques run the
+    // same workload instance: functional checksums must agree.
+    SweepEngine e = engineWith(2);
+    e.addGrid({"RandAcc"}, {Technique::kNone, Technique::kStride},
+              tinyConfig(Technique::kNone), Technique::kNone);
+    const auto out = e.run();
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].cell.config.seed, out[1].cell.config.seed);
+    EXPECT_EQ(out[0].result.checksum, out[1].result.checksum);
+
+    // Without pinning, the techniques get decorrelated datasets.
+    SweepEngine e2 = engineWith(2);
+    e2.addGrid({"RandAcc"}, {Technique::kNone, Technique::kStride},
+               tinyConfig(Technique::kNone));
+    const auto out2 = e2.run();
+    EXPECT_NE(out2[0].cell.config.seed, out2[1].cell.config.seed);
+}
+
+TEST(SweepEngineTest, FailedCellDoesNotAbortSweep)
+{
+    SweepEngine e = engineWith(2);
+    e.add("NoSuchWorkload", tinyConfig(Technique::kNone));
+    e.add("RandAcc", tinyConfig(Technique::kNone));
+    const auto out = e.run();
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_TRUE(out[0].failed);
+    EXPECT_NE(out[0].error.find("NoSuchWorkload"), std::string::npos);
+    EXPECT_FALSE(out[1].failed);
+    EXPECT_GT(out[1].result.cycles, 0u);
+}
+
+TEST(SweepEngineTest, ProgressCallbackSeesEveryCell)
+{
+    SweepEngine::Options opts;
+    opts.threads = 2;
+    std::size_t calls = 0;
+    std::size_t last_total = 0;
+    opts.progress = [&](std::size_t, std::size_t total,
+                        const SweepOutcome &) {
+        ++calls;
+        last_total = total;
+    };
+    SweepEngine e(opts);
+    e.add("RandAcc", tinyConfig(Technique::kNone));
+    e.add("IntSort", tinyConfig(Technique::kNone));
+    e.run();
+    EXPECT_EQ(calls, 2u);
+    EXPECT_EQ(last_total, 2u);
+}
+
+TEST(SweepEngineTest, RunClearsTheQueue)
+{
+    SweepEngine e = engineWith(1);
+    e.add("RandAcc", tinyConfig(Technique::kNone));
+    EXPECT_EQ(e.size(), 1u);
+    e.run();
+    EXPECT_EQ(e.size(), 0u);
+    EXPECT_TRUE(e.run().empty());
+}
+
+TEST(SweepJsonTest, EmitsWellFormedRecords)
+{
+    SweepEngine e = engineWith(2);
+    e.add("RandAcc", tinyConfig(Technique::kNone), "baseline");
+    e.add("NoSuchWorkload", tinyConfig(Technique::kNone));
+    const auto out = e.run();
+
+    std::ostringstream os;
+    SweepEngine::writeJson(os, out, /*detail=*/true);
+    const std::string json = os.str();
+
+    EXPECT_NE(json.find("\"workload\": \"RandAcc\""), std::string::npos);
+    EXPECT_NE(json.find("\"label\": \"baseline\""), std::string::npos);
+    EXPECT_NE(json.find("\"cycles\": "), std::string::npos);
+    // Checksums are emitted as strings (they exceed 2^53).
+    EXPECT_NE(json.find("\"checksum\": \""), std::string::npos);
+    EXPECT_NE(json.find("\"detail\": {"), std::string::npos);
+    EXPECT_NE(json.find("\"failed\": true"), std::string::npos);
+    // Crude balance check on the array brackets.
+    EXPECT_EQ(json.front(), '[');
+    EXPECT_EQ(json.back(), '\n');
+    EXPECT_NE(json.find("]\n"), std::string::npos);
+}
+
+} // namespace
+} // namespace epf
