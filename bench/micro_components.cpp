@@ -8,12 +8,18 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "compiler/ir.hpp"
 #include "compiler/passes.hpp"
 #include "isa/builder.hpp"
 #include "isa/interpreter.hpp"
 #include "mem/cache.hpp"
 #include "mem/dram.hpp"
+#include "mem/guest_memory.hpp"
+#include "mem/hierarchy.hpp"
+#include "ppf/filter.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
 
@@ -34,6 +40,91 @@ BM_EventQueue(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_EventQueue);
+
+/**
+ * The engine's real scheduling pattern: events that schedule follow-on
+ * events, heavy same-tick fan-out (every completion path in the
+ * hierarchy uses scheduleIn(0)), and capture sizes typical of the
+ * demand path rather than a single reference.
+ */
+void
+BM_EventQueueChained(benchmark::State &state)
+{
+    for (auto _ : state) {
+        epf::EventQueue eq;
+        std::uint64_t sink = 0;
+        for (int i = 0; i < 256; ++i) {
+            std::uint64_t a = static_cast<std::uint64_t>(i);
+            std::uint64_t b = a * 3, c = a * 5, d = a * 7;
+            eq.schedule(static_cast<epf::Tick>(i % 31),
+                        [&eq, &sink, a, b, c, d] {
+                            sink += a + b;
+                            eq.scheduleIn(0, [&eq, &sink, c, d] {
+                                sink += c + d;
+                                eq.scheduleIn(3, [&sink] { ++sink; });
+                            });
+                        });
+        }
+        eq.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * 256 * 3);
+}
+BENCHMARK(BM_EventQueueChained);
+
+/**
+ * Host cost of the full demand path: TLB translate, L1/L2 lookup, MSHR
+ * allocation and retry, DRAM timing, completion callbacks.  The working
+ * set exceeds the L1 so iterations exercise a steady hit/miss mix.
+ */
+void
+BM_DemandPath(benchmark::State &state)
+{
+    epf::EventQueue eq;
+    epf::GuestMemory gmem;
+    std::vector<std::uint64_t> data(1 << 16); // 512 KiB: > L1, < L2
+    const epf::Addr base =
+        gmem.addRegion("bench", data.data(), data.size() * 8);
+    epf::MemoryHierarchy mem(eq, gmem, epf::MemParams::defaults());
+    epf::Rng rng(1);
+    std::uint64_t done = 0;
+
+    for (auto _ : state) {
+        for (int i = 0; i < 64; ++i) {
+            const epf::Addr a =
+                base + (rng.next() & ((data.size() * 8) - 1) & ~7ULL);
+            mem.load(a, 0, [&done] { ++done; });
+        }
+        eq.run();
+        benchmark::DoNotOptimize(done);
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_DemandPath);
+
+/** Address-filter lookup, run on every snooped core read. */
+void
+BM_FilterMatch(benchmark::State &state)
+{
+    epf::FilterTable ft;
+    for (int i = 0; i < 16; ++i) {
+        epf::FilterEntry e;
+        e.base = static_cast<epf::Addr>(i) * 0x100000;
+        e.limit = e.base + 0x80000;
+        ft.add(e);
+    }
+    epf::Rng rng(7);
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        const epf::Addr a = rng.next() & 0xFFFFFF;
+        ft.match(a, [&](int idx, const epf::FilterEntry &) {
+            sink += static_cast<std::uint64_t>(idx);
+        });
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FilterMatch);
 
 void
 BM_CacheHits(benchmark::State &state)

@@ -9,6 +9,10 @@ Core::Core(EventQueue &eq, const CoreParams &params, MemoryHierarchy &mem)
     : eq_(eq), p_(params), mem_(mem)
 {
     valueReady_.reserve(1 << 20);
+    // Every ROB entry costs at least one instruction, so occupancy never
+    // exceeds robEntries — reserving that up front keeps the pooled
+    // RobEntry pointers stable (the ring never reallocates).
+    rob_.reserve(p_.robEntries + 1);
 }
 
 void
@@ -19,7 +23,10 @@ Core::run(Generator<MicroOp> trace, std::function<void()> on_done)
     traceValid_ = false;
     traceDone_ = false;
     onDone_ = std::move(on_done);
-    rob_.clear();
+    while (!rob_.empty()) {
+        robPool_.release(rob_.front());
+        rob_.pop_front();
+    }
     robInstrs_ = 0;
     lqUsed_ = 0;
     sqUsed_ = 0;
@@ -29,6 +36,19 @@ Core::run(Generator<MicroOp> trace, std::function<void()> on_done)
     branchPending_ = false;
     refillLeft_ = 0;
     eq_.scheduleIn(0, [this] { tick(); });
+}
+
+Core::RobEntry *
+Core::newRobEntry(MicroOp op)
+{
+    // Pooled: reset every field the previous occupant may have left.
+    RobEntry *e = robPool_.acquire();
+    e->op = std::move(op);
+    e->issued = false;
+    e->complete = false;
+    e->seq = seq_++;
+    rob_.push_back(e);
+    return e;
 }
 
 bool
@@ -112,13 +132,14 @@ Core::commit()
     // proportionally many cycles on average).
     int budget = static_cast<int>(p_.width);
     bool any = false;
-    while (budget > 0 && !rob_.empty() && rob_.front().complete) {
-        RobEntry &e = rob_.front();
-        budget -= static_cast<int>(e.op.instrs);
-        assert(robInstrs_ >= e.op.instrs);
-        robInstrs_ -= e.op.instrs;
-        markValueReady(e.op.produces);
+    while (budget > 0 && !rob_.empty() && rob_.front()->complete) {
+        RobEntry *e = rob_.front();
+        budget -= static_cast<int>(e->op.instrs);
+        assert(robInstrs_ >= e->op.instrs);
+        robInstrs_ -= e->op.instrs;
+        markValueReady(e->op.produces);
         rob_.pop_front();
+        robPool_.release(e);
         any = true;
     }
     return any;
@@ -128,7 +149,8 @@ bool
 Core::completeWork()
 {
     bool any = false;
-    for (auto &e : rob_) {
+    for (RobEntry *ep : rob_) {
+        RobEntry &e = *ep;
         if (e.complete)
             continue;
         switch (e.op.kind) {
@@ -163,7 +185,8 @@ Core::issueMemOps()
 {
     unsigned load_ports = p_.lsuPorts;
     bool any = false;
-    for (auto &e : rob_) {
+    for (RobEntry *ep : rob_) {
+        RobEntry &e = *ep;
         if (e.issued || e.complete)
             continue;
         switch (e.op.kind) {
@@ -176,7 +199,7 @@ Core::issueMemOps()
             e.issued = true;
             --load_ports;
             any = true;
-            RobEntry *entry = &e;
+            RobEntry *entry = ep;
             mem_.load(e.op.vaddr, e.op.streamId, [this, entry] {
                 entry->complete = true;
                 // Loads broadcast their value as soon as data returns.
@@ -264,64 +287,52 @@ Core::dispatch()
 
         switch (op.kind) {
           case MicroOp::Kind::Work: {
-            RobEntry e;
-            e.op = op;
+            RobEntry &e = *newRobEntry(op);
             e.op.instrs = need;
-            e.seq = seq_++;
             // Dependence-free work completes at dispatch but still
             // occupies its share of the window until it commits.
-            e.complete = op.deps[0] == 0 && op.deps[1] == 0;
+            e.complete = e.op.deps[0] == 0 && e.op.deps[1] == 0;
             workRemaining_ = op.instrs;
             robInstrs_ += need;
-            rob_.push_back(std::move(e));
             traceValid_ = false;
             any = true;
             break;
           }
           case MicroOp::Kind::Load:
           case MicroOp::Kind::Store: {
-            RobEntry e;
-            e.op = std::move(op);
+            RobEntry &e = *newRobEntry(std::move(op));
             e.op.instrs = 1;
-            e.seq = seq_++;
             stats_.instrs += 1;
             if (e.op.kind == MicroOp::Kind::Load)
                 ++stats_.loads;
             else
                 ++stats_.stores;
             robInstrs_ += 1;
-            rob_.push_back(std::move(e));
             traceValid_ = false;
             budget -= 1;
             any = true;
             break;
           }
           case MicroOp::Kind::SwPrefetch: {
-            RobEntry e;
-            e.op = std::move(op);
+            RobEntry &e = *newRobEntry(std::move(op));
             e.op.instrs = 1;
-            e.seq = seq_++;
             stats_.instrs += 1;
             ++stats_.swPrefetches;
             robInstrs_ += 1;
-            rob_.push_back(std::move(e));
             traceValid_ = false;
             budget -= 1;
             any = true;
             break;
           }
           case MicroOp::Kind::BranchMiss: {
-            RobEntry e;
-            e.op = std::move(op);
+            RobEntry &e = *newRobEntry(std::move(op));
             e.op.instrs = 1;
-            e.seq = seq_++;
             stats_.instrs += 1;
             ++stats_.branchMisses;
             robInstrs_ += 1;
             // Resolution may already be possible (dep ready): leave the
             // completion to completeWork on this or a later cycle.
             branchPending_ = true;
-            rob_.push_back(std::move(e));
             traceValid_ = false;
             budget -= 1;
             any = true;

@@ -15,7 +15,6 @@
 #define EPF_CPU_CORE_HPP
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <vector>
 
@@ -24,6 +23,8 @@
 #include "mem/hierarchy.hpp"
 #include "sim/clock.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/object_pool.hpp"
+#include "sim/ring_buffer.hpp"
 
 namespace epf
 {
@@ -101,6 +102,9 @@ class Core
     bool depsReady(const MicroOp &op) const;
     void markValueReady(ValueId id);
 
+    /** Acquire a pooled entry, initialise it from @p op, append to rob_. */
+    RobEntry *newRobEntry(MicroOp op);
+
     EventQueue &eq_;
     CoreParams p_;
     MemoryHierarchy &mem_;
@@ -110,7 +114,14 @@ class Core
     bool traceDone_ = false;
     std::function<void()> onDone_;
 
-    std::deque<RobEntry> rob_;
+    /**
+     * The reorder buffer: a FIFO ring of pooled entries.  Entries are
+     * pool-backed so completion callbacks can hold a stable RobEntry*
+     * across the entry's whole flight, and the ring reuses one buffer
+     * forever — dispatching allocates nothing once the pool is warm.
+     */
+    Ring<RobEntry *> rob_;
+    ObjectPool<RobEntry> robPool_;
     /** ROB occupancy in *instructions* (a 40-entry ROB holds 40). */
     unsigned robInstrs_ = 0;
     unsigned lqUsed_ = 0;

@@ -90,8 +90,13 @@ Cache::allocMshr()
         return nullptr;
     for (auto &m : mshrs_) {
         if (!m.valid) {
-            m = Mshr{};
+            // Recycle in place: waiters is empty (cleared at release)
+            // but keeps its capacity.
             m.valid = true;
+            m.lineAddr = 0;
+            m.wasStore = false;
+            m.demanded = false;
+            m.req = LineRequest{};
             --freeMshrs_;
             return &m;
         }
@@ -102,7 +107,9 @@ Cache::allocMshr()
 void
 Cache::releaseMshr(Mshr &m)
 {
-    m = Mshr{};
+    m.valid = false;
+    m.waiters.clear();
+    m.req = LineRequest{};
     ++freeMshrs_;
     if (mshrFreeHook_)
         mshrFreeHook_();
@@ -120,7 +127,7 @@ Cache::touchForDemand(Line &line)
 }
 
 Cache::DemandResult
-Cache::demandAccess(bool is_load, Addr vaddr, Addr paddr, DoneFn done)
+Cache::demandAccess(bool is_load, Addr vaddr, Addr paddr, DoneFn &&done)
 {
     const Addr line_addr = lineAlign(paddr);
 
@@ -171,9 +178,12 @@ Cache::demandAccess(bool is_load, Addr vaddr, Addr paddr, DoneFn done)
     m->req.vaddr = lineAlign(vaddr);
     m->req.isPrefetch = false;
 
-    LineRequest fwd = m->req;
-    eq_.scheduleIn(p_.accessLatency, [this, fwd, m] {
-        parent_.readLine(fwd, [this, m] { handleFill(*m); });
+    // The forward reads m->req at fire time.  The MSHR cannot be
+    // recycled before then (it is only released by the fill this very
+    // forward requests), and the levels below only look at fields a
+    // concurrent tag adoption never changes (paddr, isPrefetch).
+    eq_.scheduleIn(p_.accessLatency, [this, m] {
+        parent_.readLine(m->req, [this, m] { handleFill(*m); });
     });
     return DemandResult::Miss;
 }
@@ -216,9 +226,8 @@ Cache::prefetchAccess(const LineRequest &req)
     m->req.vaddr = lineAlign(req.vaddr);
     m->req.isPrefetch = true;
 
-    LineRequest fwd = m->req;
-    eq_.scheduleIn(p_.accessLatency, [this, fwd, m] {
-        parent_.readLine(fwd, [this, m] { handleFill(*m); });
+    eq_.scheduleIn(p_.accessLatency, [this, m] {
+        parent_.readLine(m->req, [this, m] { handleFill(*m); });
     });
     return PrefetchResult::Issued;
 }
@@ -269,10 +278,16 @@ Cache::handleFill(Mshr &m)
         (pf || m.req.tag >= 0 || m.req.cbKernel >= 0))
         listener_->notifyPrefetchFill(m.req);
 
-    auto waiters = std::move(m.waiters);
+    // Swap the waiters into a reusable scratch buffer (keeps both
+    // vectors' capacities alive), release the MSHR — which may run the
+    // free hook and drain the overflow queue — then schedule the
+    // waiters, preserving the original event ordering.
+    assert(fillWaiters_.empty());
+    fillWaiters_.swap(m.waiters);
     releaseMshr(m);
-    for (auto &w : waiters)
+    for (auto &w : fillWaiters_)
         eq_.scheduleIn(0, std::move(w));
+    fillWaiters_.clear();
 }
 
 void
@@ -312,9 +327,8 @@ Cache::readLine(const LineRequest &req, DoneFn done)
     m->req.paddr = line_addr;
     m->waiters.push_back(std::move(done));
 
-    LineRequest fwd = m->req;
-    eq_.scheduleIn(p_.accessLatency, [this, fwd, m] {
-        parent_.readLine(fwd, [this, m] { handleFill(*m); });
+    eq_.scheduleIn(p_.accessLatency, [this, m] {
+        parent_.readLine(m->req, [this, m] { handleFill(*m); });
     });
 }
 

@@ -19,7 +19,6 @@
 #define EPF_MEM_CACHE_HPP
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <string>
 #include <vector>
@@ -27,6 +26,7 @@
 #include "mem/mem_iface.hpp"
 #include "mem/packet.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/ring_buffer.hpp"
 #include "sim/types.hpp"
 
 namespace epf
@@ -93,9 +93,14 @@ class Cache : public MemLevel
 
     // ---- Interface used when this cache is the L1 ----
 
-    /** Demand load/store from the core.  @p done fires at data-ready. */
+    /**
+     * Demand load/store from the core.  @p done fires at data-ready.
+     * @p done is consumed unless the access is rejected (NoMshr), in
+     * which case it is left intact so the caller can retry without
+     * rebuilding the callback.
+     */
     DemandResult demandAccess(bool is_load, Addr vaddr, Addr paddr,
-                              DoneFn done);
+                              DoneFn &&done);
 
     /** Present a prefetch request (from the PF queue or a swpf). */
     PrefetchResult prefetchAccess(const LineRequest &req);
@@ -156,6 +161,11 @@ class Cache : public MemLevel
     const Line *findLine(Addr line_addr) const;
     Line &pickVictim(Addr line_addr);
     Mshr *findMshr(Addr line_addr);
+    /**
+     * MSHRs are a fixed pool: alloc/release recycle entries in place,
+     * keeping each entry's waiter-vector capacity so the demand path
+     * stops allocating once warm.
+     */
     Mshr *allocMshr();
     void releaseMshr(Mshr &m);
 
@@ -184,7 +194,10 @@ class Cache : public MemLevel
     std::uint64_t lruClock_ = 0;
 
     /** Lower-level reads waiting for an MSHR (L2 input queue). */
-    std::deque<std::pair<LineRequest, DoneFn>> overflow_;
+    Ring<std::pair<LineRequest, DoneFn>> overflow_;
+
+    /** Scratch buffer for waiters during a fill (capacity reused). */
+    std::vector<DoneFn> fillWaiters_;
 
     Stats stats_;
 };

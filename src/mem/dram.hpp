@@ -13,11 +13,11 @@
 #define EPF_MEM_DRAM_HPP
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "mem/mem_iface.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/ring_buffer.hpp"
 #include "sim/types.hpp"
 
 namespace epf
@@ -87,7 +87,7 @@ class Dram : public MemLevel
         Tick readyAt = 0;
         /** Earliest tick a precharge is allowed (tRAS from activate). */
         Tick prechargeOkAt = 0;
-        std::deque<std::pair<LineRequest, DoneFn>> queue;
+        Ring<std::pair<LineRequest, DoneFn>> queue;
         bool scheduled = false;
     };
 

@@ -74,38 +74,41 @@ MemoryHierarchy::demandAccess(bool is_load, Addr vaddr, int stream_id,
                               DoneFn done)
 {
     assert(mem_.contains(vaddr) && "core accessed an unmapped address");
-    tlb_->translate(vaddr,
-                    [this, is_load, vaddr, stream_id,
-                     done = std::move(done)](Addr paddr, bool fault) mutable {
-                        assert(!fault && "demand access faulted");
-                        (void)fault;
-                        attemptDemand(is_load, vaddr, paddr, stream_id,
-                                      std::move(done));
-                    });
+    // The whole request rides in a pooled transaction; every hop below
+    // captures just the pointer.
+    DemandTxn *txn = demandTxns_.acquire();
+    txn->vaddr = vaddr;
+    txn->paddr = 0;
+    txn->streamId = stream_id;
+    txn->isLoad = is_load;
+    txn->done = std::move(done);
+    tlb_->translate(vaddr, [this, txn](Addr paddr, bool fault) {
+        assert(!fault && "demand access faulted");
+        (void)fault;
+        txn->paddr = paddr;
+        attemptDemand(txn);
+    });
 }
 
 void
-MemoryHierarchy::attemptDemand(bool is_load, Addr vaddr, Addr paddr,
-                               int stream_id, DoneFn done)
+MemoryHierarchy::attemptDemand(DemandTxn *txn)
 {
-    auto res = l1_->demandAccess(is_load, vaddr, paddr, done);
+    auto res = l1_->demandAccess(txn->isLoad, txn->vaddr, txn->paddr,
+                                 std::move(txn->done));
     if (res == Cache::DemandResult::NoMshr) {
+        // txn->done was not consumed; retry with the same transaction.
         ++stats_.loadRetries;
-        eq_.scheduleIn(p_.corePeriod,
-                       [this, is_load, vaddr, paddr, stream_id,
-                        done = std::move(done)]() mutable {
-                           attemptDemand(is_load, vaddr, paddr, stream_id,
-                                         std::move(done));
-                       });
+        eq_.scheduleIn(p_.corePeriod, [this, txn] { attemptDemand(txn); });
         return;
     }
     if (listener_ != nullptr) {
         bool hit = res == Cache::DemandResult::Hit;
-        listener_->notifyDemand(vaddr, is_load, hit, stream_id);
+        listener_->notifyDemand(txn->vaddr, txn->isLoad, hit, txn->streamId);
         // Baseline prefetchers enqueue candidates during the notify;
         // give the issue path a chance to drain them immediately.
         tryIssuePrefetches();
     }
+    demandTxns_.release(txn);
 }
 
 void

@@ -17,7 +17,6 @@
 #define EPF_MEM_HIERARCHY_HPP
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 
 #include "mem/cache.hpp"
@@ -26,6 +25,8 @@
 #include "mem/mem_iface.hpp"
 #include "mem/tlb.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/object_pool.hpp"
+#include "sim/ring_buffer.hpp"
 
 namespace epf
 {
@@ -108,9 +109,22 @@ class MemoryHierarchy
     void resetStats();
 
   private:
+    /**
+     * One demand access in flight between the core and the L1.  Pooled:
+     * the TLB callback and the MSHR retry loop carry a pointer to this
+     * instead of re-capturing the whole request each hop.
+     */
+    struct DemandTxn
+    {
+        Addr vaddr = 0;
+        Addr paddr = 0;
+        int streamId = 0;
+        bool isLoad = false;
+        DoneFn done;
+    };
+
     void demandAccess(bool is_load, Addr vaddr, int stream_id, DoneFn done);
-    void attemptDemand(bool is_load, Addr vaddr, Addr paddr, int stream_id,
-                       DoneFn done);
+    void attemptDemand(DemandTxn *txn);
     void tryIssuePrefetches();
     void issueTranslatedPrefetch(const LineRequest &req);
 
@@ -128,7 +142,9 @@ class MemoryHierarchy
     PrefetchSource *pfSource_ = nullptr;
 
     /** Translated prefetches waiting for a free MSHR. */
-    std::deque<LineRequest> pfSkid_;
+    Ring<LineRequest> pfSkid_;
+    /** In-flight demand accesses (reused across the whole run). */
+    ObjectPool<DemandTxn> demandTxns_;
     /** Outstanding prefetch translations (bounds TLB pressure). */
     unsigned pfTranslations_ = 0;
     static constexpr unsigned kMaxPfTranslations = 4;

@@ -7,8 +7,8 @@
 #define EPF_MEM_PACKET_HPP
 
 #include <cstdint>
-#include <functional>
 
+#include "sim/small_function.hpp"
 #include "sim/types.hpp"
 
 namespace epf
@@ -50,8 +50,14 @@ struct LineRequest
     bool synthesized = false;
 };
 
-/** Completion callback used throughout the hierarchy. */
-using DoneFn = std::function<void()>;
+/**
+ * Completion callback used throughout the hierarchy.
+ *
+ * Deliberately the same type as EventQueue::Callback so completions move
+ * straight onto the event queue without re-wrapping (and with no heap
+ * allocation for captures up to the inline budget).
+ */
+using DoneFn = SmallFunction<void()>;
 
 } // namespace epf
 

@@ -112,9 +112,18 @@ Tlb::translate(Addr vaddr, TranslateFn cb)
     if (lookupL2(vpn, ppn)) {
         ++stats_.l2Hits;
         insertL1(vpn, ppn);
-        Addr paddr = (ppn << kPageShift) | offset;
-        eq_.scheduleIn(p_.l2Latency,
-                       [cb = std::move(cb), paddr] { cb(paddr, false); });
+        // Hot path: park the callback in a pooled PendingHit so the
+        // scheduled event is a single pointer capture instead of a
+        // closure holding the whole TranslateFn.
+        PendingHit *ph = pendingHits_.acquire();
+        ph->paddr = (ppn << kPageShift) | offset;
+        ph->cb = std::move(cb);
+        eq_.scheduleIn(p_.l2Latency, [this, ph] {
+            TranslateFn fn = std::move(ph->cb);
+            const Addr paddr = ph->paddr;
+            pendingHits_.release(ph);
+            fn(paddr, false);
+        });
         return;
     }
     startWalk(vpn, [this, vpn, offset, cb = std::move(cb)](Addr, bool) {

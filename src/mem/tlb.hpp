@@ -14,14 +14,15 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <unordered_map>
 #include <vector>
 
 #include "mem/guest_memory.hpp"
 #include "mem/mem_iface.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/object_pool.hpp"
 #include "sim/rng.hpp"
+#include "sim/small_function.hpp"
 #include "sim/types.hpp"
 
 namespace epf
@@ -74,8 +75,12 @@ struct TlbParams
 class Tlb
 {
   public:
-    /** Result callback: (paddr, fault). */
-    using TranslateFn = std::function<void(Addr, bool)>;
+    /**
+     * Result callback: (paddr, fault).  56 inline bytes covers the
+     * demand path (a pooled-transaction pointer) and the prefetch path
+     * (a LineRequest by value) without heap allocation.
+     */
+    using TranslateFn = SmallFunction<void(Addr, bool), 56>;
 
     struct Stats
     {
@@ -122,6 +127,13 @@ class Tlb
         std::vector<TranslateFn> waiters;
     };
 
+    /** An L2-hit completion in flight (pooled: L2 hits are hot). */
+    struct PendingHit
+    {
+        Addr paddr = 0;
+        TranslateFn cb;
+    };
+
     bool lookupL1(Addr vpn, Addr &ppn);
     bool lookupL2(Addr vpn, Addr &ppn);
     void insertL1(Addr vpn, Addr ppn);
@@ -145,6 +157,7 @@ class Tlb
 
     std::vector<Walk> activeWalks_;
     std::deque<Walk> queuedWalks_;
+    ObjectPool<PendingHit> pendingHits_;
 
     Stats stats_;
 };

@@ -66,7 +66,7 @@ ProgrammablePrefetcher::reset()
     obsQueue_.clear();
     reqQueue_.clear();
     for (auto &p : ppus_)
-        p = Ppu{};
+        p.clear();
     for (auto &s : ppuStats_)
         s = PpuStats{};
     stats_ = Stats{};
@@ -79,7 +79,7 @@ ProgrammablePrefetcher::contextSwitch()
     obsQueue_.clear();
     reqQueue_.clear();
     for (auto &p : ppus_)
-        p = Ppu{};
+        p.clear();
     for (auto &la : lookahead_)
         la.reset();
     // Configuration (filters, globals, kernels, tags) survives: it is
@@ -299,23 +299,27 @@ ProgrammablePrefetcher::executeEvent(unsigned ppu, const Observation &obs,
         return;
     }
 
-    // Snapshot the lookahead values the kernel can read.
-    std::vector<std::uint64_t> la(lookahead_.size());
+    // Snapshot the lookahead values the kernel can read (scratch buffer,
+    // capacity reused across events).
+    lookaheadScratch_.resize(lookahead_.size());
     for (std::size_t i = 0; i < lookahead_.size(); ++i)
-        la[i] = lookahead_[i].lookahead();
+        lookaheadScratch_[i] = lookahead_[i].lookahead();
 
     EventContext ctx;
     ctx.vaddr = obs.vaddr;
     ctx.hasLine = obs.hasLine;
     ctx.line = obs.line;
     ctx.globalRegs = globals_.data();
-    ctx.lookahead = la.data();
-    ctx.lookaheadEntries = static_cast<unsigned>(la.size());
+    ctx.lookahead = lookaheadScratch_.data();
+    ctx.lookaheadEntries = static_cast<unsigned>(lookaheadScratch_.size());
 
-    std::vector<PrefetchEmit> emits;
+    // The emit buffer must outlive this call (it rides to finishEvent),
+    // so it comes from a pool rather than the stack.
+    std::vector<PrefetchEmit> *emits = emitBuffers_.acquire();
+    emits->clear();
     ExecResult res = Interpreter::run(
         kernels_[obs.kernel], ctx,
-        [&emits](const PrefetchEmit &e) { emits.push_back(e); });
+        [emits](const PrefetchEmit &e) { emits->push_back(e); });
 
     ++stats_.eventsRun;
     ++ppuStats_[ppu].events;
@@ -327,25 +331,25 @@ ProgrammablePrefetcher::executeEvent(unsigned ppu, const Observation &obs,
     const Tick finish =
         start + ppuClock_.cyclesToTicks(std::max<std::uint32_t>(res.cycles, 1));
     const std::uint64_t epoch = epoch_;
-    eq_.schedule(finish,
-                 [this, ppu, epoch, finish, emits = std::move(emits),
-                  obs]() mutable {
-                     if (epoch != epoch_)
-                         return;
-                     finishEvent(ppu, finish, std::move(emits), obs);
-                 });
+    eq_.schedule(finish, [this, ppu, epoch, finish, emits, obs] {
+        if (epoch != epoch_) {
+            emitBuffers_.release(emits); // aborted: just recycle
+            return;
+        }
+        finishEvent(ppu, finish, emits, obs);
+    });
 }
 
 void
 ProgrammablePrefetcher::finishEvent(unsigned ppu, Tick finish,
-                                    std::vector<PrefetchEmit> emits,
+                                    std::vector<PrefetchEmit> *emits,
                                     Observation obs)
 {
     Ppu &p = ppus_[ppu];
     p.executing = false;
 
     bool chained = false;
-    for (const auto &e : emits) {
+    for (const auto &e : *emits) {
         bool is_chain = e.cbKernel != kNoKernel || e.tag >= 0;
         if (cfg_.blocking && is_chain) {
             ++p.pendingFills;
@@ -355,9 +359,11 @@ ProgrammablePrefetcher::finishEvent(unsigned ppu, Tick finish,
                                   ? static_cast<int>(ppu)
                                   : -1);
     }
-    stats_.prefetchesEmitted += emits.size();
+    stats_.prefetchesEmitted += emits->size();
+    const bool any = !emits->empty();
+    emitBuffers_.release(emits);
 
-    if (!emits.empty() && kick_)
+    if (any && kick_)
         kick_();
 
     if (cfg_.blocking && (chained || p.pendingFills > 0 || !p.local.empty())) {

@@ -22,7 +22,6 @@
 #define EPF_PPF_PPF_HPP
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <vector>
 
@@ -34,6 +33,8 @@
 #include "ppf/filter.hpp"
 #include "sim/clock.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/object_pool.hpp"
+#include "sim/ring_buffer.hpp"
 
 namespace epf
 {
@@ -166,9 +167,19 @@ class ProgrammablePrefetcher : public MemoryListener, public PrefetchSource
         /** Blocked mode: chained prefetches outstanding. */
         unsigned pendingFills = 0;
         /** Blocked mode: fills waiting to run on this unit. */
-        std::deque<Observation> local;
+        Ring<Observation> local;
         /** True while actually executing (vs. stalled). */
         bool executing = false;
+
+        void
+        clear()
+        {
+            busy = false;
+            lastAssign = 0;
+            pendingFills = 0;
+            local.clear();
+            executing = false;
+        }
     };
 
     void enqueueObservation(Observation obs);
@@ -179,7 +190,7 @@ class ProgrammablePrefetcher : public MemoryListener, public PrefetchSource
     /** Interpret the kernel and schedule its completion. */
     void executeEvent(unsigned ppu, const Observation &obs, Tick start);
     void finishEvent(unsigned ppu, Tick finish,
-                     std::vector<PrefetchEmit> emits, Observation obs);
+                     std::vector<PrefetchEmit> *emits, Observation obs);
     void releasePpu(unsigned ppu, Tick now);
     /** Blocked mode: run the next queued local observation if idle. */
     void pumpBlocked(unsigned ppu);
@@ -203,11 +214,16 @@ class ProgrammablePrefetcher : public MemoryListener, public PrefetchSource
     std::vector<KernelId> tagKernels_;
     std::vector<LookaheadCalculator> lookahead_;
 
-    std::deque<Observation> obsQueue_;
-    std::deque<LineRequest> reqQueue_;
+    Ring<Observation> obsQueue_;
+    Ring<LineRequest> reqQueue_;
     std::vector<Ppu> ppus_;
     std::vector<PpuStats> ppuStats_;
     unsigned rrNext_ = 0;
+
+    /** Lookahead snapshot handed to kernels (capacity reused). */
+    std::vector<std::uint64_t> lookaheadScratch_;
+    /** Emit buffers in flight between execute and finish (pooled). */
+    ObjectPool<std::vector<PrefetchEmit>> emitBuffers_;
 
     /** Epoch guard: context switches invalidate in-flight events. */
     std::uint64_t epoch_ = 0;

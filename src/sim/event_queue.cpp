@@ -6,28 +6,126 @@
 namespace epf
 {
 
+namespace
+{
+/** Warm-start capacities: sized so typical runs never grow mid-sim. */
+constexpr std::size_t kInitialSlots = 1024;
+constexpr std::size_t kInitialRing = 64;
+} // namespace
+
+EventQueue::EventQueue()
+{
+    heap_.reserve(kInitialSlots);
+    slots_.reserve(kInitialSlots);
+    freeSlots_.reserve(kInitialSlots);
+    current_.reserve(kInitialRing);
+}
+
+std::uint32_t
+EventQueue::takeSlot(Callback &&fn)
+{
+    if (!freeSlots_.empty()) {
+        const std::uint32_t s = freeSlots_.back();
+        freeSlots_.pop_back();
+        slots_[s] = std::move(fn);
+        return s;
+    }
+    slots_.push_back(std::move(fn));
+    return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
 void
 EventQueue::schedule(Tick when, Callback fn)
 {
     assert(fn);
-    if (when < now_)
-        when = now_; // clamp: events may not run in the past
-    heap_.push(Entry{when, seq_++, std::move(fn)});
+    if (when <= now_) {
+        // Clamp: events may not run in the past.  Same-tick events join
+        // the FIFO drain ring directly — everything already drained (or
+        // running) carries a smaller seq, so FIFO order is preserved
+        // without touching the heap.
+        current_.push_back(takeSlot(std::move(fn)));
+        ++seq_;
+        return;
+    }
+    heapPush(Key{when, seq_++, takeSlot(std::move(fn))});
+}
+
+void
+EventQueue::heapPush(Key k)
+{
+    // Hole percolation: shift parents down, place the key once.
+    std::size_t i = heap_.size();
+    heap_.push_back(k);
+    while (i > 0) {
+        const std::size_t parent = (i - 1) / 4;
+        if (!before(k, heap_[parent]))
+            break;
+        heap_[i] = heap_[parent];
+        i = parent;
+    }
+    heap_[i] = k;
+}
+
+EventQueue::Key
+EventQueue::heapPopTop()
+{
+    assert(!heap_.empty());
+    const Key top = heap_[0];
+    const Key last = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) {
+        // Sift the former last element down from the root.
+        std::size_t i = 0;
+        const std::size_t n = heap_.size();
+        for (;;) {
+            const std::size_t first_child = 4 * i + 1;
+            if (first_child >= n)
+                break;
+            std::size_t best = first_child;
+            const std::size_t last_child =
+                first_child + 4 <= n ? first_child + 4 : n;
+            for (std::size_t c = first_child + 1; c < last_child; ++c) {
+                if (before(heap_[c], heap_[best]))
+                    best = c;
+            }
+            if (!before(heap_[best], last))
+                break;
+            heap_[i] = heap_[best];
+            i = best;
+        }
+        heap_[i] = last;
+    }
+    return top;
 }
 
 bool
 EventQueue::runOne()
 {
-    if (heap_.empty())
-        return false;
-    // priority_queue::top() returns const&; move out via const_cast is the
-    // standard idiom for pop-with-move on a binary heap of move-only work.
-    Entry e = std::move(const_cast<Entry &>(heap_.top()));
-    heap_.pop();
-    assert(e.when >= now_);
-    now_ = e.when;
+    std::uint32_t s;
+    if (!current_.empty()) {
+        s = current_.front();
+        current_.pop_front();
+    } else {
+        if (heap_.empty())
+            return false;
+        // Advance to the next tick.  If more events share it, drain them
+        // all into the FIFO ring (pops come out in seq order); from here
+        // until the ring empties, schedule() appends same-tick events in
+        // O(1).  A lone event skips the ring entirely.
+        const Tick t = heap_[0].when;
+        assert(t >= now_);
+        now_ = t;
+        s = heapPopTop().slot;
+        while (!heap_.empty() && heap_[0].when == t)
+            current_.push_back(heapPopTop().slot);
+    }
+
+    // Move the callback out before invoking: the callback may schedule,
+    // which can grow or reuse the slot pool.
+    Callback fn = std::move(slots_[s]);
+    freeSlots_.push_back(s);
     ++executed_;
-    e.fn();
+    fn();
     return true;
 }
 
@@ -41,7 +139,7 @@ EventQueue::run(std::uint64_t limit)
 void
 EventQueue::runUntil(Tick until)
 {
-    while (!heap_.empty() && heap_.top().when <= until)
+    while (nextEventTick() <= until)
         runOne();
     if (now_ < until)
         now_ = until;

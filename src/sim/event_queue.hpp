@@ -6,16 +6,30 @@
  * timing, core cycles, PPU execution — is expressed as events on a single
  * queue.  Events scheduled for the same tick execute in insertion order,
  * which keeps runs bit-for-bit reproducible.
+ *
+ * Engine internals (hot path, see bench/micro_components.cpp):
+ *
+ *  - Callbacks are @ref SmallFunction, not std::function: closures up to
+ *    48 bytes live inline in the slot pool, larger ones come from a
+ *    thread-local slab, so scheduling never calls malloc in steady state.
+ *  - The time order lives in an implicit 4-ary heap of 24-byte keys
+ *    {when, seq, slot}; sifts move keys only, never callbacks.  Callbacks
+ *    sit in an indexed slot pool and move exactly twice: in at schedule,
+ *    out at execution.
+ *  - When time advances to a tick, every key at that tick is drained into
+ *    a FIFO ring first; follow-on events scheduled *at the current tick*
+ *    (the hierarchy's ubiquitous scheduleIn(0)) append to that ring in
+ *    O(1), bypassing the heap entirely while preserving FIFO order.
  */
 
 #ifndef EPF_SIM_EVENT_QUEUE_HPP
 #define EPF_SIM_EVENT_QUEUE_HPP
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
+#include "sim/ring_buffer.hpp"
+#include "sim/small_function.hpp"
 #include "sim/types.hpp"
 
 namespace epf
@@ -31,9 +45,9 @@ namespace epf
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = SmallFunction<void()>;
 
-    EventQueue() = default;
+    EventQueue();
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
 
@@ -47,10 +61,16 @@ class EventQueue
     void scheduleIn(Tick delay, Callback fn) { schedule(now_ + delay, std::move(fn)); }
 
     /** True if no events remain. */
-    bool empty() const { return heap_.empty(); }
+    bool empty() const { return current_.empty() && heap_.empty(); }
 
     /** Tick of the next pending event (kTickMax if none). */
-    Tick nextEventTick() const { return heap_.empty() ? kTickMax : heap_.top().when; }
+    Tick
+    nextEventTick() const
+    {
+        if (!current_.empty())
+            return now_;
+        return heap_.empty() ? kTickMax : heap_[0].when;
+    }
 
     /**
      * Execute the single oldest event.
@@ -68,28 +88,38 @@ class EventQueue
     std::uint64_t executed() const { return executed_; }
 
     /** Number of events currently pending. */
-    std::size_t pending() const { return heap_.size(); }
+    std::size_t pending() const { return current_.size() + heap_.size(); }
 
   private:
-    struct Entry
+    /** Heap key: ordering data plus the owning callback slot. */
+    struct Key
     {
         Tick when;
         std::uint64_t seq;
-        Callback fn;
+        std::uint32_t slot;
     };
 
-    struct Later
+    /** Strict ordering: earlier tick first, then insertion order. */
+    static bool
+    before(const Key &a, const Key &b)
     {
-        bool
-        operator()(const Entry &a, const Entry &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
-        }
-    };
+        if (a.when != b.when)
+            return a.when < b.when;
+        return a.seq < b.seq;
+    }
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    std::uint32_t takeSlot(Callback &&fn);
+    void heapPush(Key k);
+    Key heapPopTop();
+
+    /** Implicit 4-ary min-heap of keys (children of i: 4i+1 .. 4i+4). */
+    std::vector<Key> heap_;
+    /** Callback storage indexed by Key::slot. */
+    std::vector<Callback> slots_;
+    std::vector<std::uint32_t> freeSlots_;
+    /** Slots waiting to run at the current tick, in FIFO order. */
+    Ring<std::uint32_t> current_;
+
     Tick now_ = 0;
     std::uint64_t seq_ = 0;
     std::uint64_t executed_ = 0;

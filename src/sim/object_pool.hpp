@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Freelist pool of reusable objects for the simulation hot path.
+ *
+ * Objects are heap-allocated once, then recycled: acquire() pops the
+ * freelist (or mints a new object the first few times), release() pushes
+ * back.  Pointers remain stable for the object's whole pooled lifetime,
+ * which is what lets in-flight transactions (demand accesses waiting on
+ * the TLB, retry loops waiting on MSHRs) be carried by a single 8-byte
+ * pointer capture instead of a fat closure.
+ *
+ * Objects are returned to the freelist as-is — the next acquire()
+ * overwrites the fields it uses.  Not thread-safe; each simulated
+ * system owns its pools.
+ */
+
+#ifndef EPF_SIM_OBJECT_POOL_HPP
+#define EPF_SIM_OBJECT_POOL_HPP
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace epf
+{
+
+template <typename T>
+class ObjectPool
+{
+  public:
+    /** Get a reusable object (fields hold stale values; overwrite them). */
+    T *
+    acquire()
+    {
+        if (free_.empty()) {
+            all_.push_back(std::make_unique<T>());
+            return all_.back().get();
+        }
+        T *p = free_.back();
+        free_.pop_back();
+        return p;
+    }
+
+    /** Return @p p to the pool.  @p p must come from this pool. */
+    void
+    release(T *p)
+    {
+        free_.push_back(p);
+    }
+
+    /** High-water mark: total objects ever minted. */
+    std::size_t allocated() const { return all_.size(); }
+
+  private:
+    std::vector<std::unique_ptr<T>> all_;
+    std::vector<T *> free_;
+};
+
+} // namespace epf
+
+#endif // EPF_SIM_OBJECT_POOL_HPP

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Growable circular FIFO used throughout the simulation hot path.
+ *
+ * `std::deque` allocates and frees a fixed-size chunk every few dozen
+ * push/pop pairs when used as a queue, which shows up in every component
+ * of the engine (DRAM bank queues, MSHR overflow, the prefetcher's
+ * observation/request queues, the core's ROB).  `Ring` keeps one
+ * power-of-two buffer and reuses it forever: after warm-up, pushing and
+ * popping allocate nothing.
+ *
+ * Growth reallocates (moves elements), so pointers into a Ring are only
+ * stable if the ring never grows past its reserved capacity — callers
+ * that rely on this (the core's ROB) reserve their maximum occupancy up
+ * front.
+ */
+
+#ifndef EPF_SIM_RING_BUFFER_HPP
+#define EPF_SIM_RING_BUFFER_HPP
+
+#include <cassert>
+#include <cstddef>
+#include <iterator>
+#include <memory>
+#include <new>
+#include <utility>
+
+namespace epf
+{
+
+template <typename T>
+class Ring
+{
+  public:
+    Ring() = default;
+    explicit Ring(std::size_t capacity) { reserve(capacity); }
+
+    Ring(Ring &&other) noexcept
+        : data_(other.data_), cap_(other.cap_), head_(other.head_),
+          size_(other.size_)
+    {
+        other.data_ = nullptr;
+        other.cap_ = other.head_ = other.size_ = 0;
+    }
+
+    Ring &
+    operator=(Ring &&other) noexcept
+    {
+        if (this != &other) {
+            destroyAll();
+            data_ = other.data_;
+            cap_ = other.cap_;
+            head_ = other.head_;
+            size_ = other.size_;
+            other.data_ = nullptr;
+            other.cap_ = other.head_ = other.size_ = 0;
+        }
+        return *this;
+    }
+
+    Ring(const Ring &) = delete;
+    Ring &operator=(const Ring &) = delete;
+
+    ~Ring() { destroyAll(); }
+
+    bool empty() const { return size_ == 0; }
+    std::size_t size() const { return size_; }
+    std::size_t capacity() const { return cap_; }
+
+    T &
+    operator[](std::size_t i)
+    {
+        assert(i < size_);
+        return data_[(head_ + i) & (cap_ - 1)];
+    }
+
+    const T &
+    operator[](std::size_t i) const
+    {
+        assert(i < size_);
+        return data_[(head_ + i) & (cap_ - 1)];
+    }
+
+    T &front() { return (*this)[0]; }
+    const T &front() const { return (*this)[0]; }
+    T &back() { return (*this)[size_ - 1]; }
+    const T &back() const { return (*this)[size_ - 1]; }
+
+    void
+    push_back(T v)
+    {
+        emplace_back(std::move(v));
+    }
+
+    template <typename... A>
+    T &
+    emplace_back(A &&...args)
+    {
+        if (size_ == cap_)
+            grow(cap_ == 0 ? kMinCapacity : cap_ * 2);
+        T *slot = &data_[(head_ + size_) & (cap_ - 1)];
+        ::new (static_cast<void *>(slot)) T(std::forward<A>(args)...);
+        ++size_;
+        return *slot;
+    }
+
+    void
+    pop_front()
+    {
+        assert(size_ > 0);
+        data_[head_].~T();
+        head_ = (head_ + 1) & (cap_ - 1);
+        --size_;
+    }
+
+    void
+    clear()
+    {
+        while (size_ > 0)
+            pop_front();
+        head_ = 0;
+    }
+
+    /** Ensure capacity for at least @p n elements without reallocating. */
+    void
+    reserve(std::size_t n)
+    {
+        if (n > cap_)
+            grow(roundUpPow2(n));
+    }
+
+    // Minimal random-access iterator (enough for range-for and searches).
+    template <typename RingT, typename Value>
+    class Iter
+    {
+      public:
+        using iterator_category = std::forward_iterator_tag;
+        using value_type = Value;
+        using difference_type = std::ptrdiff_t;
+        using pointer = Value *;
+        using reference = Value &;
+
+        Iter(RingT *r, std::size_t i) : r_(r), i_(i) {}
+        reference operator*() const { return (*r_)[i_]; }
+        pointer operator->() const { return &(*r_)[i_]; }
+        Iter &operator++() { ++i_; return *this; }
+        Iter operator++(int) { Iter t = *this; ++i_; return t; }
+        bool operator==(const Iter &o) const { return i_ == o.i_; }
+        bool operator!=(const Iter &o) const { return i_ != o.i_; }
+
+      private:
+        RingT *r_;
+        std::size_t i_;
+    };
+
+    using iterator = Iter<Ring, T>;
+    using const_iterator = Iter<const Ring, const T>;
+
+    iterator begin() { return iterator(this, 0); }
+    iterator end() { return iterator(this, size_); }
+    const_iterator begin() const { return const_iterator(this, 0); }
+    const_iterator end() const { return const_iterator(this, size_); }
+
+  private:
+    static constexpr std::size_t kMinCapacity = 8;
+
+    static std::size_t
+    roundUpPow2(std::size_t n)
+    {
+        std::size_t c = kMinCapacity;
+        while (c < n)
+            c *= 2;
+        return c;
+    }
+
+    void
+    grow(std::size_t new_cap)
+    {
+        T *nd = static_cast<T *>(
+            ::operator new(new_cap * sizeof(T), std::align_val_t(alignof(T))));
+        for (std::size_t i = 0; i < size_; ++i) {
+            T &src = data_[(head_ + i) & (cap_ - 1)];
+            ::new (static_cast<void *>(&nd[i])) T(std::move(src));
+            src.~T();
+        }
+        if (data_ != nullptr)
+            ::operator delete(data_, std::align_val_t(alignof(T)));
+        data_ = nd;
+        cap_ = new_cap;
+        head_ = 0;
+    }
+
+    void
+    destroyAll()
+    {
+        if (data_ == nullptr)
+            return;
+        clear();
+        ::operator delete(data_, std::align_val_t(alignof(T)));
+        data_ = nullptr;
+        cap_ = 0;
+    }
+
+    T *data_ = nullptr;
+    std::size_t cap_ = 0;
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
+};
+
+} // namespace epf
+
+#endif // EPF_SIM_RING_BUFFER_HPP

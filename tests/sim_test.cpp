@@ -6,11 +6,16 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "sim/clock.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/ring_buffer.hpp"
 #include "sim/rng.hpp"
+#include "sim/small_function.hpp"
 #include "sim/stats.hpp"
 #include "sim/types.hpp"
 
@@ -107,6 +112,128 @@ TEST(EventQueueTest, NextEventTick)
     EXPECT_EQ(eq.nextEventTick(), kTickMax);
     eq.schedule(42, [] {});
     EXPECT_EQ(eq.nextEventTick(), 42u);
+}
+
+/**
+ * Pins same-tick FIFO order across the indexed heap: events pre-scheduled
+ * for a tick (heap keys), events appended to that tick while it drains
+ * (the O(1) ring path), and later ticks must interleave exactly in
+ * insertion order.
+ */
+TEST(EventQueueTest, SameTickFifoAcrossHeapAndMidDrainAppends)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(5, [&] {
+        order.push_back(0);
+        eq.scheduleIn(0, [&] { order.push_back(3); });
+    });
+    eq.schedule(7, [&] { order.push_back(5); });
+    eq.schedule(5, [&] {
+        order.push_back(1);
+        eq.schedule(5, [&] { order.push_back(4); }); // same tick, mid-drain
+        eq.schedule(7, [&] { order.push_back(6); }); // behind the earlier 7
+    });
+    eq.schedule(5, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6}));
+    EXPECT_EQ(eq.now(), 7u);
+}
+
+/** Callbacks past the inline budget go through the slab pool and must
+ *  survive heap sifts, moves and execution intact. */
+TEST(EventQueueTest, LargeCaptureCallbacks)
+{
+    EventQueue eq;
+    std::uint64_t sum = 0;
+    for (int i = 0; i < 100; ++i) {
+        std::array<std::uint64_t, 16> payload{}; // 128 B > inline buffer
+        for (std::size_t j = 0; j < payload.size(); ++j)
+            payload[j] = static_cast<std::uint64_t>(i) + j;
+        eq.schedule(static_cast<Tick>(100 - i), [&sum, payload] {
+            for (auto v : payload)
+                sum += v;
+        });
+    }
+    eq.run();
+    std::uint64_t expect = 0;
+    for (int i = 0; i < 100; ++i)
+        for (std::uint64_t j = 0; j < 16; ++j)
+            expect += static_cast<std::uint64_t>(i) + j;
+    EXPECT_EQ(sum, expect);
+}
+
+/** Move-only captures (the DoneFn chains of the demand path). */
+TEST(EventQueueTest, MoveOnlyCaptures)
+{
+    EventQueue eq;
+    auto payload = std::make_unique<int>(41);
+    int seen = 0;
+    eq.schedule(1, [&seen, p = std::move(payload)] { seen = *p + 1; });
+    eq.run();
+    EXPECT_EQ(seen, 42);
+}
+
+TEST(SmallFunctionTest, EmptinessAndMoveSemantics)
+{
+    SmallFunction<int()> f;
+    EXPECT_FALSE(f);
+    f = [] { return 7; };
+    EXPECT_TRUE(f);
+    EXPECT_EQ(f(), 7);
+    SmallFunction<int()> g = std::move(f);
+    EXPECT_TRUE(g);
+    EXPECT_FALSE(f); // NOLINT(bugprone-use-after-move): pinned semantics
+    EXPECT_EQ(g(), 7);
+}
+
+TEST(RingTest, FifoPushPopWrapAround)
+{
+    Ring<int> r;
+    for (int round = 0; round < 5; ++round) {
+        for (int i = 0; i < 13; ++i)
+            r.push_back(round * 100 + i);
+        EXPECT_EQ(r.size(), 13u);
+        for (int i = 0; i < 13; ++i) {
+            EXPECT_EQ(r.front(), round * 100 + i);
+            r.pop_front();
+        }
+        EXPECT_TRUE(r.empty());
+    }
+}
+
+TEST(RingTest, GrowthPreservesOrderAndIteration)
+{
+    Ring<int> r;
+    // Offset the head so growth has to unwrap a wrapped buffer.
+    for (int i = 0; i < 6; ++i)
+        r.push_back(i);
+    for (int i = 0; i < 4; ++i)
+        r.pop_front();
+    for (int i = 0; i < 40; ++i)
+        r.push_back(100 + i);
+    std::vector<int> got;
+    for (int v : r)
+        got.push_back(v);
+    ASSERT_EQ(got.size(), 42u);
+    EXPECT_EQ(got[0], 4);
+    EXPECT_EQ(got[1], 5);
+    for (int i = 0; i < 40; ++i)
+        EXPECT_EQ(got[static_cast<std::size_t>(i + 2)], 100 + i);
+}
+
+TEST(RingTest, MoveOnlyElements)
+{
+    Ring<std::unique_ptr<int>> r;
+    for (int i = 0; i < 20; ++i)
+        r.push_back(std::make_unique<int>(i));
+    int expect = 0;
+    while (!r.empty()) {
+        EXPECT_EQ(*r.front(), expect++);
+        auto p = std::move(r.front());
+        r.pop_front();
+    }
+    EXPECT_EQ(expect, 20);
 }
 
 struct ClockCase
