@@ -97,7 +97,10 @@ MemoryHierarchy::attemptDemand(DemandTxn *txn)
                                  std::move(txn->done));
     if (res == Cache::DemandResult::NoMshr) {
         // txn->done was not consumed; retry with the same transaction.
-        ++stats_.loadRetries;
+        if (txn->isLoad)
+            ++stats_.loadRetries;
+        else
+            ++stats_.storeRetries;
         eq_.scheduleIn(p_.corePeriod, [this, txn] { attemptDemand(txn); });
         return;
     }

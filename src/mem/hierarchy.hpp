@@ -59,7 +59,10 @@ class MemoryHierarchy
     {
         std::uint64_t coreLoads = 0;
         std::uint64_t coreStores = 0;
+        /** Load demand accesses rejected by a full L1 MSHR file. */
         std::uint64_t loadRetries = 0;
+        /** Store demand accesses rejected by a full L1 MSHR file. */
+        std::uint64_t storeRetries = 0;
         std::uint64_t swPrefetches = 0;
         std::uint64_t swPrefetchDrops = 0;
         std::uint64_t pfIssued = 0;

@@ -11,6 +11,7 @@
 #ifndef EPF_PPF_EWMA_HPP
 #define EPF_PPF_EWMA_HPP
 
+#include <cassert>
 #include <cstdint>
 
 #include "sim/types.hpp"
@@ -22,8 +23,12 @@ namespace epf
 class Ewma
 {
   public:
-    /** @param shift smoothing: alpha = 1 / 2^shift. */
-    explicit Ewma(unsigned shift = 3) : shift_(shift) {}
+    /** @param shift smoothing: alpha = 1 / 2^shift.  Must be > 0 (a
+     *  shift of 0 is no average at all, and breaks the rounding term). */
+    explicit Ewma(unsigned shift = 3) : shift_(shift)
+    {
+        assert(shift_ > 0 && "Ewma shift must be positive");
+    }
 
     /** Feed one sample. */
     void
@@ -34,11 +39,20 @@ class Ewma
             seeded_ = true;
             return;
         }
-        // value += (x - value) / 2^shift, in signed arithmetic.
+        // value += round((x - value) / 2^shift), in signed arithmetic.
+        // The arithmetic shift alone rounds toward -inf, which biases
+        // the average downward: under oscillating input, small negative
+        // deltas step down while equally small positive deltas truncate
+        // to zero.  Adding half the divisor first gives round-to-nearest
+        // and keeps the equilibrium at the input mean.  (The shift_ == 0
+        // branch keeps release builds — where the ctor assert compiles
+        // out — well-defined: a zero shift divides by one, no rounding.)
         std::int64_t delta = static_cast<std::int64_t>(x) -
                              static_cast<std::int64_t>(value_);
+        std::int64_t half =
+            shift_ > 0 ? std::int64_t{1} << (shift_ - 1) : 0;
         value_ = static_cast<std::uint64_t>(
-            static_cast<std::int64_t>(value_) + (delta >> shift_));
+            static_cast<std::int64_t>(value_) + ((delta + half) >> shift_));
     }
 
     /** Current average (0 until the first sample). */

@@ -67,6 +67,11 @@ ProgrammablePrefetcher::reset()
     reqQueue_.clear();
     for (auto &p : ppus_)
         p.clear();
+    // Scheduler state is transient, like the PPUs themselves: a stale
+    // round-robin cursor would make the first post-reset event land on a
+    // history-dependent unit.  (globalsAllocated_ and tagKernels_ are
+    // rebuilt above with the rest of the configuration.)
+    rrNext_ = 0;
     for (auto &s : ppuStats_)
         s = PpuStats{};
     stats_ = Stats{};
@@ -80,6 +85,9 @@ ProgrammablePrefetcher::contextSwitch()
     reqQueue_.clear();
     for (auto &p : ppus_)
         p.clear();
+    // The round-robin cursor goes with the PPU state it points into —
+    // it is scheduler state, not saved configuration.
+    rrNext_ = 0;
     for (auto &la : lookahead_)
         la.reset();
     // Configuration (filters, globals, kernels, tags) survives: it is

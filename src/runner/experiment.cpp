@@ -202,6 +202,7 @@ runExperiment(const std::string &workload_name, const RunConfig &cfg)
 
     const auto &hs = mem.stats();
     d.set("mem.loadRetries", static_cast<double>(hs.loadRetries));
+    d.set("mem.storeRetries", static_cast<double>(hs.storeRetries));
     d.set("mem.swPrefetchDrops", static_cast<double>(hs.swPrefetchDrops));
     d.set("mem.pfIssued", static_cast<double>(hs.pfIssued));
     d.set("mem.pfDropPresent", static_cast<double>(hs.pfDropPresent));

@@ -607,6 +607,44 @@ TEST(HierarchyTest, LoadRoundTripAndStats)
     EXPECT_EQ(mem.dram().stats().reads, dram_before);
 }
 
+TEST(HierarchyTest, StoreRetriesCountedSeparatelyFromLoadRetries)
+{
+    EventQueue eq;
+    GuestMemory gm;
+    std::vector<std::uint64_t> buf(4096, 5);
+    Addr va = gm.addRegion("buf", buf.data(), buf.size() * 8);
+    MemParams p = MemParams::defaults();
+    p.l1.mshrs = 1; // one in-flight miss; everything else must retry
+    MemoryHierarchy mem(eq, gm, p);
+
+    // Baseline sanity: a lone load completes without any retries.
+    int warm = 0;
+    mem.load(va, 0, [&] { ++warm; });
+    eq.run();
+    ASSERT_EQ(warm, 1);
+    ASSERT_EQ(mem.stats().loadRetries, 0u);
+
+    // Two stores to distinct uncached lines in the same page (their
+    // translations share one walk, so both reach the L1 together): the
+    // first takes the only MSHR, the second must retry until it fills.
+    int done = 0;
+    mem.store(va + 64 * 100, 0, [&] { ++done; });
+    mem.store(va + 64 * 110, 0, [&] { ++done; });
+    eq.run();
+    EXPECT_EQ(done, 2);
+    EXPECT_GT(mem.stats().storeRetries, 0u);
+    EXPECT_EQ(mem.stats().loadRetries, 0u);
+
+    // And the mirror image: loads retrying must not count as stores.
+    mem.resetStats();
+    mem.load(va + 64 * 200, 0, [&] { ++done; });
+    mem.load(va + 64 * 210, 0, [&] { ++done; });
+    eq.run();
+    EXPECT_EQ(done, 4);
+    EXPECT_GT(mem.stats().loadRetries, 0u);
+    EXPECT_EQ(mem.stats().storeRetries, 0u);
+}
+
 TEST(HierarchyTest, PrefetchSourceDrainedAndFaultsDropped)
 {
     EventQueue eq;

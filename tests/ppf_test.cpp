@@ -43,8 +43,29 @@ TEST(EwmaTest, SmoothsSpikes)
 {
     Ewma e(3);
     e.sample(100);
-    e.sample(1000); // single outlier moves it by only 1/8
-    EXPECT_EQ(e.value(), 100u + (1000u - 100u) / 8u);
+    e.sample(1000); // single outlier moves it by only ~1/8
+    // Round-to-nearest: 100 + round(900 / 8) = 100 + 113.
+    EXPECT_EQ(e.value(), 213u);
+}
+
+/**
+ * Regression for the downward bias of truncating arithmetic: with
+ * `delta >> shift`, oscillating samples drift the average toward the
+ * *minimum* (negative deltas always step down, small positive deltas
+ * truncate to zero), which inflated the derived lookahead.  With
+ * round-to-nearest the equilibrium stays at the input mean.
+ */
+TEST(EwmaTest, OscillatingInputHasNoDownwardBias)
+{
+    Ewma e(3);
+    e.sample(1004);
+    for (int i = 0; i < 200; ++i) {
+        e.sample(996);
+        e.sample(1004);
+    }
+    // Mean is 1000.  The truncating version settles at ~996-997.
+    EXPECT_GE(e.value(), 999u);
+    EXPECT_LE(e.value(), 1002u);
 }
 
 class LookaheadParam
@@ -317,6 +338,49 @@ TEST_F(PpfTest, RoundRobinSpreadsWork)
     }
     for (unsigned p = 0; p < 4; ++p)
         EXPECT_EQ(ppf->ppuStats()[p].events, 2u);
+}
+
+/**
+ * reset() must also rewind the round-robin cursor: a freshly reset and
+ * reprogrammed prefetcher has to schedule exactly like a new one, not
+ * depend on how many events the previous program ran.
+ */
+TEST_F(PpfTest, ResetRestartsRoundRobinSchedulingAtPpuZero)
+{
+    PpfConfig cfg;
+    cfg.numPpus = 4;
+    cfg.policy = SchedulePolicy::kRoundRobin;
+    auto ppf = make(cfg);
+
+    auto program = [this](ProgrammablePrefetcher &p) {
+        KernelBuilder b("k");
+        b.li(1, 1).prefetch(1).halt();
+        KernelId k = p.kernels().add(b.build());
+        FilterEntry fe;
+        fe.base = base();
+        fe.limit = base() + 32768;
+        fe.onLoad = k;
+        p.addFilter(fe);
+    };
+    program(*ppf);
+
+    // Advance the round-robin cursor off PPU 0.
+    for (int i = 0; i < 3; ++i) {
+        ppf->notifyDemand(base() + static_cast<Addr>(i) * 64, true, false,
+                          0);
+        eq_.run();
+    }
+    ASSERT_EQ(ppf->ppuStats()[2].events, 1u); // cursor now points at 3
+
+    ppf->reset();
+    program(*ppf);
+    ppf->notifyDemand(base(), true, false, 0);
+    eq_.run();
+
+    // The first post-reset event lands on PPU 0, independent of history.
+    EXPECT_EQ(ppf->ppuStats()[0].events, 1u);
+    for (unsigned p = 1; p < 4; ++p)
+        EXPECT_EQ(ppf->ppuStats()[p].events, 0u);
 }
 
 TEST_F(PpfTest, TrappingKernelCounted)
