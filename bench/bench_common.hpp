@@ -15,6 +15,10 @@
  *   EPF_JSON     when set, also dump every run as JSON to this path
  *                ("-" for stdout)
  *   EPF_PROGRESS when set, print per-run progress lines to stderr
+ *   EPF_TRACE_OUT when set, capture every cell's micro-op stream to this
+ *                trace-file path; {workload}/{technique}/{label} expand
+ *                per cell (the emitted JSON records each file under
+ *                "trace")
  */
 
 #ifndef EPF_BENCH_BENCH_COMMON_HPP
@@ -47,6 +51,8 @@ baseConfig(Technique t, double scale)
     RunConfig cfg;
     cfg.technique = t;
     cfg.scale.factor = scale;
+    if (const char *p = std::getenv("EPF_TRACE_OUT"))
+        cfg.tracePath = p;
     return cfg;
 }
 

@@ -272,6 +272,8 @@ Core::dispatch()
                 return any;
             }
             traceValid_ = true;
+            if (fetchSink_ != nullptr)
+                fetchSink_->onMicroOp(eq_.now(), trace_.value());
         }
 
         MicroOp &op = trace_.value();

@@ -42,6 +42,20 @@ struct CoreParams
     unsigned mispredictPenalty = 12;
 };
 
+/**
+ * Observer of the core's fetch stream.  onMicroOp() fires once per
+ * micro-op, at the tick the op is pulled from the trace generator —
+ * i.e. after the generator's host-side work for that op has run, which
+ * is the instant any data it mutated becomes architecturally visible.
+ * The trace capture subsystem records the stream through this hook.
+ */
+class MicroOpSink
+{
+  public:
+    virtual ~MicroOpSink() = default;
+    virtual void onMicroOp(Tick now, const MicroOp &op) = 0;
+};
+
 /** The out-of-order core. */
 class Core
 {
@@ -71,6 +85,9 @@ class Core
 
     const Stats &stats() const { return stats_; }
     const CoreParams &params() const { return p_; }
+
+    /** Attach (or detach with nullptr) a fetch-stream observer. */
+    void setFetchSink(MicroOpSink *sink) { fetchSink_ = sink; }
 
   private:
     struct RobEntry
@@ -113,6 +130,7 @@ class Core
     bool traceValid_ = false;  ///< a fetched op is waiting in trace_.value()
     bool traceDone_ = false;
     std::function<void()> onDone_;
+    MicroOpSink *fetchSink_ = nullptr;
 
     /**
      * The reorder buffer: a FIFO ring of pooled entries.  Entries are

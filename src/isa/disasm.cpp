@@ -1,6 +1,9 @@
 #include "isa/disasm.hpp"
 
+#include <cstdlib>
 #include <sstream>
+#include <stdexcept>
+#include <vector>
 
 namespace epf
 {
@@ -12,6 +15,131 @@ std::string
 reg(unsigned r)
 {
     return "r" + std::to_string(r);
+}
+
+/** Operand shapes of the printed forms. */
+enum class Fmt
+{
+    kNone,     // halt
+    kRd,       // vaddr r1
+    kRdImm,    // li r1, -5
+    kRdRs,     // mov r1, r2
+    kRdRsRt,   // add r1, r2, r3
+    kRdRsImm,  // addi r1, r2, 7
+    kLine,     // ldline r1, [r2 + -3]
+    kRdGlobal, // gread r1, g5
+    kRdFilter, // lookahead r1, f2
+    kRs,       // prefetch r3
+    kRsTag,    // prefetch.tag r3, tag=7
+    kRsKernel, // prefetch.cb r3, kernel=2
+    kBranch,   // beq r1, r2, -4
+    kImm,      // jmp 3
+};
+
+struct Mnemonic
+{
+    const char *name;
+    Opcode op;
+    Fmt fmt;
+};
+
+constexpr Mnemonic kMnemonics[] = {
+    {"halt", Opcode::kHalt, Fmt::kNone},
+    {"nop", Opcode::kNop, Fmt::kNone},
+    {"li", Opcode::kLi, Fmt::kRdImm},
+    {"mov", Opcode::kMov, Fmt::kRdRs},
+    {"add", Opcode::kAdd, Fmt::kRdRsRt},
+    {"sub", Opcode::kSub, Fmt::kRdRsRt},
+    {"mul", Opcode::kMul, Fmt::kRdRsRt},
+    {"div", Opcode::kDiv, Fmt::kRdRsRt},
+    {"and", Opcode::kAnd, Fmt::kRdRsRt},
+    {"or", Opcode::kOr, Fmt::kRdRsRt},
+    {"xor", Opcode::kXor, Fmt::kRdRsRt},
+    {"shl", Opcode::kShl, Fmt::kRdRsRt},
+    {"shr", Opcode::kShr, Fmt::kRdRsRt},
+    {"addi", Opcode::kAddi, Fmt::kRdRsImm},
+    {"muli", Opcode::kMuli, Fmt::kRdRsImm},
+    {"divi", Opcode::kDivi, Fmt::kRdRsImm},
+    {"andi", Opcode::kAndi, Fmt::kRdRsImm},
+    {"shli", Opcode::kShli, Fmt::kRdRsImm},
+    {"shri", Opcode::kShri, Fmt::kRdRsImm},
+    {"vaddr", Opcode::kVaddr, Fmt::kRd},
+    {"linebase", Opcode::kLineBase, Fmt::kRd},
+    {"ldline", Opcode::kLdLine, Fmt::kLine},
+    {"ldline32", Opcode::kLdLine32, Fmt::kLine},
+    {"gread", Opcode::kGread, Fmt::kRdGlobal},
+    {"lookahead", Opcode::kLookahead, Fmt::kRdFilter},
+    {"prefetch", Opcode::kPrefetch, Fmt::kRs},
+    {"prefetch.tag", Opcode::kPrefetchTag, Fmt::kRsTag},
+    {"prefetch.cb", Opcode::kPrefetchCb, Fmt::kRsKernel},
+    {"beq", Opcode::kBeq, Fmt::kBranch},
+    {"bne", Opcode::kBne, Fmt::kBranch},
+    {"blt", Opcode::kBlt, Fmt::kBranch},
+    {"bge", Opcode::kBge, Fmt::kBranch},
+    {"jmp", Opcode::kJmp, Fmt::kImm},
+};
+
+[[noreturn]] void
+parseFail(const std::string &text, const std::string &why)
+{
+    throw std::invalid_argument("parseInstr: " + why + " in \"" + text +
+                                "\"");
+}
+
+/** Split on spaces, commas and the [ + ] of the ldline address form. */
+std::vector<std::string>
+tokenize(const std::string &text)
+{
+    std::vector<std::string> toks;
+    std::string cur;
+    for (char c : text) {
+        if (c == ' ' || c == ',' || c == '[' || c == ']' || c == '\t') {
+            if (!cur.empty()) {
+                toks.push_back(cur);
+                cur.clear();
+            }
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        toks.push_back(cur);
+    // The ldline form prints "[rs + imm]"; a lone "+" separates them.
+    for (auto it = toks.begin(); it != toks.end();)
+        it = *it == "+" ? toks.erase(it) : it + 1;
+    return toks;
+}
+
+std::uint8_t
+parseReg(const std::string &text, const std::string &tok)
+{
+    if (tok.size() < 2 || tok[0] != 'r')
+        parseFail(text, "expected register, got \"" + tok + "\"");
+    char *end = nullptr;
+    const long v = std::strtol(tok.c_str() + 1, &end, 10);
+    if (*end != '\0' || v < 0 || v >= static_cast<long>(kPpuRegs))
+        parseFail(text, "bad register \"" + tok + "\"");
+    return static_cast<std::uint8_t>(v);
+}
+
+std::int64_t
+parseImm(const std::string &text, const std::string &tok)
+{
+    char *end = nullptr;
+    const long long v = std::strtoll(tok.c_str(), &end, 10);
+    if (end == tok.c_str() || *end != '\0')
+        parseFail(text, "bad immediate \"" + tok + "\"");
+    return v;
+}
+
+/** Parse "prefix=imm" (e.g. "tag=7"). */
+std::int64_t
+parseKeyed(const std::string &text, const std::string &tok,
+           const std::string &prefix)
+{
+    if (tok.rfind(prefix, 0) != 0)
+        parseFail(text, "expected \"" + prefix + "<imm>\"");
+    return parseImm(text, tok.substr(prefix.size()));
 }
 
 } // namespace
@@ -56,6 +184,103 @@ disassemble(const Instr &in)
       case Opcode::kJmp: os << "jmp " << in.imm; break;
     }
     return os.str();
+}
+
+Instr
+parseInstr(const std::string &text)
+{
+    const std::vector<std::string> toks = tokenize(text);
+    if (toks.empty())
+        parseFail(text, "empty input");
+
+    const Mnemonic *m = nullptr;
+    for (const Mnemonic &cand : kMnemonics) {
+        if (toks[0] == cand.name) {
+            m = &cand;
+            break;
+        }
+    }
+    if (m == nullptr)
+        parseFail(text, "unknown mnemonic \"" + toks[0] + "\"");
+
+    auto want = [&](std::size_t n) {
+        if (toks.size() != n + 1)
+            parseFail(text, "operand count");
+    };
+
+    Instr in;
+    in.op = m->op;
+    switch (m->fmt) {
+      case Fmt::kNone:
+        want(0);
+        break;
+      case Fmt::kRd:
+        want(1);
+        in.rd = parseReg(text, toks[1]);
+        break;
+      case Fmt::kRdImm:
+        want(2);
+        in.rd = parseReg(text, toks[1]);
+        in.imm = parseImm(text, toks[2]);
+        break;
+      case Fmt::kRdRs:
+        want(2);
+        in.rd = parseReg(text, toks[1]);
+        in.rs = parseReg(text, toks[2]);
+        break;
+      case Fmt::kRdRsRt:
+        want(3);
+        in.rd = parseReg(text, toks[1]);
+        in.rs = parseReg(text, toks[2]);
+        in.rt = parseReg(text, toks[3]);
+        break;
+      case Fmt::kRdRsImm:
+      case Fmt::kLine:
+        want(3);
+        in.rd = parseReg(text, toks[1]);
+        in.rs = parseReg(text, toks[2]);
+        in.imm = parseImm(text, toks[3]);
+        break;
+      case Fmt::kRdGlobal:
+        want(2);
+        in.rd = parseReg(text, toks[1]);
+        if (toks[2].empty() || toks[2][0] != 'g')
+            parseFail(text, "expected global \"g<idx>\"");
+        in.imm = parseImm(text, toks[2].substr(1));
+        break;
+      case Fmt::kRdFilter:
+        want(2);
+        in.rd = parseReg(text, toks[1]);
+        if (toks[2].empty() || toks[2][0] != 'f')
+            parseFail(text, "expected filter \"f<idx>\"");
+        in.imm = parseImm(text, toks[2].substr(1));
+        break;
+      case Fmt::kRs:
+        want(1);
+        in.rs = parseReg(text, toks[1]);
+        break;
+      case Fmt::kRsTag:
+        want(2);
+        in.rs = parseReg(text, toks[1]);
+        in.imm = parseKeyed(text, toks[2], "tag=");
+        break;
+      case Fmt::kRsKernel:
+        want(2);
+        in.rs = parseReg(text, toks[1]);
+        in.imm = parseKeyed(text, toks[2], "kernel=");
+        break;
+      case Fmt::kBranch:
+        want(3);
+        in.rs = parseReg(text, toks[1]);
+        in.rt = parseReg(text, toks[2]);
+        in.imm = parseImm(text, toks[3]);
+        break;
+      case Fmt::kImm:
+        want(1);
+        in.imm = parseImm(text, toks[1]);
+        break;
+    }
+    return in;
 }
 
 std::string

@@ -19,6 +19,14 @@ std::string disassemble(const Instr &in);
 /** Render a whole kernel, one instruction per line with indices. */
 std::string disassemble(const Kernel &k);
 
+/**
+ * Parse one line of disassembly back into an instruction — the inverse
+ * of disassemble(const Instr&), so any instruction round-trips through
+ * its text form losslessly (the property the ISA fuzzer enforces).
+ * Throws std::invalid_argument on malformed input.
+ */
+Instr parseInstr(const std::string &text);
+
 } // namespace epf
 
 #endif // EPF_ISA_DISASM_HPP

@@ -25,6 +25,14 @@ GuestMemory::addRegion(const std::string &name, const void *ptr,
     return regions_.back().base;
 }
 
+Addr
+GuestMemory::addRegion(const std::string &name, void *ptr, std::size_t size)
+{
+    const Addr base = addRegion(name, static_cast<const void *>(ptr), size);
+    regions_.back().hostMut = static_cast<std::byte *>(ptr);
+    return base;
+}
+
 void
 GuestMemory::clear()
 {
@@ -111,6 +119,31 @@ GuestMemory::read64(Addr addr) const
     std::uint64_t v;
     std::memcpy(&v, r->host + (addr - r->base), 8);
     return v;
+}
+
+std::size_t
+GuestMemory::readSpan(Addr addr, void *out, std::size_t len) const
+{
+    const Region *r = find(addr);
+    if (r == nullptr)
+        return 0;
+    const std::size_t avail = (r->base + r->size) - addr;
+    const std::size_t n = std::min(len, avail);
+    std::memcpy(out, r->host + (addr - r->base), n);
+    return n;
+}
+
+void
+GuestMemory::write(Addr addr, const void *src, std::size_t len)
+{
+    const Region *r = find(addr);
+    if (r == nullptr || addr + len > r->base + r->size)
+        throw std::logic_error(
+            "GuestMemory::write: span not inside one mapped region");
+    if (r->hostMut == nullptr)
+        throw std::logic_error("GuestMemory::write: region \"" + r->name +
+                               "\" is read-only");
+    std::memcpy(r->hostMut + (addr - r->base), src, len);
 }
 
 } // namespace epf

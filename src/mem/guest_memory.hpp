@@ -47,6 +47,8 @@ class GuestMemory
         Addr base; ///< assigned guest base (page-aligned)
         std::size_t size;
         const std::byte *host;
+        /** Non-null when the region was registered writable. */
+        std::byte *hostMut = nullptr;
     };
 
     /**
@@ -55,6 +57,14 @@ class GuestMemory
      */
     Addr addRegion(const std::string &name, const void *ptr,
                    std::size_t size);
+
+    /**
+     * Writable registration: same allocation rules, but write() may
+     * store through the region (trace replay patches recorded store
+     * payloads back into the live host arrays).  Selected automatically
+     * for non-const pointers by overload resolution.
+     */
+    Addr addRegion(const std::string &name, void *ptr, std::size_t size);
 
     /** Remove all regions and reset the allocator (between runs). */
     void clear();
@@ -79,6 +89,22 @@ class GuestMemory
 
     /** Read a naturally aligned 64-bit word (must be fully mapped). */
     std::uint64_t read64(Addr addr) const;
+
+    /**
+     * Copy up to @p len bytes starting at @p addr into @p out, clipped
+     * to the end of the containing region.  @return bytes copied (0 when
+     * @p addr is unmapped).
+     */
+    std::size_t readSpan(Addr addr, void *out, std::size_t len) const;
+
+    /**
+     * Store @p len bytes at @p addr through a writable region.  Throws
+     * std::logic_error when the span is unmapped, crosses the region
+     * end, or the region was registered read-only — replaying a trace
+     * into the wrong memory image must fail loudly, not corrupt timing
+     * silently.
+     */
+    void write(Addr addr, const void *src, std::size_t len);
 
     /** All registered regions, sorted by base address. */
     const std::vector<Region> &regions() const { return regions_; }

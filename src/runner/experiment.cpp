@@ -6,6 +6,7 @@
 #include "compiler/passes.hpp"
 #include "mem/guest_memory.hpp"
 #include "sim/event_queue.hpp"
+#include "trace/trace.hpp"
 
 namespace epf
 {
@@ -127,6 +128,21 @@ runExperiment(const std::string &workload_name, const RunConfig &cfg)
       }
     }
 
+    // Optional trace capture: record every fetched micro-op plus the
+    // line payloads a replay needs (capture starts after setup, so the
+    // region table in the header is complete).
+    std::unique_ptr<TraceWriter> capture;
+    if (!cfg.tracePath.empty()) {
+        // A replayed trace re-captures as an origin-less stream rather
+        // than recording "Trace" as its own source.
+        const std::string source =
+            wl->name() == "Trace" ? std::string() : wl->name();
+        capture = std::make_unique<TraceWriter>(
+            cfg.tracePath, gmem, source, cfg.scale.factor, cfg.seed,
+            cfg.technique == Technique::kSoftware);
+        core.setFetchSink(capture.get());
+    }
+
     // Run the trace to completion.
     bool done = false;
     core.run(wl->trace(cfg.technique == Technique::kSoftware),
@@ -135,6 +151,9 @@ runExperiment(const std::string &workload_name, const RunConfig &cfg)
     while (!eq.empty())
         eq.run(1'000'000);
     assert(done && "core did not finish");
+
+    if (capture)
+        capture->finalize(wl->checksum());
 
     // Collect metrics.
     const auto &cs = core.stats();

@@ -52,6 +52,12 @@ struct RunConfig
     GhbParams ghbLarge = GhbParams::large();
     std::uint64_t seed = 0xE7F5EED5;
     WorkloadScale scale;
+    /**
+     * When non-empty, capture the demand micro-op stream of this run to
+     * the given trace file (see src/trace/trace.hpp).  Inside sweeps the
+     * placeholders {workload}, {technique} and {label} expand per cell.
+     */
+    std::string tracePath;
 };
 
 /** Everything a bench needs from one run. */

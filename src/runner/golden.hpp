@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Golden-stats harness: canonical serialization of a run's full stats
+ * block, plus the fixed grid the goldens cover.
+ *
+ * Every workload x technique cell at the default seed serializes to one
+ * checked-in JSON file (tests/goldens/).  tests/golden_test.cpp diffs
+ * live runs against those files, so any change to simulated timing or
+ * accounting — intended or not — shows up as an explicit golden update
+ * in the PR diff instead of silent drift.  tools/update_goldens
+ * regenerates the files.
+ *
+ * hostSeconds is the one stat deliberately excluded: it measures the
+ * host, not the simulation.
+ */
+
+#ifndef EPF_RUNNER_GOLDEN_HPP
+#define EPF_RUNNER_GOLDEN_HPP
+
+#include <string>
+#include <vector>
+
+#include "runner/experiment.hpp"
+
+namespace epf
+{
+
+/** One cell of the golden grid. */
+struct GoldenCell
+{
+    std::string workload;
+    Technique technique;
+};
+
+/** Input scale every golden runs at (matches the integration tests). */
+constexpr double kGoldenScale = 0.02;
+
+/**
+ * All techniques, in the fixed order the goldens enumerate.  The
+ * single source of truth shared by goldenGrid(), golden_test and the
+ * trace replay matrix — the tool and the tests cannot drift apart.
+ */
+const std::vector<Technique> &goldenTechniques();
+
+/** The full workload x technique grid the goldens cover. */
+std::vector<GoldenCell> goldenGrid();
+
+/** The canonical RunConfig of a golden cell (default seed, kGoldenScale). */
+RunConfig goldenConfig(Technique t);
+
+/** Golden file name for a cell, e.g. "G500-CSR_Manual.json". */
+std::string goldenFileName(const GoldenCell &cell);
+
+/**
+ * Canonical JSON of one run's complete stats block (minus hostSeconds):
+ * headline metrics, per-PPU activity, compiler remarks and every
+ * StatRegistry counter.  Doubles print with 17 significant digits, so
+ * equal strings mean bit-equal stats.
+ */
+std::string goldenStatsJson(const GoldenCell &cell, const RunResult &r);
+
+/**
+ * First line at which @p a and @p b differ (1-based), or 0 when equal.
+ * Used for readable golden-mismatch diagnostics.
+ */
+std::size_t firstDifferingLine(const std::string &a, const std::string &b);
+
+} // namespace epf
+
+#endif // EPF_RUNNER_GOLDEN_HPP

@@ -1,10 +1,13 @@
 #include "runner/sweep.hpp"
 
 #include <atomic>
+#include <cctype>
 #include <chrono>
 #include <cstdlib>
 #include <mutex>
+#include <set>
 #include <thread>
+#include <utility>
 
 #include "sim/rng.hpp"
 
@@ -51,6 +54,25 @@ jsonEscape(const std::string &s)
     return out;
 }
 
+/** Expand {workload}/{technique}/{label} in a cell's trace path. */
+std::string
+expandTracePath(const std::string &pattern, const SweepCell &cell)
+{
+    std::string out = pattern;
+    const std::pair<const char *, std::string> subs[] = {
+        {"{workload}", sanitizeFileToken(cell.workload)},
+        {"{technique}",
+         sanitizeFileToken(techniqueName(cell.config.technique))},
+        {"{label}", sanitizeFileToken(cell.label)},
+    };
+    for (const auto &[key, value] : subs) {
+        for (std::size_t at = out.find(key); at != std::string::npos;
+             at = out.find(key, at + value.size()))
+            out.replace(at, std::string(key).size(), value);
+    }
+    return out;
+}
+
 } // namespace
 
 std::uint64_t
@@ -92,6 +114,21 @@ SweepEngine::run()
 {
     const std::size_t total = cells_.size();
     std::vector<SweepOutcome> outcomes(total);
+
+    // Expand capture paths up front, serially: every cell must end up
+    // with a distinct file, or concurrent TraceWriters would interleave
+    // into the same path.  Collisions (a literal path with no
+    // placeholders, or a grid repeating workload x technique under
+    // different configs) get a cell-index suffix.
+    std::set<std::string> trace_paths;
+    for (std::size_t i = 0; i < total; ++i) {
+        std::string &path = cells_[i].config.tracePath;
+        if (path.empty())
+            continue;
+        path = expandTracePath(path, cells_[i]);
+        while (!trace_paths.insert(path).second)
+            path += "." + std::to_string(i);
+    }
 
     unsigned threads = opts_.threads;
     if (threads == 0) {
@@ -173,6 +210,9 @@ SweepEngine::writeJson(std::ostream &os,
            << jsonEscape(techniqueName(o.cell.config.technique))
            << "\", \"label\": \"" << jsonEscape(o.cell.label)
            << "\", \"seed\": \"" << o.cell.config.seed << "\"";
+        if (!o.cell.config.tracePath.empty())
+            os << ", \"trace\": \"" << jsonEscape(o.cell.config.tracePath)
+               << "\"";
         if (o.failed) {
             os << ", \"failed\": true, \"error\": \""
                << jsonEscape(o.error) << "\"";
@@ -210,6 +250,21 @@ SweepEngine::writeJson(std::ostream &os,
            << (i + 1 < outcomes.size() ? "," : "") << "\n";
     }
     os << "]\n";
+}
+
+std::string
+sanitizeFileToken(const std::string &token)
+{
+    std::string out;
+    out.reserve(token.size());
+    for (char c : token) {
+        if (std::isalnum(static_cast<unsigned char>(c)) || c == '.' ||
+            c == '_' || c == '-')
+            out += c;
+        else
+            out += '-';
+    }
+    return out;
 }
 
 unsigned

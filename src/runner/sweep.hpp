@@ -133,6 +133,13 @@ class SweepEngine
 /** Worker count from EPF_THREADS, else @p fallback (0 = all cores). */
 unsigned sweepThreadsFromEnv(unsigned fallback = 0);
 
+/**
+ * Filesystem-safe form of a workload/technique/label name (non
+ * [alnum._-] bytes become '-').  Shared by the sweep's capture-path
+ * placeholders and the golden file names so the two stay consistent.
+ */
+std::string sanitizeFileToken(const std::string &token);
+
 } // namespace epf
 
 #endif // EPF_RUNNER_SWEEP_HPP

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Binary capture/replay format for main-core micro-op traces.
+ *
+ * A trace file records the exact op stream a Core fetched during one
+ * experiment — kind, instruction count, address, stream id (the PC
+ * proxy), value ids — plus, for every op that names a mapped address,
+ * the live content of the touched cache line at fetch time.  Workload
+ * generators mutate their host arrays as they yield ops; those payloads
+ * are what lets a replay reproduce the data the programmable prefetcher
+ * observes (its kernels read guest memory when prefetch fills arrive),
+ * and therefore the live run's timing, bit for bit.
+ *
+ * Layout: a fixed-width little-endian header (so finalize() can patch
+ * the record count and checksums in place), a region table naming every
+ * guest region the capture run had mapped, then varint/delta-encoded
+ * records.  The stream checksum (FNV-1a over the encoded record bytes)
+ * is verified on load; a corrupt or truncated file fails before any
+ * replay starts.
+ */
+
+#ifndef EPF_TRACE_TRACE_HPP
+#define EPF_TRACE_TRACE_HPP
+
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cpu/core.hpp"
+#include "cpu/micro_op.hpp"
+#include "mem/guest_memory.hpp"
+#include "sim/types.hpp"
+
+namespace epf
+{
+
+/** Format revision; bump on any layout change. */
+constexpr std::uint32_t kTraceVersion = 1;
+
+/** Header flag: the stream was captured with software-prefetch ops. */
+constexpr std::uint32_t kTraceFlagSwpf = 1u << 0;
+/** Header flag: the stream contains PfConfig ops, whose configuration
+ *  callbacks cannot be serialised — replay runs them as timing-only. */
+constexpr std::uint32_t kTraceFlagPfConfig = 1u << 1;
+
+/** One guest region that was mapped during capture. */
+struct TraceRegion
+{
+    std::string name;
+    Addr base = 0;
+    std::uint64_t size = 0;
+};
+
+/** Everything the header records about the captured run. */
+struct TraceMeta
+{
+    std::uint32_t version = kTraceVersion;
+    std::uint32_t flags = 0;
+    /** Seed the source workload's setup() ran with. */
+    std::uint64_t seed = 0;
+    /** WorkloadScale::factor of the source workload. */
+    double scaleFactor = 1.0;
+    std::uint64_t recordCount = 0;
+    /** FNV-1a over the encoded record bytes. */
+    std::uint64_t streamChecksum = 0;
+    /** The source workload's functional checksum() after the run. */
+    std::uint64_t workloadChecksum = 0;
+    /** Fetch tick of the last record. */
+    std::uint64_t finalTick = 0;
+    /** Registry name of the source workload ("" = unknown origin). */
+    std::string sourceWorkload;
+    std::vector<TraceRegion> regions;
+
+    bool withSwpf() const { return (flags & kTraceFlagSwpf) != 0; }
+    bool hasPfConfig() const { return (flags & kTraceFlagPfConfig) != 0; }
+};
+
+/** One decoded trace record: a micro-op plus its capture context. */
+struct TraceRecord
+{
+    /** EventQueue tick at which the core fetched this op. */
+    Tick tick = 0;
+    MicroOp::Kind kind = MicroOp::Kind::Work;
+    std::uint32_t instrs = 1;
+    Addr addr = 0;
+    /** Stable load/store-site id — the PC proxy. */
+    std::int16_t streamId = -1;
+    std::uint32_t produces = 0;
+    std::array<std::uint32_t, 2> deps{{0, 0}};
+    /** Bytes of line content captured at fetch (0 = none/unchanged). */
+    std::uint8_t payloadLen = 0;
+    std::array<std::byte, kLineBytes> payload{};
+
+    /** True for kinds that carry a target address. */
+    static bool
+    hasAddr(MicroOp::Kind k)
+    {
+        return k == MicroOp::Kind::Load || k == MicroOp::Kind::Store ||
+               k == MicroOp::Kind::SwPrefetch;
+    }
+};
+
+/**
+ * Streams captured micro-ops to a file.  Implements the Core's fetch
+ * hook; attach with Core::setFetchSink().  Payload capture snapshots
+ * the mapped part of the cache line under every addressed op, deduped
+ * against the last captured content of that line so static arrays
+ * (edge lists, key columns) are written once, not per access.
+ */
+class TraceWriter : public MicroOpSink
+{
+  public:
+    /**
+     * Open @p path and write the provisional header.  @p gmem must
+     * outlive the writer and already hold every region (capture starts
+     * after workload setup).  Throws std::runtime_error on I/O failure.
+     */
+    TraceWriter(const std::string &path, const GuestMemory &gmem,
+                const std::string &source_workload, double scale_factor,
+                std::uint64_t seed, bool with_swpf);
+    ~TraceWriter() override;
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    /** Core fetch hook: encode one op at @p now. */
+    void onMicroOp(Tick now, const MicroOp &op) override;
+
+    /**
+     * Flush buffered records and patch the header with the record
+     * count, checksums and @p workload_checksum.  Idempotent; also run
+     * by the destructor (without a workload checksum) as a last resort.
+     */
+    void finalize(std::uint64_t workload_checksum);
+
+    std::uint64_t recordCount() const { return meta_.recordCount; }
+
+  private:
+    void flushBuffer();
+    void patchHeader();
+
+    const GuestMemory &gmem_;
+    TraceMeta meta_;
+    std::FILE *file_ = nullptr;
+    std::vector<std::uint8_t> buf_;
+    /** Last captured content per line base (payload dedup). */
+    std::unordered_map<Addr, std::array<std::byte, kLineBytes>> lastLine_;
+    Tick prevTick_ = 0;
+    Addr prevAddr_ = 0;
+    std::uint64_t fnv_ = 0xCBF29CE484222325ULL;
+    bool finalized_ = false;
+};
+
+/**
+ * Loads a trace file into memory, validates the header and stream
+ * checksum up front, then decodes records on demand.
+ */
+class TraceReader
+{
+  public:
+    /** Load and validate @p path; throws std::runtime_error on any
+     *  malformed, truncated or checksum-mismatched input. */
+    explicit TraceReader(const std::string &path);
+
+    const TraceMeta &meta() const { return meta_; }
+
+    /** Restart decoding from the first record. */
+    void rewind();
+
+    /** Decode the next record into @p out; false at end of stream. */
+    bool next(TraceRecord &out);
+
+  private:
+    TraceMeta meta_;
+    std::vector<std::uint8_t> bytes_;
+    std::size_t recordsBegin_ = 0;
+    std::size_t pos_ = 0;
+    std::uint64_t decoded_ = 0;
+    Tick prevTick_ = 0;
+    Addr prevAddr_ = 0;
+};
+
+} // namespace epf
+
+#endif // EPF_TRACE_TRACE_HPP

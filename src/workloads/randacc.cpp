@@ -54,10 +54,14 @@ RandAccWorkload::trace(bool with_swpf)
 
     for (std::uint64_t b = 0; b < batches; ++b) {
         // Phase 1: advance the 128 LFSR streams (shift, sign test, xor,
-        // plus loop bookkeeping — as in the HPCC source).
+        // plus loop bookkeeping — as in the HPCC source).  The host-side
+        // update sits directly before its store's yield: the value must
+        // become visible exactly when the store op is fetched, which is
+        // the instant a trace replay patches the recorded payload back
+        // (the PPU kernels read ran_[] while the batch is in flight).
         for (unsigned j = 0; j < kBatch; ++j) {
-            ran_[j] = lfsrNext(ran_[j]);
             co_yield OpFactory::work(6);
+            ran_[j] = lfsrNext(ran_[j]);
             co_yield OpFactory::store(ga(&ran_[j]), 0);
         }
         // Phase 2: apply the updates to the big table.

@@ -1,5 +1,7 @@
 #include "workloads/workload.hpp"
 
+#include <cstdlib>
+
 #include "workloads/conjgrad.hpp"
 #include "workloads/g500_csr.hpp"
 #include "workloads/g500_list.hpp"
@@ -7,6 +9,7 @@
 #include "workloads/intsort.hpp"
 #include "workloads/pagerank.hpp"
 #include "workloads/randacc.hpp"
+#include "workloads/trace_workload.hpp"
 
 namespace epf
 {
@@ -40,6 +43,17 @@ makeWorkload(const std::string &name, const WorkloadScale &scale)
         return std::make_unique<IntSortWorkload>(scale);
     if (name == "ConjGrad")
         return std::make_unique<ConjGradWorkload>(scale);
+    // The ninth workload: replay of a captured trace.  "trace:<file>"
+    // names the file inline (usable in any sweep grid); the bare name
+    // "Trace" reads it from EPF_TRACE.  The recorded scale and seed
+    // override the caller's (a trace is one specific recorded run).
+    if (name.rfind("trace:", 0) == 0)
+        return std::make_unique<TraceWorkload>(name.substr(6));
+    if (name == "Trace") {
+        if (const char *path = std::getenv("EPF_TRACE"))
+            return std::make_unique<TraceWorkload>(path);
+        return nullptr;
+    }
     return nullptr;
 }
 

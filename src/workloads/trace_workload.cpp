@@ -1,0 +1,122 @@
+#include "workloads/trace_workload.hpp"
+
+#include <stdexcept>
+
+namespace epf
+{
+
+TraceWorkload::TraceWorkload(const std::string &path)
+    : reader_(std::make_unique<TraceReader>(path))
+{
+    const TraceMeta &m = reader_->meta();
+    if (!m.sourceWorkload.empty()) {
+        WorkloadScale scale;
+        scale.factor = m.scaleFactor;
+        inner_ = makeWorkload(m.sourceWorkload, scale);
+        // An unknown source name (a trace from a newer/other build) is
+        // not an error: fall back to standalone replay.
+    }
+}
+
+void
+TraceWorkload::setup(GuestMemory &mem, std::uint64_t seed)
+{
+    // The recorded seed reproduces the capture run's data; the sweep
+    // cell's seed is deliberately ignored so a trace replays identically
+    // under any grid configuration.
+    (void)seed;
+    attach(mem);
+    const TraceMeta &m = reader_->meta();
+
+    if (inner_) {
+        inner_->setup(mem, m.seed);
+    } else {
+        buffers_.clear();
+        buffers_.reserve(m.regions.size());
+        for (const auto &r : m.regions) {
+            buffers_.emplace_back(r.size, std::byte{0});
+            mem.addRegion(r.name, buffers_.back().data(), r.size);
+        }
+    }
+
+    // Regions are assigned deterministic bases in registration order; a
+    // mismatch means the memory image cannot line up with the recorded
+    // addresses, so replay timing would be garbage.  Fail loudly.
+    const auto &live = mem.regions();
+    if (live.size() != m.regions.size())
+        throw std::runtime_error(
+            "TraceWorkload: region count differs from trace header");
+    for (std::size_t i = 0; i < live.size(); ++i) {
+        if (live[i].name != m.regions[i].name ||
+            live[i].base != m.regions[i].base ||
+            live[i].size != m.regions[i].size)
+            throw std::runtime_error(
+                "TraceWorkload: region \"" + m.regions[i].name +
+                "\" does not match the trace header (source workload "
+                "changed since capture?)");
+    }
+}
+
+Generator<MicroOp>
+TraceWorkload::trace(bool with_swpf)
+{
+    // The stream replays as captured; with_swpf only gates availability
+    // (see supportsSoftware()), it cannot add or remove recorded ops.
+    (void)with_swpf;
+    reader_->rewind();
+    TraceRecord rec;
+    while (reader_->next(rec)) {
+        // Restore the touched line first: the capture snapshot was taken
+        // at this op's fetch, after the source generator's host-side
+        // mutations for it had run.
+        if (rec.payloadLen > 0)
+            gmem_->write(lineAlign(rec.addr), rec.payload.data(),
+                         rec.payloadLen);
+
+        MicroOp op;
+        op.kind = rec.kind;
+        op.instrs = rec.instrs;
+        op.vaddr = rec.addr;
+        op.streamId = rec.streamId;
+        op.produces = rec.produces;
+        op.deps = {rec.deps[0], rec.deps[1]};
+        // PfConfig callbacks are not serialisable; replay charges their
+        // timing only (kTraceFlagPfConfig marks such traces).
+        co_yield op;
+    }
+}
+
+void
+TraceWorkload::programManual(ProgrammablePrefetcher &ppf)
+{
+    if (inner_)
+        inner_->programManual(ppf);
+    // Standalone traces carry no kernels: Manual degrades to an armed
+    // but unprogrammed prefetcher.
+}
+
+std::vector<std::shared_ptr<LoopIR>>
+TraceWorkload::buildIR()
+{
+    return inner_ ? inner_->buildIR()
+                  : std::vector<std::shared_ptr<LoopIR>>{};
+}
+
+bool
+TraceWorkload::supportsSoftware() const
+{
+    // The software-prefetch variant is a different op stream; it can
+    // only be replayed from a capture that recorded it.
+    return reader_->meta().withSwpf();
+}
+
+std::uint64_t
+TraceWorkload::checksum() const
+{
+    // The functional result of the recorded run.  It is not recomputed:
+    // source workloads accumulate parts of their checksum in host-side
+    // scalars the replay does not execute.
+    return reader_->meta().workloadChecksum;
+}
+
+} // namespace epf

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Trace replay as a workload.
+ *
+ * Turns any file captured by TraceWriter into a ninth benchmark: the
+ * recorded micro-op stream is fed through the full core + hierarchy +
+ * prefetcher stack, and the recorded line payloads are patched back
+ * into guest memory at the exact fetch instants they were captured, so
+ * the programmable prefetcher observes the same data it saw live.
+ *
+ * Two modes, chosen by the trace header:
+ *  - source-backed: the header names a registry workload; its setup()
+ *    is re-run with the recorded seed/scale, recreating the full memory
+ *    image, the manual PPU kernels and the compiler IR.  Replay then
+ *    reproduces the capture run's stats bit for bit (the golden-replay
+ *    ctest case enforces this).
+ *  - standalone: unknown origin ("" source).  Regions are recreated as
+ *    zero-filled buffers at the recorded guest bases; payload patching
+ *    populates them as the run proceeds.  Only non-programmable
+ *    techniques and Manual-with-no-kernels apply (buildIR is empty).
+ */
+
+#ifndef EPF_WORKLOADS_TRACE_WORKLOAD_HPP
+#define EPF_WORKLOADS_TRACE_WORKLOAD_HPP
+
+#include <memory>
+
+#include "trace/trace.hpp"
+#include "workloads/workload.hpp"
+
+namespace epf
+{
+
+/** Replays a captured trace file. */
+class TraceWorkload : public Workload
+{
+  public:
+    /** Loads and validates @p path (throws on malformed input). */
+    explicit TraceWorkload(const std::string &path);
+
+    std::string name() const override { return "Trace"; }
+    void setup(GuestMemory &mem, std::uint64_t seed) override;
+    Generator<MicroOp> trace(bool with_swpf) override;
+    void programManual(ProgrammablePrefetcher &ppf) override;
+    std::vector<std::shared_ptr<LoopIR>> buildIR() override;
+    bool supportsSoftware() const override;
+    std::uint64_t checksum() const override;
+
+    const TraceMeta &meta() const { return reader_->meta(); }
+
+  private:
+    std::unique_ptr<TraceReader> reader_;
+    /** Source-backed mode: the re-instantiated origin workload. */
+    std::unique_ptr<Workload> inner_;
+    /** Standalone mode: backing storage for the recorded regions. */
+    std::vector<std::vector<std::byte>> buffers_;
+};
+
+} // namespace epf
+
+#endif // EPF_WORKLOADS_TRACE_WORKLOAD_HPP

@@ -131,6 +131,128 @@ TEST(FilterTableTest, OverlappingRangesBothMatch)
     EXPECT_TRUE(hits.empty());
 }
 
+/**
+ * Reference oracle for FilterTable::match: the plain linear scan the
+ * interval index replaced.  Matches must be identical — same entries,
+ * same (insertion) order — at every table size, in particular around
+ * the 64-entry bound where the implementation switches from the
+ * interval index to the fallback linear scan.
+ */
+std::vector<int>
+linearMatches(const std::vector<FilterEntry> &entries, Addr a)
+{
+    std::vector<int> out;
+    for (std::size_t i = 0; i < entries.size(); ++i)
+        if (entries[i].contains(a))
+            out.push_back(static_cast<int>(i));
+    return out;
+}
+
+std::vector<int>
+tableMatches(const FilterTable &ft, Addr a)
+{
+    std::vector<int> out;
+    ft.match(a, [&](int idx, const FilterEntry &) { out.push_back(idx); });
+    return out;
+}
+
+/** Deterministic overlapping spans: adjacent, nested and disjoint. */
+std::vector<FilterEntry>
+boundaryEntries(std::size_t n)
+{
+    std::vector<FilterEntry> entries;
+    for (std::size_t i = 0; i < n; ++i) {
+        FilterEntry e;
+        e.name = "e" + std::to_string(i);
+        // Chains of overlapping [i*40, i*40+100) spans plus every 7th
+        // entry covering a huge nested range.
+        e.base = static_cast<Addr>(i * 40);
+        e.limit = e.base + (i % 7 == 0 ? 4000 : 100);
+        entries.push_back(e);
+    }
+    return entries;
+}
+
+class FilterTableBoundary : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(FilterTableBoundary, MatchesLinearOracleInInsertionOrder)
+{
+    const std::size_t n = GetParam(); // 63 / 64 sit each side of the bound
+    ASSERT_LE(n, FilterTable::kMaxEntries);
+    const auto entries = boundaryEntries(n);
+    FilterTable ft;
+    for (std::size_t i = 0; i < entries.size(); ++i)
+        EXPECT_EQ(ft.add(entries[i]), static_cast<int>(i));
+    EXPECT_EQ(ft.size(), n);
+
+    // Probe every span edge and interior plus out-of-range points.
+    std::vector<Addr> probes{0, 1, 39, 40, 99, 100};
+    for (std::size_t i = 0; i < n; ++i) {
+        probes.push_back(entries[i].base);
+        probes.push_back(entries[i].base + 50);
+        probes.push_back(entries[i].limit - 1);
+        probes.push_back(entries[i].limit);
+    }
+    probes.push_back(1'000'000);
+    for (Addr a : probes)
+        EXPECT_EQ(tableMatches(ft, a), linearMatches(entries, a))
+            << "n=" << n << " addr=" << a;
+}
+
+INSTANTIATE_TEST_SUITE_P(AroundIndexBound, FilterTableBoundary,
+                         ::testing::Values(std::size_t{1}, std::size_t{2},
+                                           std::size_t{63},
+                                           std::size_t{64}));
+
+#ifdef NDEBUG
+TEST(FilterTableBoundary65, OversizedTableFallsBackToLinearScan)
+{
+    // 65 entries exceed the hardware bound; in release builds (where
+    // add()'s assert compiles out) match() must take the unbounded
+    // linear scan rather than overrun its fixed stack buffer.
+    const auto entries = boundaryEntries(65);
+    FilterTable ft;
+    for (const auto &e : entries)
+        ft.add(e);
+    EXPECT_EQ(ft.size(), 65u);
+    for (Addr a : {Addr{0}, Addr{50}, Addr{64 * 40}, Addr{65 * 40 + 99}})
+        EXPECT_EQ(tableMatches(ft, a), linearMatches(entries, a));
+}
+#else
+TEST(FilterTableBoundary65, OversizedAddAssertsInDebugBuilds)
+{
+    const auto entries = boundaryEntries(64);
+    FilterTable ft;
+    for (const auto &e : entries)
+        ft.add(e);
+    FilterEntry extra;
+    extra.name = "overflow";
+    extra.base = 0;
+    extra.limit = 1;
+    EXPECT_DEATH(ft.add(extra), "hardware bound");
+}
+#endif
+
+TEST(FilterTableTest, InsertionOrderPreservedUnderReversedBases)
+{
+    // Entries inserted with descending bases: the index sorts by base,
+    // but callbacks must still arrive in insertion order.
+    FilterTable ft;
+    std::vector<FilterEntry> entries;
+    for (int i = 0; i < 8; ++i) {
+        FilterEntry e;
+        e.name = "r" + std::to_string(i);
+        e.base = static_cast<Addr>((8 - i) * 100);
+        e.limit = 2000;
+        entries.push_back(e);
+        ft.add(e);
+    }
+    EXPECT_EQ(tableMatches(ft, 900), linearMatches(entries, 900));
+    EXPECT_EQ(tableMatches(ft, 900), (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
 /** Fixture: a PPF over a small guest array, with a captured kick. */
 class PpfTest : public ::testing::Test
 {

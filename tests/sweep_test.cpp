@@ -7,8 +7,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
+#include <cstdlib>
+#include <set>
 #include <sstream>
 
+#include "../bench/bench_common.hpp"
 #include "runner/sweep.hpp"
 
 namespace epf
@@ -173,6 +177,269 @@ TEST(SweepJsonTest, EmitsWellFormedRecords)
     EXPECT_EQ(json.front(), '[');
     EXPECT_EQ(json.back(), '\n');
     EXPECT_NE(json.find("]\n"), std::string::npos);
+}
+
+/** Scoped setenv/unsetenv that restores the previous value. */
+class EnvVar
+{
+  public:
+    EnvVar(const char *name, const char *value) : name_(name)
+    {
+        if (const char *old = std::getenv(name)) {
+            had_ = true;
+            old_ = old;
+        }
+        if (value != nullptr)
+            ::setenv(name, value, 1);
+        else
+            ::unsetenv(name);
+    }
+
+    ~EnvVar()
+    {
+        if (had_)
+            ::setenv(name_.c_str(), old_.c_str(), 1);
+        else
+            ::unsetenv(name_.c_str());
+    }
+
+  private:
+    std::string name_;
+    bool had_ = false;
+    std::string old_;
+};
+
+/**
+ * Minimal recursive-descent JSON reader: validates syntax and collects
+ * every object key it sees.  Enough to prove the emitted sweep dump is
+ * real JSON with the documented schema, without external dependencies.
+ */
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string &text) : s_(text) {}
+
+    bool
+    parse()
+    {
+        skipWs();
+        if (!value())
+            return false;
+        skipWs();
+        return at_ == s_.size();
+    }
+
+    const std::set<std::string> &keys() const { return keys_; }
+
+  private:
+    bool
+    value()
+    {
+        if (at_ >= s_.size())
+            return false;
+        const char c = s_[at_];
+        if (c == '{')
+            return object();
+        if (c == '[')
+            return array();
+        if (c == '"')
+            return string(nullptr);
+        if (c == 't')
+            return literal("true");
+        if (c == 'f')
+            return literal("false");
+        if (c == 'n')
+            return literal("null");
+        return number();
+    }
+
+    bool
+    object()
+    {
+        ++at_; // '{'
+        skipWs();
+        if (peek() == '}') {
+            ++at_;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            std::string key;
+            if (!string(&key))
+                return false;
+            keys_.insert(key);
+            skipWs();
+            if (peek() != ':')
+                return false;
+            ++at_;
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') {
+                ++at_;
+                continue;
+            }
+            if (peek() == '}') {
+                ++at_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    array()
+    {
+        ++at_; // '['
+        skipWs();
+        if (peek() == ']') {
+            ++at_;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') {
+                ++at_;
+                continue;
+            }
+            if (peek() == ']') {
+                ++at_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    string(std::string *out)
+    {
+        if (peek() != '"')
+            return false;
+        ++at_;
+        std::string v;
+        while (at_ < s_.size() && s_[at_] != '"') {
+            if (s_[at_] == '\\') {
+                if (at_ + 1 >= s_.size())
+                    return false;
+                ++at_;
+            }
+            v += s_[at_++];
+        }
+        if (at_ >= s_.size())
+            return false;
+        ++at_; // closing quote
+        if (out != nullptr)
+            *out = v;
+        return true;
+    }
+
+    bool
+    number()
+    {
+        const std::size_t start = at_;
+        while (at_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[at_])) ||
+                s_[at_] == '-' || s_[at_] == '+' || s_[at_] == '.' ||
+                s_[at_] == 'e' || s_[at_] == 'E'))
+            ++at_;
+        return at_ > start;
+    }
+
+    bool
+    literal(const std::string &lit)
+    {
+        if (s_.compare(at_, lit.size(), lit) != 0)
+            return false;
+        at_ += lit.size();
+        return true;
+    }
+
+    void
+    skipWs()
+    {
+        while (at_ < s_.size() &&
+               std::isspace(static_cast<unsigned char>(s_[at_])))
+            ++at_;
+    }
+
+    char peek() const { return at_ < s_.size() ? s_[at_] : '\0'; }
+
+    std::string s_;
+    std::size_t at_ = 0;
+    std::set<std::string> keys_;
+};
+
+TEST(SweepEnvTest, ThreadsKnobRoundTrips)
+{
+    {
+        EnvVar t("EPF_THREADS", "3");
+        EXPECT_EQ(sweepThreadsFromEnv(0), 3u);
+        EXPECT_EQ(sweepThreadsFromEnv(7), 3u);
+    }
+    {
+        EnvVar t("EPF_THREADS", nullptr);
+        EXPECT_EQ(sweepThreadsFromEnv(7), 7u);
+    }
+    {
+        // Junk and non-positive values fall back.
+        EnvVar t("EPF_THREADS", "bogus");
+        EXPECT_EQ(sweepThreadsFromEnv(5), 5u);
+    }
+    {
+        EnvVar t("EPF_THREADS", "-2");
+        EXPECT_EQ(sweepThreadsFromEnv(5), 5u);
+    }
+}
+
+TEST(SweepEnvTest, SeedAndThreadsReachTheEmittedJson)
+{
+    // The harness path every fig/table binary takes: environment ->
+    // engine options -> derived per-cell seeds -> JSON dump.
+    EnvVar t("EPF_THREADS", "2");
+    EnvVar s("EPF_SEED", "0xABCD1234");
+    EnvVar p("EPF_PROGRESS", nullptr);
+
+    SweepEngine engine = bench::makeEngine();
+    RunConfig proto = tinyConfig(Technique::kStride);
+    engine.add("IntSort", proto);
+    engine.add("RandAcc", proto);
+    const auto outcomes = engine.run();
+    ASSERT_EQ(outcomes.size(), 2u);
+
+    // EPF_SEED drove every cell's derived seed.
+    EXPECT_EQ(outcomes[0].cell.config.seed,
+              deriveCellSeed(0xABCD1234, "IntSort", Technique::kStride));
+    EXPECT_EQ(outcomes[1].cell.config.seed,
+              deriveCellSeed(0xABCD1234, "RandAcc", Technique::kStride));
+
+    std::ostringstream os;
+    SweepEngine::writeJson(os, outcomes, /*detail=*/true);
+    const std::string json = os.str();
+
+    // The dump is real JSON...
+    JsonChecker checker(json);
+    ASSERT_TRUE(checker.parse()) << json;
+
+    // ...with the documented schema keys...
+    for (const char *key :
+         {"workload", "technique", "label", "seed", "cycles", "instrs",
+          "ticks", "l1ReadHitRate", "l2HitRate", "pfUtilisation",
+          "l1PrefetchFills", "dramReads", "dramWrites", "checksum",
+          "detail", "hostSeconds"})
+        EXPECT_TRUE(checker.keys().count(key) != 0) << key;
+    // ...including the split store-retry counter in the detail block.
+    EXPECT_TRUE(checker.keys().count("mem.storeRetries") != 0);
+    EXPECT_TRUE(checker.keys().count("mem.loadRetries") != 0);
+
+    // The derived seeds appear verbatim (decimal strings).
+    EXPECT_NE(json.find("\"seed\": \"" +
+                        std::to_string(outcomes[0].cell.config.seed) +
+                        "\""),
+              std::string::npos);
 }
 
 } // namespace

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Capture/replay equivalence matrix (tier 2).
+ *
+ * The acceptance bar of the trace subsystem: a trace captured from any
+ * built-in workload, replayed through TraceWorkload, reproduces the
+ * live run's full stats block byte-identically (hostSeconds excluded —
+ * it is never serialized) for every technique at the default seed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <string>
+
+#include "runner/golden.hpp"
+#include "workloads/workload.hpp"
+
+namespace epf
+{
+namespace
+{
+
+class ReplayMatrix : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(ReplayMatrix, ReplayMatchesLiveForEveryTechnique)
+{
+    const std::string workload = GetParam();
+    for (Technique t : goldenTechniques()) {
+        RunConfig cfg = goldenConfig(t);
+        cfg.tracePath = ::testing::TempDir() + "replay_" + workload +
+                        "_" + techniqueName(t) + ".epftrace";
+        RunResult live = runExperiment(workload, cfg);
+        if (!live.available) {
+            // Unavailable cells produce no trace to replay (the run
+            // returns before setup); nothing to compare.
+            continue;
+        }
+
+        RunResult replay =
+            runExperiment("trace:" + cfg.tracePath, goldenConfig(t));
+        const std::string want = goldenStatsJson({workload, t}, live);
+        const std::string got = goldenStatsJson({workload, t}, replay);
+        EXPECT_EQ(want, got)
+            << workload << " / " << techniqueName(t)
+            << ": replay diverged from live at line "
+            << firstDifferingLine(want, got);
+        std::remove(cfg.tracePath.c_str());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, ReplayMatrix,
+                         ::testing::ValuesIn(workloadNames()),
+                         [](const auto &info) {
+                             std::string n = info.param;
+                             for (auto &c : n)
+                                 if (!std::isalnum(
+                                         static_cast<unsigned char>(c)))
+                                     c = '_';
+                             return n;
+                         });
+
+} // namespace
+} // namespace epf

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Regenerates the checked-in golden stats files (tests/goldens/).
+ *
+ * Run after any intentional change to simulated timing or accounting,
+ * then review the golden diff alongside the code diff:
+ *
+ *   ./build/update_goldens            # writes into the source tree
+ *   EPF_GOLDEN_DIR=/tmp/g ./build/update_goldens
+ *
+ * Every cell runs at the default seed and kGoldenScale; the grid and
+ * serialization live in src/runner/golden.{hpp,cpp} so this tool and
+ * tests/golden_test.cpp can never disagree about either.
+ */
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "runner/golden.hpp"
+#include "runner/sweep.hpp"
+
+#ifndef EPF_GOLDEN_DIR
+#define EPF_GOLDEN_DIR "tests/goldens"
+#endif
+
+int
+main()
+{
+    using namespace epf;
+
+    std::filesystem::path dir = EPF_GOLDEN_DIR;
+    if (const char *d = std::getenv("EPF_GOLDEN_DIR"))
+        dir = d;
+    std::filesystem::create_directories(dir);
+
+    const auto grid = goldenGrid();
+
+    SweepEngine::Options opts;
+    opts.threads = sweepThreadsFromEnv(0);
+    // Goldens run at the fixed default seed, not a derived one.
+    opts.deriveSeeds = false;
+    SweepEngine engine(opts);
+    for (const auto &cell : grid)
+        engine.add(cell.workload, goldenConfig(cell.technique));
+    const auto outcomes = engine.run();
+
+    std::size_t written = 0;
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        if (outcomes[i].failed) {
+            std::cerr << "FAILED: " << grid[i].workload << " / "
+                      << techniqueName(grid[i].technique) << ": "
+                      << outcomes[i].error << "\n";
+            return 1;
+        }
+        const std::filesystem::path file = dir / goldenFileName(grid[i]);
+        std::ofstream os(file, std::ios::binary | std::ios::trunc);
+        if (!os) {
+            std::cerr << "cannot write " << file << "\n";
+            return 1;
+        }
+        os << goldenStatsJson(grid[i], outcomes[i].result);
+        ++written;
+    }
+    std::cout << "wrote " << written << " goldens to " << dir << "\n";
+    return 0;
+}
