@@ -11,6 +11,8 @@
  * Environment knobs shared by all harnesses:
  *   EPF_SCALE    input scale factor (default 0.25; fig9b defaults 0.1)
  *   EPF_THREADS  sweep worker threads (default: all cores)
+ *   EPF_CORES    simulated cores per run (default 1; fig13_multicore
+ *                sweeps its own 1/2/4/8 grid and ignores this)
  *   EPF_SEED     base seed each cell's seed is derived from
  *   EPF_JSON     when set, also dump every run as JSON to this path
  *                ("-" for stdout)
@@ -51,6 +53,7 @@ baseConfig(Technique t, double scale)
     RunConfig cfg;
     cfg.technique = t;
     cfg.scale.factor = scale;
+    cfg.cores = sweepCoresFromEnv(1);
     if (const char *p = std::getenv("EPF_TRACE_OUT"))
         cfg.tracePath = p;
     return cfg;

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * "Figure 13" (beyond the paper): multi-core scaling of the
+ * event-triggered prefetcher.
+ *
+ * The paper evaluates a Table 1 uniprocessor; this harness scales the
+ * same machine to 1/2/4/8 cores — per-core L1 + PPF over a shared,
+ * banked L2 with round-robin arbitration — and reruns the shardable
+ * workloads under no prefetching, stride, and the hand-written event
+ * kernels.  Reported per cell: cycles of the slowest core (the parallel
+ * critical path) and the speedup over the same technique at one core.
+ *
+ * Every cell of a workload shares the kNone-derived seed, so all core
+ * counts and techniques run over identical datasets and the checksum
+ * column cross-checks functional equivalence of the sharded runs.
+ * The sweep is deterministic: bit-identical output at any EPF_THREADS
+ * and across repeated invocations.
+ */
+
+#include "bench_common.hpp"
+
+using namespace epf;
+using namespace epf::bench;
+
+int
+main()
+{
+    const double scale = scaleFromEnv();
+    std::cout << "=== Figure 13: multi-core scaling (scale " << scale
+              << ") ===\n";
+
+    const std::vector<unsigned> core_counts = {1, 2, 4, 8};
+    const std::vector<Technique> techs = {
+        Technique::kNone,
+        Technique::kStride,
+        Technique::kManual,
+    };
+    // The shardable workloads (the rest are serial on core 0 and would
+    // only measure uncore contention of an idle machine).
+    std::vector<std::string> workloads;
+    for (const auto &name : workloadNames()) {
+        if (makeWorkload(name)->supportsSharding())
+            workloads.push_back(name);
+    }
+
+    SweepEngine engine = makeEngine();
+    for (const auto &wl : workloads) {
+        for (Technique t : techs) {
+            for (unsigned n : core_counts) {
+                RunConfig cfg = baseConfig(t, scale);
+                cfg.cores = n;
+                // Trace capture is single-core only; under EPF_TRACE_OUT
+                // capture the 1-core cells and run the rest uncaptured
+                // rather than abort the sweep.
+                if (n > 1)
+                    cfg.tracePath.clear();
+                engine.add(wl, cfg, std::to_string(n) + "c",
+                           Technique::kNone);
+            }
+        }
+    }
+    const auto outcomes = engine.run();
+    requireAllOk(outcomes);
+
+    std::vector<std::string> header = {"Benchmark", "Technique"};
+    for (unsigned n : core_counts)
+        header.push_back(std::to_string(n) + " cores");
+    TextTable table(header);
+
+    std::size_t idx = 0;
+    for (const auto &wl : workloads) {
+        for (Technique t : techs) {
+            std::vector<std::string> row = {wl, techniqueName(t)};
+            const RunResult &one_core = outcomes[idx].result;
+            for (std::size_t c = 0; c < core_counts.size(); ++c) {
+                const RunResult &r = outcomes[idx + c].result;
+                // Sharded writes are disjoint-or-commutative, so every
+                // core count must reproduce the serial checksum.
+                if (r.checksum != one_core.checksum) {
+                    row.push_back("BADSUM");
+                    continue;
+                }
+                const double s = speedupOver(one_core.cycles, r);
+                row.push_back(TextTable::num(s) + "x");
+            }
+            idx += core_counts.size();
+            table.addRow(std::move(row));
+        }
+    }
+    table.print(std::cout);
+    maybeWriteJson(outcomes);
+    std::cout << "\nCells are speedups over the same technique at one "
+                 "core (slowest-core cycles).\nPer-core PPU activity, "
+                 "L2 arbitration and coherence counters are in the "
+                 "EPF_JSON\ndetail dump (uncore.*, coreN.*).\n";
+    return 0;
+}

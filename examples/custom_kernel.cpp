@@ -82,7 +82,7 @@ main(int argc, char **argv)
     }
 
     epf::MemoryHierarchy mem(eq, gmem, epf::MemParams::defaults());
-    epf::Core core(eq, epf::CoreParams{}, mem);
+    epf::Core core(eq, epf::CoreParams{}, mem.port());
 
     // ---- Hand-written prefetch kernels ----------------------------
     epf::PpfConfig pcfg;

@@ -5,8 +5,10 @@
 namespace epf
 {
 
-Core::Core(EventQueue &eq, const CoreParams &params, MemoryHierarchy &mem)
-    : eq_(eq), p_(params), mem_(mem)
+Core::Core(EventQueue &eq, const CoreParams &params, CorePort &mem,
+           unsigned coreId)
+    : eq_(eq), p_(params), mem_(mem), coreId_(coreId),
+      streamNamespace_(static_cast<int>(coreId) << kStreamIdCoreShift)
 {
     valueReady_.reserve(1 << 20);
     // Every ROB entry costs at least one instruction, so occupancy never
@@ -200,7 +202,7 @@ Core::issueMemOps()
             --load_ports;
             any = true;
             RobEntry *entry = ep;
-            mem_.load(e.op.vaddr, e.op.streamId, [this, entry] {
+            mem_.load(e.op.vaddr, nsStream(e.op.streamId), [this, entry] {
                 entry->complete = true;
                 // Loads broadcast their value as soon as data returns.
                 markValueReady(entry->op.produces);
@@ -217,7 +219,7 @@ Core::issueMemOps()
             e.issued = true;
             e.complete = true; // stores retire without waiting for data
             any = true;
-            mem_.store(e.op.vaddr, e.op.streamId, [this] {
+            mem_.store(e.op.vaddr, nsStream(e.op.streamId), [this] {
                 assert(sqUsed_ > 0);
                 --sqUsed_;
                 wake();

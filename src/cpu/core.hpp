@@ -20,7 +20,7 @@
 
 #include "cpu/generator.hpp"
 #include "cpu/micro_op.hpp"
-#include "mem/hierarchy.hpp"
+#include "mem/core_port.hpp"
 #include "sim/clock.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/object_pool.hpp"
@@ -28,6 +28,13 @@
 
 namespace epf
 {
+
+/**
+ * Bit position where a core's id is OR-ed into the stream ids it sends
+ * to the memory system (0 for core 0, so single-core traces are
+ * unchanged).  Workload-generated stream ids stay far below bit 20.
+ */
+inline constexpr int kStreamIdCoreShift = 20;
 
 /** Main-core configuration (Table 1 values by default). */
 struct CoreParams
@@ -75,7 +82,17 @@ class Core
         std::uint64_t robFullCycles = 0;
     };
 
-    Core(EventQueue &eq, const CoreParams &params, MemoryHierarchy &mem);
+    /**
+     * @param mem     the core's private memory port
+     * @param coreId  position of this core in a multi-core machine.
+     *                Stream ids (the PC proxies prefetchers train on)
+     *                are namespaced per core: core 0 passes them
+     *                through unchanged, core N tags bit 20+ so two
+     *                cores' streams can never alias in shared traces
+     *                or logs.
+     */
+    Core(EventQueue &eq, const CoreParams &params, CorePort &mem,
+         unsigned coreId = 0);
 
     /**
      * Run @p trace to completion.  @p on_done fires on the cycle the last
@@ -85,6 +102,7 @@ class Core
 
     const Stats &stats() const { return stats_; }
     const CoreParams &params() const { return p_; }
+    unsigned coreId() const { return coreId_; }
 
     /** Attach (or detach with nullptr) a fetch-stream observer. */
     void setFetchSink(MicroOpSink *sink) { fetchSink_ = sink; }
@@ -122,9 +140,15 @@ class Core
     /** Acquire a pooled entry, initialise it from @p op, append to rob_. */
     RobEntry *newRobEntry(MicroOp op);
 
+    /** @p sid namespaced with this core's id (identity on core 0). */
+    int nsStream(int sid) const { return sid | streamNamespace_; }
+
     EventQueue &eq_;
     CoreParams p_;
-    MemoryHierarchy &mem_;
+    CorePort &mem_;
+    unsigned coreId_ = 0;
+    /** OR-mask applied to every stream id (0 for core 0). */
+    int streamNamespace_ = 0;
 
     Generator<MicroOp> trace_;
     bool traceValid_ = false;  ///< a fetched op is waiting in trace_.value()

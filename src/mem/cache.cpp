@@ -139,6 +139,8 @@ Cache::demandAccess(bool is_load, Addr vaddr, Addr paddr, DoneFn &&done)
             ++stats_.stores;
             ++stats_.storeHits;
             line->dirty = true;
+            if (coherence_ != nullptr)
+                coherence_->onWrite(coherencePort_, line_addr);
         }
         touchForDemand(*line);
         eq_.scheduleIn(p_.accessLatency, std::move(done));
@@ -245,6 +247,8 @@ Cache::installLine(Addr line_addr, bool dirty, bool prefetched)
             wb.paddr = victim.lineAddr;
             parent_.writeLine(wb);
         }
+        if (coherence_ != nullptr)
+            coherence_->onEvict(coherencePort_, victim.lineAddr);
     }
     victim.valid = true;
     victim.dirty = dirty;
@@ -260,6 +264,8 @@ Cache::handleFill(Mshr &m)
 {
     const bool pf = m.req.isPrefetch;
     Line &line = installLine(m.lineAddr, m.wasStore, pf);
+    if (coherence_ != nullptr)
+        coherence_->onFill(coherencePort_, m.lineAddr, m.wasStore);
 
     if (pf) {
         ++stats_.prefetchFills;
@@ -288,6 +294,26 @@ Cache::handleFill(Mshr &m)
     for (auto &w : fillWaiters_)
         eq_.scheduleIn(0, std::move(w));
     fillWaiters_.clear();
+}
+
+bool
+Cache::invalidateLine(Addr line_addr)
+{
+    Line *line = findLine(line_addr);
+    if (line == nullptr)
+        return false;
+    if (line->prefetched && !line->used)
+        ++stats_.pfUnusedEvicted;
+    if (line->dirty) {
+        ++stats_.writebacks;
+        LineRequest wb;
+        wb.paddr = line->lineAddr;
+        parent_.writeLine(wb);
+    }
+    line->valid = false;
+    line->dirty = false;
+    ++stats_.invalidations;
+    return true;
 }
 
 void

@@ -19,7 +19,6 @@
 #define EPF_MEM_CACHE_HPP
 
 #include <cstdint>
-#include <functional>
 #include <string>
 #include <vector>
 
@@ -27,6 +26,7 @@
 #include "mem/packet.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/ring_buffer.hpp"
+#include "sim/small_function.hpp"
 #include "sim/types.hpp"
 
 namespace epf
@@ -84,9 +84,35 @@ class Cache : public MemLevel
         std::uint64_t pfUnusedEvicted = 0;
         std::uint64_t pfDropPresent = 0;
         std::uint64_t writebacks = 0;
+        /** Resident lines dropped by directory invalidations. */
+        std::uint64_t invalidations = 0;
         /** Demand line reads received through the MemLevel interface. */
         std::uint64_t lowerReads = 0;
         std::uint64_t lowerReadHits = 0;
+
+        /** Field-wise sum — the one place aggregation across banks or
+         *  cores enumerates the counters, so a new field cannot be
+         *  silently dropped from one aggregation site. */
+        Stats &
+        operator+=(const Stats &o)
+        {
+            loads += o.loads;
+            loadHits += o.loadHits;
+            stores += o.stores;
+            storeHits += o.storeHits;
+            demandMerges += o.demandMerges;
+            mshrRejects += o.mshrRejects;
+            prefetchFills += o.prefetchFills;
+            pfUsed += o.pfUsed;
+            pfUsedLate += o.pfUsedLate;
+            pfUnusedEvicted += o.pfUnusedEvicted;
+            pfDropPresent += o.pfDropPresent;
+            writebacks += o.writebacks;
+            invalidations += o.invalidations;
+            lowerReads += o.lowerReads;
+            lowerReadHits += o.lowerReadHits;
+            return *this;
+        }
     };
 
     Cache(EventQueue &eq, const CacheParams &params, MemLevel &parent);
@@ -118,7 +144,28 @@ class Cache : public MemLevel
     void setListener(MemoryListener *l) { listener_ = l; }
 
     /** Hook invoked every time an MSHR is released. */
-    void setMshrFreeHook(std::function<void()> fn) { mshrFreeHook_ = std::move(fn); }
+    void setMshrFreeHook(SmallFunction<void()> fn) { mshrFreeHook_ = std::move(fn); }
+
+    /**
+     * Attach this (private) cache to a coherence directory as @p port.
+     * Fills, store hits and evictions are reported to the hub; the hub
+     * invalidates remote copies through invalidateLine().
+     */
+    void
+    setCoherence(CoherenceHub *hub, unsigned port)
+    {
+        coherence_ = hub;
+        coherencePort_ = port;
+    }
+
+    /**
+     * Directory-initiated invalidation of @p line_addr (line-aligned).
+     * A dirty copy is written back to the parent first.  Returns true
+     * when a resident copy was dropped.  In-flight MSHRs are untouched:
+     * the minimal protocol has no transient states, so a line being
+     * fetched simply re-registers with the directory when it fills.
+     */
+    bool invalidateLine(Addr line_addr);
 
     // ---- MemLevel interface (when this cache is a parent, i.e. L2) ----
 
@@ -185,7 +232,9 @@ class Cache : public MemLevel
     CacheParams p_;
     MemLevel &parent_;
     MemoryListener *listener_ = nullptr;
-    std::function<void()> mshrFreeHook_;
+    SmallFunction<void()> mshrFreeHook_;
+    CoherenceHub *coherence_ = nullptr;
+    unsigned coherencePort_ = 0;
 
     unsigned numSets_;
     std::vector<Line> lines_; ///< numSets_ * ways, set-major

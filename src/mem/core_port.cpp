@@ -1,77 +1,58 @@
-#include "mem/hierarchy.hpp"
+#include "mem/core_port.hpp"
 
 #include <cassert>
 
 namespace epf
 {
 
-MemParams
-MemParams::defaults()
+CorePort::CorePort(EventQueue &eq, GuestMemory &mem, Uncore &uncore,
+                   const MemParams &params, unsigned portId)
+    : eq_(eq), mem_(mem), p_(params), portId_(portId)
 {
-    MemParams p;
-    p.l1.name = "l1d";
-    p.l1.sizeBytes = 32 * 1024;
-    p.l1.ways = 2;
-    p.l1.accessLatency = 2 * 5; // 2 cycles @ 3.2 GHz
-    p.l1.mshrs = 12;
-
-    p.l2.name = "l2";
-    p.l2.sizeBytes = 1024 * 1024;
-    p.l2.ways = 16;
-    p.l2.accessLatency = 12 * 5; // 12 cycles @ 3.2 GHz
-    p.l2.mshrs = 16;
-
-    p.corePeriod = 5;
-    return p;
-}
-
-MemoryHierarchy::MemoryHierarchy(EventQueue &eq, GuestMemory &mem,
-                                 const MemParams &params)
-    : eq_(eq), mem_(mem), p_(params)
-{
-    dram_ = std::make_unique<Dram>(eq_, p_.dram);
-    l2_ = std::make_unique<Cache>(eq_, p_.l2, *dram_);
-    l1_ = std::make_unique<Cache>(eq_, p_.l1, *l2_);
-    pageTable_ = std::make_unique<PageTable>(mem_);
-    tlb_ = std::make_unique<Tlb>(eq_, p_.tlb, *pageTable_, *l2_);
+    l1_ = std::make_unique<Cache>(eq_, p_.l1, uncore.port(portId_));
+    tlb_ = std::make_unique<Tlb>(eq_, p_.tlb, uncore.pageTable(),
+                                 uncore.port(portId_));
 
     l1_->setMshrFreeHook([this] { tryIssuePrefetches(); });
+
+    if (uncore.ports() > 1) {
+        uncore.attachL1(portId_, l1_.get());
+        l1_->setCoherence(&uncore, portId_);
+    }
 }
 
 void
-MemoryHierarchy::setListener(MemoryListener *l)
+CorePort::setListener(MemoryListener *l)
 {
     listener_ = l;
     l1_->setListener(l);
 }
 
 void
-MemoryHierarchy::resetStats()
+CorePort::resetStats()
 {
     stats_ = Stats{};
     l1_->resetStats();
-    l2_->resetStats();
-    dram_->resetStats();
     tlb_->resetStats();
 }
 
 void
-MemoryHierarchy::load(Addr vaddr, int stream_id, DoneFn done)
+CorePort::load(Addr vaddr, int stream_id, DoneFn done)
 {
     ++stats_.coreLoads;
     demandAccess(true, vaddr, stream_id, std::move(done));
 }
 
 void
-MemoryHierarchy::store(Addr vaddr, int stream_id, DoneFn done)
+CorePort::store(Addr vaddr, int stream_id, DoneFn done)
 {
     ++stats_.coreStores;
     demandAccess(false, vaddr, stream_id, std::move(done));
 }
 
 void
-MemoryHierarchy::demandAccess(bool is_load, Addr vaddr, int stream_id,
-                              DoneFn done)
+CorePort::demandAccess(bool is_load, Addr vaddr, int stream_id,
+                       DoneFn done)
 {
     assert(mem_.contains(vaddr) && "core accessed an unmapped address");
     // The whole request rides in a pooled transaction; every hop below
@@ -91,7 +72,7 @@ MemoryHierarchy::demandAccess(bool is_load, Addr vaddr, int stream_id,
 }
 
 void
-MemoryHierarchy::attemptDemand(DemandTxn *txn)
+CorePort::attemptDemand(DemandTxn *txn)
 {
     auto res = l1_->demandAccess(txn->isLoad, txn->vaddr, txn->paddr,
                                  std::move(txn->done));
@@ -115,7 +96,7 @@ MemoryHierarchy::attemptDemand(DemandTxn *txn)
 }
 
 void
-MemoryHierarchy::swPrefetch(Addr vaddr)
+CorePort::swPrefetch(Addr vaddr)
 {
     ++stats_.swPrefetches;
     if (!mem_.contains(vaddr)) {
@@ -138,7 +119,7 @@ MemoryHierarchy::swPrefetch(Addr vaddr)
 }
 
 void
-MemoryHierarchy::tryIssuePrefetches()
+CorePort::tryIssuePrefetches()
 {
     auto mshr_available = [this] {
         return l1_->freeMshrCount() > p_.demandReservedMshrs;
@@ -177,8 +158,18 @@ MemoryHierarchy::tryIssuePrefetches()
 }
 
 void
-MemoryHierarchy::issueTranslatedPrefetch(const LineRequest &req)
+CorePort::issueTranslatedPrefetch(const LineRequest &req)
 {
+    // Strict mode re-checks the demand reservation at issue time: the
+    // free-MSHR state may have changed while this request's
+    // translation was in flight, and landing it anyway dips into the
+    // MSHRs reserved for demand misses.  Skidded requests re-issue
+    // from the MSHR-free hook once the file drains.
+    if (p_.strictPfReservation &&
+        l1_->freeMshrCount() <= p_.demandReservedMshrs) {
+        pfSkid_.push_back(req);
+        return;
+    }
     switch (l1_->prefetchAccess(req)) {
       case Cache::PrefetchResult::Issued:
         ++stats_.pfIssued;

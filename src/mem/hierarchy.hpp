@@ -1,158 +1,85 @@
 /**
  * @file
- * Assembly of the full memory system of Table 1.
+ * Single-core assembly of the full memory system of Table 1.
  *
- * Owns the L1D, L2, DRAM, page table and shared TLB, and implements the
- * two client-facing paths:
- *
- *  - the demand path used by the core model (translate, access L1,
- *    retry while MSHRs are exhausted);
- *  - the prefetch issue path: whenever the L1 has a free MSHR it pops the
- *    attached PrefetchSource (the paper's prefetch request queue),
- *    translates through the shared TLB, drops on fault, and issues
- *    (Section 4.6).
+ * The machine proper is split into a shared Uncore (banked L2, DRAM,
+ * page table, coherence directory — see uncore.hpp) and per-core
+ * CorePorts (private L1 + TLB slice — see core_port.hpp).  This wrapper
+ * assembles exactly one port over one uncore and re-exposes the
+ * original single-core API, for tests, examples and any client that
+ * wants "the memory system below one core" without building the
+ * multi-core machine by hand.  Multi-core assemblies (the experiment
+ * runner) compose Uncore and CorePort directly.
  */
 
 #ifndef EPF_MEM_HIERARCHY_HPP
 #define EPF_MEM_HIERARCHY_HPP
 
-#include <cstdint>
-#include <memory>
-
-#include "mem/cache.hpp"
-#include "mem/dram.hpp"
-#include "mem/guest_memory.hpp"
-#include "mem/mem_iface.hpp"
-#include "mem/tlb.hpp"
-#include "sim/event_queue.hpp"
-#include "sim/object_pool.hpp"
-#include "sim/ring_buffer.hpp"
+#include "mem/core_port.hpp"
+#include "mem/uncore.hpp"
 
 namespace epf
 {
 
-/** Parameters of the whole memory system. */
-struct MemParams
-{
-    CacheParams l1;
-    CacheParams l2;
-    DramParams dram;
-    TlbParams tlb;
-    /** Core clock period in ticks (used for retry pacing). */
-    Tick corePeriod = 5;
-    /**
-     * L1 MSHRs kept free for demand misses: prefetch requests only
-     * issue while more than this many MSHRs are available, so the
-     * prefetcher cannot starve the core.
-     */
-    unsigned demandReservedMshrs = 2;
-
-    /** Table 1 defaults. */
-    static MemParams defaults();
-};
-
-/** The complete memory system below the core. */
+/** The complete memory system below one core. */
 class MemoryHierarchy
 {
   public:
-    struct Stats
-    {
-        std::uint64_t coreLoads = 0;
-        std::uint64_t coreStores = 0;
-        /** Load demand accesses rejected by a full L1 MSHR file. */
-        std::uint64_t loadRetries = 0;
-        /** Store demand accesses rejected by a full L1 MSHR file. */
-        std::uint64_t storeRetries = 0;
-        std::uint64_t swPrefetches = 0;
-        std::uint64_t swPrefetchDrops = 0;
-        std::uint64_t pfIssued = 0;
-        std::uint64_t pfDropPresent = 0;
-        std::uint64_t pfDropMerged = 0;
-        std::uint64_t pfDropFault = 0;
-    };
+    using Stats = CorePort::Stats;
 
     MemoryHierarchy(EventQueue &eq, GuestMemory &mem,
-                    const MemParams &params);
+                    const MemParams &params)
+        : uncore_(eq, mem, params, 1), port_(eq, mem, uncore_, params, 0)
+    {
+    }
+
+    /** The single core port (what a Core instance plugs into). */
+    CorePort &port() { return port_; }
+
+    /** The shared half (single-ported here). */
+    Uncore &uncore() { return uncore_; }
 
     // ---- Demand path (core model) ----
 
-    /**
-     * Issue a load; @p done fires when data is ready in the core.
-     * @p stream_id is a stable identifier of the originating load
-     * instruction (the PC proxy baseline prefetchers train on).
-     */
-    void load(Addr vaddr, int stream_id, DoneFn done);
+    void
+    load(Addr vaddr, int stream_id, DoneFn done)
+    {
+        port_.load(vaddr, stream_id, std::move(done));
+    }
 
-    /** Issue a store; @p done fires when the store has been accepted. */
-    void store(Addr vaddr, int stream_id, DoneFn done);
+    void
+    store(Addr vaddr, int stream_id, DoneFn done)
+    {
+        port_.store(vaddr, stream_id, std::move(done));
+    }
 
-    /** Issue a best-effort software prefetch (dropped under pressure). */
-    void swPrefetch(Addr vaddr);
+    void swPrefetch(Addr vaddr) { port_.swPrefetch(vaddr); }
 
     // ---- Prefetcher attachment ----
 
-    /** Observer of L1 demand traffic and prefetch fills. */
-    void setListener(MemoryListener *l);
-
-    /** The queue of prefetch requests the L1 drains. */
-    void setPrefetchSource(PrefetchSource *src) { pfSource_ = src; }
-
-    /** Notify that the prefetch source may have new requests. */
-    void kickPrefetcher() { tryIssuePrefetches(); }
+    void setListener(MemoryListener *l) { port_.setListener(l); }
+    void setPrefetchSource(PrefetchSource *src) { port_.setPrefetchSource(src); }
+    void kickPrefetcher() { port_.kickPrefetcher(); }
 
     // ---- Introspection ----
 
-    Cache &l1() { return *l1_; }
-    Cache &l2() { return *l2_; }
-    Dram &dram() { return *dram_; }
-    Tlb &tlb() { return *tlb_; }
-    PageTable &pageTable() { return *pageTable_; }
-    const Stats &stats() const { return stats_; }
+    Cache &l1() { return port_.l1(); }
+    Cache &l2() { return uncore_.l2Bank(0); }
+    Dram &dram() { return uncore_.dram(); }
+    Tlb &tlb() { return port_.tlb(); }
+    PageTable &pageTable() { return uncore_.pageTable(); }
+    const Stats &stats() const { return port_.stats(); }
 
-    void resetStats();
+    void
+    resetStats()
+    {
+        port_.resetStats();
+        uncore_.resetStats();
+    }
 
   private:
-    /**
-     * One demand access in flight between the core and the L1.  Pooled:
-     * the TLB callback and the MSHR retry loop carry a pointer to this
-     * instead of re-capturing the whole request each hop.
-     */
-    struct DemandTxn
-    {
-        Addr vaddr = 0;
-        Addr paddr = 0;
-        int streamId = 0;
-        bool isLoad = false;
-        DoneFn done;
-    };
-
-    void demandAccess(bool is_load, Addr vaddr, int stream_id, DoneFn done);
-    void attemptDemand(DemandTxn *txn);
-    void tryIssuePrefetches();
-    void issueTranslatedPrefetch(const LineRequest &req);
-
-    EventQueue &eq_;
-    GuestMemory &mem_;
-    MemParams p_;
-
-    std::unique_ptr<Dram> dram_;
-    std::unique_ptr<Cache> l2_;
-    std::unique_ptr<Cache> l1_;
-    std::unique_ptr<PageTable> pageTable_;
-    std::unique_ptr<Tlb> tlb_;
-
-    MemoryListener *listener_ = nullptr;
-    PrefetchSource *pfSource_ = nullptr;
-
-    /** Translated prefetches waiting for a free MSHR. */
-    Ring<LineRequest> pfSkid_;
-    /** In-flight demand accesses (reused across the whole run). */
-    ObjectPool<DemandTxn> demandTxns_;
-    /** Outstanding prefetch translations (bounds TLB pressure). */
-    unsigned pfTranslations_ = 0;
-    static constexpr unsigned kMaxPfTranslations = 4;
-
-    Stats stats_;
+    Uncore uncore_;
+    CorePort port_;
 };
 
 } // namespace epf

@@ -68,6 +68,29 @@ class MemoryListener
 };
 
 /**
+ * Coherence directory seen from a private cache (the L1 of one core
+ * port).  The multi-core uncore implements this with a shared-read /
+ * exclusive-write ownership directory: a write by one core invalidates
+ * every other core's copy of the line; a read of an exclusively-held
+ * line downgrades the owner to shared.  Single-core assemblies attach
+ * no hub at all, so the hooks cost nothing there.
+ */
+class CoherenceHub
+{
+  public:
+    virtual ~CoherenceHub() = default;
+
+    /** Port @p port installed @p line_addr (@p exclusive = store fill). */
+    virtual void onFill(unsigned port, Addr line_addr, bool exclusive) = 0;
+
+    /** Port @p port wrote a resident line (store hit). */
+    virtual void onWrite(unsigned port, Addr line_addr) = 0;
+
+    /** Port @p port evicted its copy of @p line_addr. */
+    virtual void onEvict(unsigned port, Addr line_addr) = 0;
+};
+
+/**
  * A producer of prefetch requests drained by the L1 when it has MSHRs
  * available (the paper's prefetch request queue presents this interface).
  */

@@ -22,7 +22,6 @@
 #define EPF_PPF_PPF_HPP
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "isa/interpreter.hpp"
@@ -35,6 +34,7 @@
 #include "sim/event_queue.hpp"
 #include "sim/object_pool.hpp"
 #include "sim/ring_buffer.hpp"
+#include "sim/small_function.hpp"
 
 namespace epf
 {
@@ -114,7 +114,7 @@ class ProgrammablePrefetcher : public MemoryListener, public PrefetchSource
     std::uint64_t global(unsigned idx) const { return globals_.at(idx); }
 
     /** Hook to prod the hierarchy when new requests are queued. */
-    void setKick(std::function<void()> fn) { kick_ = std::move(fn); }
+    void setKick(SmallFunction<void()> fn) { kick_ = std::move(fn); }
 
     /** Full reset: configuration, queues, statistics. */
     void reset();
@@ -228,7 +228,7 @@ class ProgrammablePrefetcher : public MemoryListener, public PrefetchSource
     /** Epoch guard: context switches invalidate in-flight events. */
     std::uint64_t epoch_ = 0;
 
-    std::function<void()> kick_;
+    SmallFunction<void()> kick_;
     Stats stats_;
 };
 

@@ -53,9 +53,21 @@ struct RunConfig
     std::uint64_t seed = 0xE7F5EED5;
     WorkloadScale scale;
     /**
+     * Number of cores in the machine.  Each core owns a private L1,
+     * TLB slice and prefetcher instance over the shared banked L2
+     * (one bank per core unless mem.l2Banks overrides).  Shardable
+     * workloads partition their outer loop across all cores; serial
+     * workloads run on core 0 with the other cores idle.  1 is the
+     * paper's Table 1 uniprocessor and is bit-identical to the
+     * pre-multicore machine.
+     */
+    unsigned cores = 1;
+    /**
      * When non-empty, capture the demand micro-op stream of this run to
      * the given trace file (see src/trace/trace.hpp).  Inside sweeps the
      * placeholders {workload}, {technique} and {label} expand per cell.
+     * Capture requires cores == 1 (the trace format has no core field
+     * yet); multi-core capture is a configure-time error.
      */
     std::string tracePath;
 };
@@ -66,7 +78,9 @@ struct RunResult
     bool available = true; ///< false when the technique doesn't apply
     std::string note;
 
+    /** Slowest core's cycle count (the parallel critical path). */
     std::uint64_t cycles = 0;
+    /** Instructions summed over all cores. */
     std::uint64_t instrs = 0;
     Tick ticks = 0;
 
@@ -77,7 +91,8 @@ struct RunResult
     std::uint64_t dramReads = 0;
     std::uint64_t dramWrites = 0;
 
-    /** Per-PPU busy fraction (programmable techniques only). */
+    /** Per-PPU busy fraction (programmable techniques only); for a
+     *  multi-core run, core 0's PPUs first, then core 1's, ... */
     std::vector<double> ppuActivity;
     std::uint64_t ppfEventsRun = 0;
     std::uint64_t ppfObservations = 0;

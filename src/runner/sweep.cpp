@@ -209,7 +209,9 @@ SweepEngine::writeJson(std::ostream &os,
            << "\", \"technique\": \""
            << jsonEscape(techniqueName(o.cell.config.technique))
            << "\", \"label\": \"" << jsonEscape(o.cell.label)
-           << "\", \"seed\": \"" << o.cell.config.seed << "\"";
+           << "\", \"seed\": \"" << o.cell.config.seed
+           << "\", \"cores\": "
+           << (o.cell.config.cores > 0 ? o.cell.config.cores : 1);
         if (!o.cell.config.tracePath.empty())
             os << ", \"trace\": \"" << jsonEscape(o.cell.config.tracePath)
                << "\"";
@@ -273,6 +275,17 @@ sweepThreadsFromEnv(unsigned fallback)
     if (const char *s = std::getenv("EPF_THREADS")) {
         const long v = std::atol(s);
         if (v > 0)
+            return static_cast<unsigned>(v);
+    }
+    return fallback;
+}
+
+unsigned
+sweepCoresFromEnv(unsigned fallback)
+{
+    if (const char *s = std::getenv("EPF_CORES")) {
+        const long v = std::atol(s);
+        if (v > 0 && v <= 32)
             return static_cast<unsigned>(v);
     }
     return fallback;

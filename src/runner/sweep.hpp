@@ -133,6 +133,10 @@ class SweepEngine
 /** Worker count from EPF_THREADS, else @p fallback (0 = all cores). */
 unsigned sweepThreadsFromEnv(unsigned fallback = 0);
 
+/** Simulated-machine core count from EPF_CORES (1..32), else
+ *  @p fallback.  Applied by the benches to every cell's RunConfig. */
+unsigned sweepCoresFromEnv(unsigned fallback = 1);
+
 /**
  * Filesystem-safe form of a workload/technique/label name (non
  * [alnum._-] bytes become '-').  Shared by the sweep's capture-path

@@ -185,6 +185,13 @@ class SmallFunction<R(Args...), InlineBytes>
                       "callables must be nothrow-move-constructible: they "
                       "are relocated when the event heap grows");
         if constexpr (kFitsInline<Fn>) {
+            if constexpr (std::is_empty_v<Fn>) {
+                // A captureless callable constructs no state, leaving
+                // its one storage byte formally uninitialized; give it
+                // a defined value so the trivial-relocation memcpy is
+                // clean under -Wuninitialized.
+                st_.buf[0] = 0;
+            }
             ::new (static_cast<void *>(st_.buf)) Fn(std::forward<F>(f));
             ops_ = &inlineOps<Fn>;
         } else {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <iomanip>
+#include <stdexcept>
 
 namespace epf
 {
@@ -12,6 +13,13 @@ StatRegistry::get(const std::string &name, double fallback) const
 {
     auto it = values_.find(name);
     return it == values_.end() ? fallback : it->second;
+}
+
+void
+StatRegistry::setUnique(const std::string &name, double value)
+{
+    if (!values_.emplace(name, value).second)
+        throw std::logic_error("duplicate statistic name: " + name);
 }
 
 void

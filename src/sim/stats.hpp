@@ -27,6 +27,14 @@ class StatRegistry
     /** Set (or overwrite) a scalar statistic. */
     void set(const std::string &name, double value) { values_[name] = value; }
 
+    /**
+     * Publish a statistic that must not already exist.  Throws
+     * std::logic_error on a duplicate: two components publishing the
+     * same counter name (e.g. two L1s both claiming "l1.loads") is an
+     * aliasing bug that silent overwriting would hide.
+     */
+    void setUnique(const std::string &name, double value);
+
     /** Fetch a statistic; returns @p fallback when absent. */
     double get(const std::string &name, double fallback = 0.0) const;
 

@@ -55,8 +55,9 @@ HashJoinWorkload::setup(GuestMemory &mem, std::uint64_t seed)
 {
     attach(mem);
     Rng rng(seed);
-    outCount_ = 0;
     matches_ = 0;
+    shardLo_.assign(1, 0);
+    shardCount_.assign(1, 0);
 
     // Probe keys: ~half hit the build side, half miss.
     probeKeys_.resize(probes_);
@@ -117,11 +118,43 @@ HashJoinWorkload::setup(GuestMemory &mem, std::uint64_t seed)
 Generator<MicroOp>
 HashJoinWorkload::trace(bool with_swpf)
 {
+    return shardTrace(0, 1, with_swpf);
+}
+
+Generator<MicroOp>
+HashJoinWorkload::shardTrace(unsigned shard, unsigned shards,
+                             bool with_swpf)
+{
+    // Bookkeeping happens here, eagerly — the coroutine body below only
+    // runs when the core first pulls an op, but checksum() needs every
+    // shard's output-slice base as soon as the run is assembled.
+    if (shardLo_.size() < shards) {
+        shardLo_.assign(shards, 0);
+        shardCount_.assign(shards, 0);
+    }
+    const std::uint64_t lo = shard * probes_ / shards;
+    const std::uint64_t hi = (shard + 1) * probes_ / shards;
+    shardLo_[shard] = lo;
+    return probeTrace(shard, lo, hi, with_swpf);
+}
+
+Generator<MicroOp>
+HashJoinWorkload::probeTrace(unsigned shard, std::uint64_t lo,
+                             std::uint64_t hi, bool with_swpf)
+{
     OpFactory f;
     const std::uint64_t mask = numBuckets_ - 1;
 
-    for (std::uint64_t x = 0; x < probes_; ++x) {
-        if (with_swpf && x + kSwpfDist < probes_) {
+    // The output cursor starts at the shard's probe-range base: a shard
+    // can never find more matches than probes, so slices stay disjoint.
+    std::uint64_t out = lo;
+    // Last-outcome branch-predictor state, private to this core's
+    // trace (each core models its own predictor).
+    bool prev_outcome = false;
+    unsigned prev_len = 0;
+
+    for (std::uint64_t x = lo; x < hi; ++x) {
+        if (with_swpf && x + kSwpfDist < hi) {
             // swpf(&htab[hash(keys[x+dist])]): reload the key (usually a
             // cache hit), redo the hash, issue the prefetch.
             ValueId v_k2;
@@ -152,16 +185,16 @@ HashJoinWorkload::trace(bool with_swpf)
                 const bool matched = open_[h].key == k;
                 // The match branch depends on the bucket contents; a
                 // last-outcome predictor misses whenever it flips.
-                if (matched != prevOutcome_) {
-                    prevOutcome_ = matched;
+                if (matched != prev_outcome) {
+                    prev_outcome = matched;
                     co_yield OpFactory::branchMiss(v_b);
                 }
                 if (matched) {
                     matches_ += 1;
-                    outKeys_[outCount_] = k;
-                    co_yield OpFactory::store(ga(&outKeys_[outCount_]), 4,
-                                              v_b);
-                    ++outCount_;
+                    outKeys_[out] = k;
+                    co_yield OpFactory::store(ga(&outKeys_[out]), 4, v_b);
+                    ++out;
+                    ++shardCount_[shard];
                     break;
                 }
                 if (open_[h].key == 0)
@@ -182,23 +215,23 @@ HashJoinWorkload::trace(bool with_swpf)
                 co_yield f.load(l, 5, v_n, v_prev);
                 co_yield OpFactory::workDep(2, v_n);
                 const bool matched = nodeAt(l).key == k;
-                if (matched != prevOutcome_) {
-                    prevOutcome_ = matched;
+                if (matched != prev_outcome) {
+                    prev_outcome = matched;
                     co_yield OpFactory::branchMiss(v_n);
                 }
                 if (matched) {
                     matches_ += 1;
-                    outKeys_[outCount_] = k;
-                    co_yield OpFactory::store(ga(&outKeys_[outCount_]), 4,
-                                              v_n);
-                    ++outCount_;
+                    outKeys_[out] = k;
+                    co_yield OpFactory::store(ga(&outKeys_[out]), 4, v_n);
+                    ++out;
+                    ++shardCount_[shard];
                 }
                 v_prev = v_n; // pointer chase serialises the walk
             }
             // Loop-exit branch: mispredicts when this bucket's chain
             // length differs from the previous bucket's.
-            if (len != prevLen_) {
-                prevLen_ = len;
+            if (len != prev_len) {
+                prev_len = len;
                 co_yield OpFactory::branchMiss(v_prev);
             }
         }
@@ -412,9 +445,13 @@ HashJoinWorkload::buildIR()
 std::uint64_t
 HashJoinWorkload::checksum() const
 {
+    // Fold each shard's output slice in shard order; a serial run is
+    // the single slice [0, matches) — the original checksum.
     std::uint64_t x = matches_;
-    for (std::uint64_t i = 0; i < outCount_; ++i)
-        x = x * 1099511628211ULL + outKeys_[i];
+    for (std::size_t s = 0; s < shardLo_.size(); ++s) {
+        for (std::uint64_t i = 0; i < shardCount_[s]; ++i)
+            x = x * 1099511628211ULL + outKeys_[shardLo_[s] + i];
+    }
     return x;
 }
 

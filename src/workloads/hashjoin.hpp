@@ -40,6 +40,17 @@ class HashJoinWorkload : public Workload
 
     void setup(GuestMemory &mem, std::uint64_t seed) override;
     Generator<MicroOp> trace(bool with_swpf) override;
+    /**
+     * Shards partition the probe loop: shard s probes keys
+     * [s*probes/n, (s+1)*probes/n) against the (read-only, built in
+     * setup) hash table and writes its matches compactly into its own
+     * slice of the output array.  Writes are disjoint between shards
+     * and the match counter is commutative, so the final output — and
+     * the checksum — do not depend on trace interleaving.
+     */
+    bool supportsSharding() const override { return true; }
+    Generator<MicroOp> shardTrace(unsigned shard, unsigned shards,
+                                  bool with_swpf) override;
     void programManual(ProgrammablePrefetcher &ppf) override;
     std::vector<std::shared_ptr<LoopIR>> buildIR() override;
     std::uint64_t checksum() const override;
@@ -94,17 +105,21 @@ class HashJoinWorkload : public Workload
     std::uint64_t numBuckets_; ///< power of two
     unsigned hashShift_ = 0;
 
+    /** The probe trace of one shard's key range [lo, hi). */
+    Generator<MicroOp> probeTrace(unsigned shard, std::uint64_t lo,
+                                  std::uint64_t hi, bool with_swpf);
+
     std::vector<std::uint64_t> probeKeys_;
     std::vector<Bucket> open_;
     std::vector<Header> headers_;
     std::vector<Node> pool_;
     Addr poolBase_ = 0; ///< guest base of pool_
     std::vector<std::uint64_t> outKeys_;
-    std::uint64_t outCount_ = 0;
     std::uint64_t matches_ = 0;
-    /** Last-outcome branch-predictor state (trace generation). */
-    bool prevOutcome_ = false;
-    unsigned prevLen_ = 0;
+    /** Per-shard output slice starts (probe-range starts) and match
+     *  counts; one entry each in a serial run. */
+    std::vector<std::uint64_t> shardLo_;
+    std::vector<std::uint64_t> shardCount_;
 };
 
 } // namespace epf

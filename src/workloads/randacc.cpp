@@ -48,29 +48,46 @@ RandAccWorkload::setup(GuestMemory &mem, std::uint64_t seed)
 Generator<MicroOp>
 RandAccWorkload::trace(bool with_swpf)
 {
+    return shardTrace(0, 1, with_swpf);
+}
+
+Generator<MicroOp>
+RandAccWorkload::shardTrace(unsigned shard, unsigned shards,
+                            bool with_swpf)
+{
+    // Stream partition: contiguous [jlo, jhi) of the kBatch LFSR
+    // streams.  With one shard this is [0, kBatch) — the original
+    // serial trace, op for op.
+    const unsigned jlo = shard * kBatch / shards;
+    const unsigned jhi = (shard + 1) * kBatch / shards;
+    const unsigned span = jhi - jlo;
+
     OpFactory f;
     const std::uint64_t mask = tableEntries_ - 1;
     const std::uint64_t batches = updates_ / kBatch;
 
     for (std::uint64_t b = 0; b < batches; ++b) {
-        // Phase 1: advance the 128 LFSR streams (shift, sign test, xor,
-        // plus loop bookkeeping — as in the HPCC source).  The host-side
-        // update sits directly before its store's yield: the value must
-        // become visible exactly when the store op is fetched, which is
-        // the instant a trace replay patches the recorded payload back
-        // (the PPU kernels read ran_[] while the batch is in flight).
-        for (unsigned j = 0; j < kBatch; ++j) {
+        // Phase 1: advance this shard's LFSR streams (shift, sign test,
+        // xor, plus loop bookkeeping — as in the HPCC source).  The
+        // host-side update sits directly before its store's yield: the
+        // value must become visible exactly when the store op is
+        // fetched, which is the instant a trace replay patches the
+        // recorded payload back (the PPU kernels read ran_[] while the
+        // batch is in flight).
+        for (unsigned j = jlo; j < jhi; ++j) {
             co_yield OpFactory::work(6);
             ran_[j] = lfsrNext(ran_[j]);
             co_yield OpFactory::store(ga(&ran_[j]), 0);
         }
         // Phase 2: apply the updates to the big table.
-        for (unsigned j = 0; j < kBatch; ++j) {
+        for (unsigned j = jlo; j < jhi; ++j) {
             if (with_swpf) {
-                // swpf(&table[ran[(j+dist)&127] & mask]): an extra load
+                // swpf(&table[ran[wrap(j+dist)] & mask]): an extra load
                 // of the small array, the masking arithmetic, and the
-                // prefetch instruction itself.
-                unsigned jj = (j + kSwpfDist) & (kBatch - 1);
+                // prefetch instruction itself.  The lookahead wraps
+                // within this shard's stream range ((j+dist)&127 for
+                // the full-range serial trace).
+                unsigned jj = jlo + (j - jlo + kSwpfDist) % span;
                 ValueId v_r2;
                 co_yield f.load(ga(&ran_[jj]), 1, v_r2);
                 ValueId v_i2;

@@ -27,6 +27,17 @@ class RandAccWorkload : public Workload
     std::string name() const override { return "RandAcc"; }
     void setup(GuestMemory &mem, std::uint64_t seed) override;
     Generator<MicroOp> trace(bool with_swpf) override;
+    /**
+     * Shards partition the 128 LFSR streams: shard s advances and
+     * applies streams [s*128/n, (s+1)*128/n) for every batch.  Each
+     * stream's LFSR state is private to its shard and the table updates
+     * are XOR (commutative), so the final table — and the checksum —
+     * are identical to the serial run regardless of how the shards'
+     * traces interleave.
+     */
+    bool supportsSharding() const override { return true; }
+    Generator<MicroOp> shardTrace(unsigned shard, unsigned shards,
+                                  bool with_swpf) override;
     void programManual(ProgrammablePrefetcher &ppf) override;
     std::vector<std::shared_ptr<LoopIR>> buildIR() override;
     std::uint64_t checksum() const override;

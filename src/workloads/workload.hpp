@@ -15,6 +15,7 @@
 #ifndef EPF_WORKLOADS_WORKLOAD_HPP
 #define EPF_WORKLOADS_WORKLOAD_HPP
 
+#include <cassert>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -62,6 +63,31 @@ class Workload
      * variant's extra address-generation work and prefetch instructions.
      */
     virtual Generator<MicroOp> trace(bool with_swpf) = 0;
+
+    /**
+     * True when the outer loop can be partitioned across cores.  A
+     * shardable workload's writes must be disjoint or commutative
+     * between shards, so the final data structures (and checksum) do
+     * not depend on how the cores' traces interleave in simulated time.
+     * Serial workloads run their whole trace on core 0.
+     */
+    virtual bool supportsSharding() const { return false; }
+
+    /**
+     * The trace of shard @p shard of @p shards (an outer-loop
+     * partition).  shardTrace(0, 1, swpf) is the full trace.  The base
+     * implementation only supports the single-shard case and forwards
+     * to trace(); shardable workloads override it.
+     */
+    virtual Generator<MicroOp>
+    shardTrace(unsigned shard, unsigned shards, bool with_swpf)
+    {
+        (void)shard;
+        (void)shards;
+        assert(shards == 1 && shard == 0 &&
+               "workload does not support sharding");
+        return trace(with_swpf);
+    }
 
     /** Install the hand-written event kernels (Section 5). */
     virtual void programManual(ProgrammablePrefetcher &ppf) = 0;

@@ -54,7 +54,7 @@ class CoreTest : public ::testing::Test
         base_ = gmem_->addRegion("buf", buf_.data(), buf_.size() * 8);
         mem_ = std::make_unique<MemoryHierarchy>(*eq_, *gmem_,
                                                  MemParams::defaults());
-        core_ = std::make_unique<Core>(*eq_, CoreParams{}, *mem_);
+        core_ = std::make_unique<Core>(*eq_, CoreParams{}, mem_->port());
     }
 
     Addr at(std::size_t i) { return base_ + i * 8; }

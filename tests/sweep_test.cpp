@@ -426,10 +426,10 @@ TEST(SweepEnvTest, SeedAndThreadsReachTheEmittedJson)
 
     // ...with the documented schema keys...
     for (const char *key :
-         {"workload", "technique", "label", "seed", "cycles", "instrs",
-          "ticks", "l1ReadHitRate", "l2HitRate", "pfUtilisation",
-          "l1PrefetchFills", "dramReads", "dramWrites", "checksum",
-          "detail", "hostSeconds"})
+         {"workload", "technique", "label", "seed", "cores", "cycles",
+          "instrs", "ticks", "l1ReadHitRate", "l2HitRate",
+          "pfUtilisation", "l1PrefetchFills", "dramReads", "dramWrites",
+          "checksum", "detail", "hostSeconds"})
         EXPECT_TRUE(checker.keys().count(key) != 0) << key;
     // ...including the split store-retry counter in the detail block.
     EXPECT_TRUE(checker.keys().count("mem.storeRetries") != 0);

@@ -5,8 +5,14 @@
  * Run after any intentional change to simulated timing or accounting,
  * then review the golden diff alongside the code diff:
  *
- *   ./build/update_goldens            # writes into the source tree
+ *   ./build/update_goldens                    # the full 72-cell grid
+ *   ./build/update_goldens RandAcc            # one workload, all techniques
+ *   ./build/update_goldens RandAcc Manual     # a single cell
  *   EPF_GOLDEN_DIR=/tmp/g ./build/update_goldens
+ *
+ * The optional <workload> [technique] filter regenerates a subset (by
+ * the names used in the golden file names / paper legends), so a
+ * change scoped to one workload doesn't cost a full-grid sweep.
  *
  * Every cell runs at the default seed and kGoldenScale; the grid and
  * serialization live in src/runner/golden.{hpp,cpp} so this tool and
@@ -20,13 +26,14 @@
 
 #include "runner/golden.hpp"
 #include "runner/sweep.hpp"
+#include "workloads/workload.hpp"
 
 #ifndef EPF_GOLDEN_DIR
 #define EPF_GOLDEN_DIR "tests/goldens"
 #endif
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace epf;
 
@@ -35,7 +42,37 @@ main()
         dir = d;
     std::filesystem::create_directories(dir);
 
-    const auto grid = goldenGrid();
+    auto grid = goldenGrid();
+
+    // Optional subset filter: <workload> [technique].
+    if (argc > 1) {
+        const std::string wl_filter = argv[1];
+        const std::string tech_filter = argc > 2 ? argv[2] : "";
+        std::vector<GoldenCell> subset;
+        for (const auto &cell : grid) {
+            if (cell.workload != wl_filter)
+                continue;
+            if (!tech_filter.empty() &&
+                techniqueName(cell.technique) != tech_filter)
+                continue;
+            subset.push_back(cell);
+        }
+        if (subset.empty()) {
+            std::cerr << "no golden cell matches workload '" << wl_filter
+                      << "'";
+            if (!tech_filter.empty())
+                std::cerr << " technique '" << tech_filter << "'";
+            std::cerr << "\nworkloads:";
+            for (const auto &w : workloadNames())
+                std::cerr << " " << w;
+            std::cerr << "\ntechniques:";
+            for (Technique t : goldenTechniques())
+                std::cerr << " " << techniqueName(t);
+            std::cerr << "\n";
+            return 1;
+        }
+        grid = std::move(subset);
+    }
 
     SweepEngine::Options opts;
     opts.threads = sweepThreadsFromEnv(0);
