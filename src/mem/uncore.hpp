@@ -56,14 +56,15 @@ struct MemParams
     unsigned demandReservedMshrs = 2;
     /**
      * Also enforce demandReservedMshrs when a translated prefetch
-     * lands, not only when it is popped from the request queue.  The
-     * default (off) preserves the legacy pipeline, where a request
-     * whose TLB translation was in flight while the MSHR file filled
-     * may still take a reserved MSHR on arrival — a transient dip
-     * bounded by the translation window.  Strict mode skids such
-     * requests until the file drains.
+     * lands, not only when it is popped from the request queue.  This
+     * is the documented contract and the default; a request whose TLB
+     * translation was in flight while the MSHR file filled skids until
+     * the file drains instead of taking a reserved MSHR on arrival.
+     * Turning it off restores the legacy pipeline the pre-refresh
+     * goldens were recorded under (the divergence is a transient
+     * bounded by the translation window).
      */
-    bool strictPfReservation = false;
+    bool strictPfReservation = true;
     /**
      * L2 bank count (power of two); 0 = one bank per core port.  The
      * configured L2 capacity and MSHRs are split evenly across banks.
