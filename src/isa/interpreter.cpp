@@ -1,29 +1,57 @@
 #include "isa/interpreter.hpp"
 
 #include <cstring>
+#include <limits>
 
 namespace epf
 {
+namespace
+{
 
+/** Emit-sink adapters: one indirection-free, one callback-based. */
+struct VecSink
+{
+    std::vector<PrefetchEmit> *v;
+    void
+    operator()(const PrefetchEmit &e) const
+    {
+        if (v != nullptr)
+            v->push_back(e);
+    }
+};
+
+struct FnSink
+{
+    const Interpreter::EmitFn *fn;
+    void
+    operator()(const PrefetchEmit &e) const
+    {
+        if (*fn)
+            (*fn)(e);
+    }
+};
+
+template <class Sink>
 ExecResult
-Interpreter::run(const Kernel &kernel, const EventContext &ctx,
-                 const EmitFn &emit, unsigned max_steps)
+runImpl(const Kernel &kernel, const EventContext &ctx, Sink emit,
+        unsigned max_steps, std::uint64_t *regs_out)
 {
     ExecResult res;
     std::uint64_t regs[kPpuRegs] = {};
     std::int64_t pc = 0;
     const auto size = static_cast<std::int64_t>(kernel.code.size());
 
-    auto trap = [&res]() {
-        res.exit = ExitReason::kTrapped;
+    auto done = [&](ExitReason why) {
+        res.exit = why;
+        if (regs_out != nullptr)
+            std::memcpy(regs_out, regs, sizeof(regs));
         return res;
     };
+    auto trap = [&done]() { return done(ExitReason::kTrapped); };
 
     while (true) {
-        if (res.cycles >= max_steps) {
-            res.exit = ExitReason::kStepLimit;
-            return res;
-        }
+        if (res.cycles >= max_steps)
+            return done(ExitReason::kStepLimit);
         if (pc < 0 || pc >= size)
             return trap();
 
@@ -33,8 +61,7 @@ Interpreter::run(const Kernel &kernel, const EventContext &ctx,
 
         switch (in.op) {
           case Opcode::kHalt:
-            res.exit = ExitReason::kHalted;
-            return res;
+            return done(ExitReason::kHalted);
           case Opcode::kNop:
             break;
 
@@ -55,7 +82,12 @@ Interpreter::run(const Kernel &kernel, const EventContext &ctx,
             regs[in.rd] = regs[in.rs] * regs[in.rt];
             break;
           case Opcode::kDiv:
-            if (regs[in.rt] == 0)
+            // INT64_MIN / -1 overflows (hardware raises the same
+            // exception as /0), so both trap identically.
+            if (regs[in.rt] == 0 ||
+                (static_cast<std::int64_t>(regs[in.rt]) == -1 &&
+                 static_cast<std::int64_t>(regs[in.rs]) ==
+                     std::numeric_limits<std::int64_t>::min()))
                 return trap();
             regs[in.rd] = static_cast<std::uint64_t>(
                 static_cast<std::int64_t>(regs[in.rs]) /
@@ -84,7 +116,10 @@ Interpreter::run(const Kernel &kernel, const EventContext &ctx,
             regs[in.rd] = regs[in.rs] * static_cast<std::uint64_t>(in.imm);
             break;
           case Opcode::kDivi:
-            if (in.imm == 0)
+            if (in.imm == 0 ||
+                (in.imm == -1 &&
+                 static_cast<std::int64_t>(regs[in.rs]) ==
+                     std::numeric_limits<std::int64_t>::min()))
                 return trap();
             regs[in.rd] = static_cast<std::uint64_t>(
                 static_cast<std::int64_t>(regs[in.rs]) / in.imm);
@@ -151,8 +186,7 @@ Interpreter::run(const Kernel &kernel, const EventContext &ctx,
             else if (in.op == Opcode::kPrefetchCb)
                 e.cbKernel = static_cast<KernelId>(in.imm);
             ++res.emitted;
-            if (emit)
-                emit(e);
+            emit(e);
             break;
           }
 
@@ -179,6 +213,24 @@ Interpreter::run(const Kernel &kernel, const EventContext &ctx,
             break;
         }
     }
+}
+
+} // namespace
+
+ExecResult
+Interpreter::run(const Kernel &kernel, const EventContext &ctx,
+                 const EmitFn &emit, unsigned max_steps,
+                 std::uint64_t *regs_out)
+{
+    return runImpl(kernel, ctx, FnSink{&emit}, max_steps, regs_out);
+}
+
+ExecResult
+Interpreter::run(const Kernel &kernel, const EventContext &ctx,
+                 std::vector<PrefetchEmit> *sink, unsigned max_steps,
+                 std::uint64_t *regs_out)
+{
+    return runImpl(kernel, ctx, VecSink{sink}, max_steps, regs_out);
 }
 
 } // namespace epf

@@ -3,10 +3,16 @@
  * PPU kernel interpreter.
  *
  * Executes one event to completion at one instruction per cycle.  Any
- * trap (division by zero, runaway execution, reading line data from a
- * load observation that carries none) terminates the event, exactly as
- * the paper specifies for PPU exceptions: prefetching is best-effort, so
- * the event is simply abandoned.
+ * trap (division by zero or signed-overflowing INT64_MIN/-1 division,
+ * runaway execution, reading line data from a load observation that
+ * carries none) terminates the event, exactly as the paper specifies
+ * for PPU exceptions: prefetching is best-effort, so the event is
+ * simply abandoned.
+ *
+ * This switch-decoded interpreter is the reference semantics of the
+ * ISA; the pre-decoded interpreter in predecode.hpp is the fast path
+ * the simulator actually runs, and the differential fuzzer in
+ * tests/fuzz_isa_test.cpp holds the two bit-identical.
  */
 
 #ifndef EPF_ISA_INTERPRETER_HPP
@@ -14,6 +20,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "isa/isa.hpp"
 #include "mem/guest_memory.hpp"
@@ -74,10 +81,25 @@ class Interpreter
      * Run @p kernel against @p ctx.
      * @param emit  invoked for every prefetch the kernel issues
      * @param max_steps watchdog bound
+     * @param regs_out  when non-null, receives the kPpuRegs final
+     *                  register values at exit (any exit reason) —
+     *                  used by the differential tests to compare
+     *                  register-visible effects across interpreters
      */
     static ExecResult run(const Kernel &kernel, const EventContext &ctx,
                           const EmitFn &emit,
-                          unsigned max_steps = kMaxKernelSteps);
+                          unsigned max_steps = kMaxKernelSteps,
+                          std::uint64_t *regs_out = nullptr);
+
+    /**
+     * Fast-sink form: emitted prefetches append to @p sink (null
+     * discards them).  Same semantics as the callback form without the
+     * per-emit std::function indirection.
+     */
+    static ExecResult run(const Kernel &kernel, const EventContext &ctx,
+                          std::vector<PrefetchEmit> *sink,
+                          unsigned max_steps = kMaxKernelSteps,
+                          std::uint64_t *regs_out = nullptr);
 };
 
 } // namespace epf

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <limits>
 #include <vector>
 
 #include "isa/builder.hpp"
@@ -213,6 +214,52 @@ TEST(InterpreterTest, DivByZeroTraps)
     ExitReason exit;
     evalR1(b, plainCtx(), &exit);
     EXPECT_EQ(exit, ExitReason::kTrapped);
+}
+
+TEST(InterpreterTest, DivOverflowTraps)
+{
+    // INT64_MIN / -1 does not fit in 64 bits; real hardware raises the
+    // same exception as /0, and evaluating it in C++ is UB, so the
+    // interpreter traps instead of dividing.
+    const std::int64_t min = std::numeric_limits<std::int64_t>::min();
+    KernelBuilder b("t");
+    b.li(1, min).li(2, -1).div(1, 1, 2);
+    ExitReason exit;
+    evalR1(b, plainCtx(), &exit);
+    EXPECT_EQ(exit, ExitReason::kTrapped);
+}
+
+TEST(InterpreterTest, DiviOverflowTraps)
+{
+    const std::int64_t min = std::numeric_limits<std::int64_t>::min();
+    KernelBuilder b("t");
+    b.li(1, min).divi(1, 1, -1);
+    ExitReason exit;
+    evalR1(b, plainCtx(), &exit);
+    EXPECT_EQ(exit, ExitReason::kTrapped);
+}
+
+TEST(InterpreterTest, DivNearOverflowStillDivides)
+{
+    // The two individually-benign halves of the overflow pair must not
+    // trap: INT64_MIN / 1 and (INT64_MIN + 1) / -1 are representable.
+    const std::int64_t min = std::numeric_limits<std::int64_t>::min();
+    {
+        KernelBuilder b("t");
+        b.li(1, min).divi(1, 1, 1);
+        ExitReason exit;
+        EXPECT_EQ(evalR1(b, plainCtx(), &exit),
+                  static_cast<std::uint64_t>(min));
+        EXPECT_EQ(exit, ExitReason::kHalted);
+    }
+    {
+        KernelBuilder b("t");
+        b.li(1, min + 1).li(2, -1).div(1, 1, 2);
+        ExitReason exit;
+        EXPECT_EQ(evalR1(b, plainCtx(), &exit),
+                  static_cast<std::uint64_t>(-(min + 1)));
+        EXPECT_EQ(exit, ExitReason::kHalted);
+    }
 }
 
 TEST(InterpreterTest, InfiniteLoopHitsStepLimit)
