@@ -57,7 +57,14 @@ struct MicroOp
     ValueId produces = 0;
     /** Value dependences that must resolve before issue/completion. */
     std::array<ValueId, 2> deps{{0, 0}};
-    /** Action run at dispatch for PfConfig ops. */
+    /**
+     * Action run at dispatch for PfConfig ops.  May mutate prefetcher
+     * configuration mid-trace, including the PPF kernel table (adding
+     * or patching kernels); KernelTable::version() moves on every such
+     * mutation, which is what lets the PPF's decoded-program cache
+     * refresh before the next callback-kernel dispatch instead of
+     * running stale code.
+     */
     std::function<void()> config;
 };
 

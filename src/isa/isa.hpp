@@ -46,7 +46,8 @@ enum class Opcode : std::uint8_t
     kAdd,        ///< rd = rs + rt
     kSub,        ///< rd = rs - rt
     kMul,        ///< rd = rs * rt
-    kDiv,        ///< rd = rs / rt (signed; traps on rt == 0)
+    kDiv,        ///< rd = rs / rt (signed; traps on rt == 0 and on the
+                 ///< overflowing INT64_MIN / -1)
     kAnd,
     kOr,
     kXor,
@@ -56,7 +57,7 @@ enum class Opcode : std::uint8_t
     // ALU, immediate forms
     kAddi,       ///< rd = rs + imm
     kMuli,
-    kDivi,       ///< traps on imm == 0
+    kDivi,       ///< traps on imm == 0 and on INT64_MIN / -1
     kAndi,
     kShli,
     kShri,
@@ -118,14 +119,26 @@ class KernelTable
     KernelId
     add(Kernel k)
     {
+        ++version_;
         kernels_.push_back(std::move(k));
         return static_cast<KernelId>(kernels_.size() - 1);
     }
 
     const Kernel &operator[](KernelId id) const { return kernels_.at(static_cast<std::size_t>(id)); }
 
-    /** Mutable access (used by the compiler's relocation step). */
-    Kernel &mutableKernel(KernelId id) { return kernels_.at(static_cast<std::size_t>(id)); }
+    /**
+     * Mutable access (used by the compiler's relocation step and the
+     * manual kernels' address patching).  Conservatively counts as a
+     * mutation: callers hold the reference past this call, so the
+     * version moves now and any derived state (e.g. the PPF's decoded-
+     * program cache) refreshes before the kernel next runs.
+     */
+    Kernel &
+    mutableKernel(KernelId id)
+    {
+        ++version_;
+        return kernels_.at(static_cast<std::size_t>(id));
+    }
 
     bool valid(KernelId id) const
     {
@@ -144,10 +157,23 @@ class KernelTable
         return n;
     }
 
-    void clear() { kernels_.clear(); }
+    void
+    clear()
+    {
+        ++version_;
+        kernels_.clear();
+    }
+
+    /**
+     * Monotonic mutation counter: moves on add(), mutableKernel() and
+     * clear().  Consumers caching per-kernel derived state compare it
+     * to detect staleness.
+     */
+    std::uint64_t version() const { return version_; }
 
   private:
     std::vector<Kernel> kernels_;
+    std::uint64_t version_ = 0;
 };
 
 } // namespace epf

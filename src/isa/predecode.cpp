@@ -1,0 +1,1196 @@
+#include "isa/predecode.hpp"
+
+#include <cstring>
+#include <limits>
+#include <mutex>
+#include <type_traits>
+#include <unordered_map>
+
+namespace epf
+{
+namespace
+{
+
+using detail::ExecState;
+
+/**
+ * Handler return values at or above kCtrlBase are control codes, not
+ * decoded indices.  Decoded programs are bounded by the kernel-store
+ * budget (4 KiB / 4 B per instruction), far below this range.
+ */
+constexpr std::uint32_t kCtrlBase = 0xFFFFFF00u;
+constexpr std::uint32_t kCtrlHalt = kCtrlBase + 0;
+constexpr std::uint32_t kCtrlTrap = kCtrlBase + 1;
+constexpr std::uint32_t kCtrlStep = kCtrlBase + 2;
+
+/**
+ * Every decoded op, in DecodedOp order, tagged N (cannot exit — the
+ * dispatcher skips the control-code check) or X (can halt, trap or hit
+ * the step limit mid-sequence).  The op bodies, the handler table and
+ * the computed-goto label table are all generated from this one list,
+ * so the three can never disagree about dispatch order.
+ */
+#define EPF_DECODED_OPS(X, N)                                               \
+    X(Halt) N(Nop) N(Li) N(Mov)                                             \
+    N(Add) N(Sub) N(Mul) X(Div) N(And) N(Or) N(Xor) N(Shl) N(Shr)           \
+    N(Addi) N(Muli) X(Divi) N(Andi) N(Shli) N(Shri)                         \
+    N(Vaddr) N(LineBase) X(LdLine) X(LdLine32) X(Gread) X(Lookahead)        \
+    N(Prefetch) N(PrefetchTag) N(PrefetchCb)                                \
+    N(Beq) N(Bne) N(Blt) N(Bge) N(Jmp)                                      \
+    X(Trap) X(Boundary)                                                     \
+    X(LiPrefetch) X(LiPrefetchTag) X(LiPrefetchCb)                          \
+    X(AddPrefetch) X(AddPrefetchTag) X(AddPrefetchCb)                       \
+    X(AddiLdLine) X(AndiShli) X(AndShli)                                    \
+    X(AddiBeq) X(AddiBne) X(AddiBlt) X(AddiBge)                             \
+    X(AndiBeq) X(AndiBne) X(SubBeq) X(SubBne)                               \
+    X(HashiPrefetch) X(HashiPrefetchTag) X(HashiPrefetchCb)                 \
+    X(HashrPrefetch) X(HashrPrefetchTag) X(HashrPrefetchCb)
+
+#define EPF_COUNT_OP(Name) +1
+static_assert(static_cast<unsigned>(DecodedOp::kOpCount_) ==
+                  0 EPF_DECODED_OPS(EPF_COUNT_OP, EPF_COUNT_OP),
+              "EPF_DECODED_OPS must list every DecodedOp exactly once");
+#undef EPF_COUNT_OP
+
+#if defined(__GNUC__) || defined(__clang__)
+#define EPF_ALWAYS_INLINE inline __attribute__((always_inline))
+#else
+#define EPF_ALWAYS_INLINE inline
+#endif
+
+using detail::Hot;
+using detail::kStageCap;
+
+/**
+ * Rarely-taken flush of the emit staging buffer into the real sink
+ * (deliberately out of line; it runs when a kernel emits more than
+ * kStageCap prefetches, and once at exit).
+ */
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((noinline))
+#endif
+void
+flushStage(ExecState &st, std::uint32_t emitted)
+{
+    const std::uint32_t n = emitted - st.flushed;
+    if (st.emitVec != nullptr) {
+        st.emitVec->insert(st.emitVec->end(), st.stage, st.stage + n);
+    } else if (*st.emitFn) {
+        for (std::uint32_t i = 0; i < n; ++i)
+            (*st.emitFn)(st.stage[i]);
+    }
+    st.flushed = emitted;
+}
+
+/**
+ * Always inlined, and deliberately chain-free: the emit lands in the
+ * staging buffer at an address computed from the register-resident
+ * counter, so back-to-back emits pipeline.  An out-of-line call here
+ * would spill the dispatcher's live registers around every prefetch
+ * the kernels issue — measurably the hottest few instructions in the
+ * whole simulator.
+ */
+EPF_ALWAYS_INLINE void
+emitOne(ExecState &st, Hot &hot, std::uint64_t vaddr, std::int32_t tag,
+        KernelId cb)
+{
+    PrefetchEmit &e = st.stage[hot.emitted & (kStageCap - 1)];
+    e.vaddr = vaddr;
+    e.tag = tag;
+    e.cbKernel = cb;
+    ++hot.emitted;
+    if ((hot.emitted & (kStageCap - 1)) == 0)
+        flushStage(st, hot.emitted);
+}
+
+// ---------------------------------------------------------------------
+// Op bodies.  One body per decoded op, shared by the computed-goto
+// dispatcher (inlined at each label) and the function-pointer handlers
+// (wrapped below), so the two dispatch forms share one semantics.
+//
+// Contract: the dispatcher has already verified cycles < maxSteps and
+// that ip names a real slot.  A body charges its architectural cycles,
+// applies its effects, and returns the next decoded index or a control
+// code.  Fused bodies re-check the step limit between architectural
+// halves — exactly where the reference interpreter's fetch loop would
+// — so truncation mid-sequence leaves the same registers, cycle count
+// and emit sequence behind.  Chained values forward through host
+// locals (the fusion conditions in tryFuse guarantee the consumer
+// reads the producer's rd), while every architectural register write
+// still lands in regs[].
+// ---------------------------------------------------------------------
+
+#define EPF_BODY(Name)                                                      \
+    EPF_ALWAYS_INLINE std::uint32_t x##Name(const DecodedInstr &d,          \
+                                            std::uint32_t ip,               \
+                                            ExecState &st, Hot &hot)
+
+EPF_BODY(Halt)
+{
+    (void)d;
+    (void)ip;
+    (void)st;
+    ++hot.cycles;
+    return kCtrlHalt;
+}
+
+EPF_BODY(Nop)
+{
+    (void)d;
+    (void)st;
+    ++hot.cycles;
+    return ip + 1;
+}
+
+EPF_BODY(Li)
+{
+    ++hot.cycles;
+    st.regs[d.rd] = static_cast<std::uint64_t>(d.imm);
+    return ip + 1;
+}
+
+EPF_BODY(Mov)
+{
+    ++hot.cycles;
+    st.regs[d.rd] = st.regs[d.rs];
+    return ip + 1;
+}
+
+EPF_BODY(Add)
+{
+    ++hot.cycles;
+    st.regs[d.rd] = st.regs[d.rs] + st.regs[d.rt];
+    return ip + 1;
+}
+
+EPF_BODY(Sub)
+{
+    ++hot.cycles;
+    st.regs[d.rd] = st.regs[d.rs] - st.regs[d.rt];
+    return ip + 1;
+}
+
+EPF_BODY(Mul)
+{
+    ++hot.cycles;
+    st.regs[d.rd] = st.regs[d.rs] * st.regs[d.rt];
+    return ip + 1;
+}
+
+EPF_BODY(Div)
+{
+    ++hot.cycles;
+    const auto num = static_cast<std::int64_t>(st.regs[d.rs]);
+    const auto den = static_cast<std::int64_t>(st.regs[d.rt]);
+    if (den == 0 ||
+        (den == -1 && num == std::numeric_limits<std::int64_t>::min()))
+        return kCtrlTrap;
+    st.regs[d.rd] = static_cast<std::uint64_t>(num / den);
+    return ip + 1;
+}
+
+EPF_BODY(And)
+{
+    ++hot.cycles;
+    st.regs[d.rd] = st.regs[d.rs] & st.regs[d.rt];
+    return ip + 1;
+}
+
+EPF_BODY(Or)
+{
+    ++hot.cycles;
+    st.regs[d.rd] = st.regs[d.rs] | st.regs[d.rt];
+    return ip + 1;
+}
+
+EPF_BODY(Xor)
+{
+    ++hot.cycles;
+    st.regs[d.rd] = st.regs[d.rs] ^ st.regs[d.rt];
+    return ip + 1;
+}
+
+EPF_BODY(Shl)
+{
+    ++hot.cycles;
+    st.regs[d.rd] = st.regs[d.rs] << (st.regs[d.rt] & 63);
+    return ip + 1;
+}
+
+EPF_BODY(Shr)
+{
+    ++hot.cycles;
+    st.regs[d.rd] = st.regs[d.rs] >> (st.regs[d.rt] & 63);
+    return ip + 1;
+}
+
+EPF_BODY(Addi)
+{
+    ++hot.cycles;
+    st.regs[d.rd] = st.regs[d.rs] + static_cast<std::uint64_t>(d.imm);
+    return ip + 1;
+}
+
+EPF_BODY(Muli)
+{
+    ++hot.cycles;
+    st.regs[d.rd] = st.regs[d.rs] * static_cast<std::uint64_t>(d.imm);
+    return ip + 1;
+}
+
+EPF_BODY(Divi)
+{
+    // imm == 0 was hoisted to kTrap at decode; only the dynamic
+    // INT64_MIN / -1 overflow remains.
+    ++hot.cycles;
+    const auto num = static_cast<std::int64_t>(st.regs[d.rs]);
+    if (d.imm == -1 && num == std::numeric_limits<std::int64_t>::min())
+        return kCtrlTrap;
+    st.regs[d.rd] = static_cast<std::uint64_t>(num / d.imm);
+    return ip + 1;
+}
+
+EPF_BODY(Andi)
+{
+    ++hot.cycles;
+    st.regs[d.rd] = st.regs[d.rs] & static_cast<std::uint64_t>(d.imm);
+    return ip + 1;
+}
+
+EPF_BODY(Shli)
+{
+    ++hot.cycles; // imm pre-masked to [0, 63] at decode
+    st.regs[d.rd] = st.regs[d.rs] << d.imm;
+    return ip + 1;
+}
+
+EPF_BODY(Shri)
+{
+    ++hot.cycles;
+    st.regs[d.rd] = st.regs[d.rs] >> d.imm;
+    return ip + 1;
+}
+
+EPF_BODY(Vaddr)
+{
+    ++hot.cycles;
+    st.regs[d.rd] = st.ctx->vaddr;
+    return ip + 1;
+}
+
+EPF_BODY(LineBase)
+{
+    ++hot.cycles;
+    st.regs[d.rd] = lineAlign(st.ctx->vaddr);
+    return ip + 1;
+}
+
+inline std::uint64_t
+lineWord64(const ExecState &st, std::uint64_t base, std::int64_t imm)
+{
+    const unsigned off = static_cast<unsigned>(
+        (base + static_cast<std::uint64_t>(imm)) & (kLineBytes - 8));
+    std::uint64_t v;
+    std::memcpy(&v, st.ctx->line.data() + off, 8);
+    return v;
+}
+
+EPF_BODY(LdLine)
+{
+    ++hot.cycles;
+    if (!st.ctx->hasLine)
+        return kCtrlTrap;
+    st.regs[d.rd] = lineWord64(st, st.regs[d.rs], d.imm);
+    return ip + 1;
+}
+
+EPF_BODY(LdLine32)
+{
+    ++hot.cycles;
+    if (!st.ctx->hasLine)
+        return kCtrlTrap;
+    const unsigned off = static_cast<unsigned>(
+        (st.regs[d.rs] + static_cast<std::uint64_t>(d.imm)) &
+        (kLineBytes - 4));
+    std::uint32_t v;
+    std::memcpy(&v, st.ctx->line.data() + off, 4);
+    st.regs[d.rd] = v;
+    return ip + 1;
+}
+
+EPF_BODY(Gread)
+{
+    // Out-of-range indices were hoisted to kTrap at decode.
+    ++hot.cycles;
+    if (st.ctx->globalRegs == nullptr)
+        return kCtrlTrap;
+    st.regs[d.rd] = st.ctx->globalRegs[d.imm];
+    return ip + 1;
+}
+
+EPF_BODY(Lookahead)
+{
+    // Negative indices were hoisted to kTrap at decode.
+    ++hot.cycles;
+    if (static_cast<std::uint64_t>(d.imm) >= st.ctx->lookaheadEntries ||
+        st.ctx->lookahead == nullptr)
+        return kCtrlTrap;
+    st.regs[d.rd] = st.ctx->lookahead[d.imm];
+    return ip + 1;
+}
+
+EPF_BODY(Prefetch)
+{
+    ++hot.cycles;
+    emitOne(st, hot, st.regs[d.rs], -1, kNoKernel);
+    return ip + 1;
+}
+
+EPF_BODY(PrefetchTag)
+{
+    ++hot.cycles;
+    emitOne(st, hot, st.regs[d.rs], static_cast<std::int32_t>(d.imm), kNoKernel);
+    return ip + 1;
+}
+
+EPF_BODY(PrefetchCb)
+{
+    ++hot.cycles;
+    emitOne(st, hot, st.regs[d.rs], -1, static_cast<KernelId>(d.imm));
+    return ip + 1;
+}
+
+EPF_BODY(Beq)
+{
+    ++hot.cycles;
+    return st.regs[d.rs] == st.regs[d.rt] ? d.target : ip + 1;
+}
+
+EPF_BODY(Bne)
+{
+    ++hot.cycles;
+    return st.regs[d.rs] != st.regs[d.rt] ? d.target : ip + 1;
+}
+
+EPF_BODY(Blt)
+{
+    ++hot.cycles;
+    return static_cast<std::int64_t>(st.regs[d.rs]) <
+                   static_cast<std::int64_t>(st.regs[d.rt])
+               ? d.target
+               : ip + 1;
+}
+
+EPF_BODY(Bge)
+{
+    ++hot.cycles;
+    return static_cast<std::int64_t>(st.regs[d.rs]) >=
+                   static_cast<std::int64_t>(st.regs[d.rt])
+               ? d.target
+               : ip + 1;
+}
+
+EPF_BODY(Jmp)
+{
+    (void)ip;
+    (void)st;
+    ++hot.cycles;
+    return d.target;
+}
+
+EPF_BODY(Trap)
+{
+    // Statically-proven trap: the reference still fetches (and charges)
+    // the instruction before trapping, so the cycle is charged here.
+    (void)d;
+    (void)ip;
+    (void)st;
+    ++hot.cycles;
+    return kCtrlTrap;
+}
+
+EPF_BODY(Boundary)
+{
+    // Fall-off-the-end / wild branch target: the reference traps on
+    // the pc bounds check *before* fetching, so no cycle is charged.
+    (void)d;
+    (void)ip;
+    (void)st;
+    (void)hot;
+    return kCtrlTrap;
+}
+
+// ---- fused macro-ops -------------------------------------------------
+//
+// Every fused body applies its first architectural op unconditionally
+// (the dispatcher guaranteed at least one cycle of budget), then takes
+// one of two routes:
+//
+//  - fast path (the overwhelmingly common case): the whole macro-op
+//    fits in the remaining step budget, so the cycle counter advances
+//    once by the architectural cost and the remaining effects run
+//    checkless.  Traps can only occur in the *final* architectural op
+//    of every fused pattern, and the reference interpreter charges all
+//    preceding fetches before such a trap — so bulk-charging first is
+//    exact.
+//  - slow path: the budget expires inside the macro-op.  Effects and
+//    cycle charges are applied op by op, stopping precisely where the
+//    reference interpreter's fetch loop would — the differential
+//    fuzzer drives this path with tiny step budgets.
+
+/** li/add feeding a prefetch: value forwards straight into the emit. */
+#define EPF_FUSED_EMIT_PAIR(Name, VEXPR, TAG, CB)                           \
+    EPF_BODY(Name)                                                          \
+    {                                                                       \
+        const std::uint64_t v = (VEXPR);                                    \
+        st.regs[d.rd] = v;                                                  \
+        if (hot.cycles + 2 <= hot.maxSteps) [[likely]] {                    \
+            hot.cycles += 2;                                                \
+            emitOne(st, hot, v, (TAG), (CB));                               \
+            return ip + 1;                                                  \
+        }                                                                   \
+        ++hot.cycles; /* budget ends between the halves */                  \
+        return kCtrlStep;                                                   \
+    }
+
+EPF_FUSED_EMIT_PAIR(LiPrefetch, static_cast<std::uint64_t>(d.imm), -1,
+                    kNoKernel)
+EPF_FUSED_EMIT_PAIR(LiPrefetchTag, static_cast<std::uint64_t>(d.imm),
+                    static_cast<std::int32_t>(d.imm2), kNoKernel)
+EPF_FUSED_EMIT_PAIR(LiPrefetchCb, static_cast<std::uint64_t>(d.imm), -1,
+                    static_cast<KernelId>(d.imm2))
+EPF_FUSED_EMIT_PAIR(AddPrefetch, st.regs[d.rs] + st.regs[d.rt], -1,
+                    kNoKernel)
+EPF_FUSED_EMIT_PAIR(AddPrefetchTag, st.regs[d.rs] + st.regs[d.rt],
+                    static_cast<std::int32_t>(d.imm2), kNoKernel)
+EPF_FUSED_EMIT_PAIR(AddPrefetchCb, st.regs[d.rs] + st.regs[d.rt], -1,
+                    static_cast<KernelId>(d.imm2))
+#undef EPF_FUSED_EMIT_PAIR
+
+EPF_BODY(AddiLdLine)
+{
+    const std::uint64_t addr =
+        st.regs[d.rs] + static_cast<std::uint64_t>(d.imm);
+    st.regs[d.rd] = addr;
+    if (hot.cycles + 2 <= hot.maxSteps) [[likely]] {
+        hot.cycles += 2;
+        if (!st.ctx->hasLine)
+            return kCtrlTrap; // both fetches charged, as in the reference
+        st.regs[d.rd2] = lineWord64(st, addr, d.imm2);
+        return ip + 1;
+    }
+    ++hot.cycles;
+    return kCtrlStep;
+}
+
+/** and/andi feeding a shift: the mask idiom without the tail. */
+#define EPF_FUSED_SHIFT_PAIR(Name, VEXPR)                                   \
+    EPF_BODY(Name)                                                          \
+    {                                                                       \
+        const std::uint64_t v = (VEXPR);                                    \
+        st.regs[d.rd] = v;                                                  \
+        if (hot.cycles + 2 <= hot.maxSteps) [[likely]] {                    \
+            hot.cycles += 2;                                                \
+            st.regs[d.rd2] = v << d.imm2; /* imm2 pre-masked */             \
+            return ip + 1;                                                  \
+        }                                                                   \
+        ++hot.cycles;                                                       \
+        return kCtrlStep;                                                   \
+    }
+
+EPF_FUSED_SHIFT_PAIR(AndiShli,
+                     st.regs[d.rs] & static_cast<std::uint64_t>(d.imm))
+EPF_FUSED_SHIFT_PAIR(AndShli, st.regs[d.rs] & st.regs[d.rt])
+#undef EPF_FUSED_SHIFT_PAIR
+
+/** Compare+branch pairs: the ALU result feeds the branch condition. */
+#define EPF_FUSED_BR_PAIR(Name, VEXPR, COND)                                \
+    EPF_BODY(Name)                                                          \
+    {                                                                       \
+        const std::uint64_t v = (VEXPR);                                    \
+        st.regs[d.rd] = v;                                                  \
+        if (hot.cycles + 2 <= hot.maxSteps) [[likely]] {                    \
+            hot.cycles += 2;                                                \
+            return (COND) ? d.target : ip + 1;                              \
+        }                                                                   \
+        ++hot.cycles;                                                       \
+        return kCtrlStep;                                                   \
+    }
+
+EPF_FUSED_BR_PAIR(AddiBeq, st.regs[d.rs] + static_cast<std::uint64_t>(d.imm),
+                  v == st.regs[d.rt2])
+EPF_FUSED_BR_PAIR(AddiBne, st.regs[d.rs] + static_cast<std::uint64_t>(d.imm),
+                  v != st.regs[d.rt2])
+EPF_FUSED_BR_PAIR(AddiBlt, st.regs[d.rs] + static_cast<std::uint64_t>(d.imm),
+                  static_cast<std::int64_t>(v) <
+                      static_cast<std::int64_t>(st.regs[d.rt2]))
+EPF_FUSED_BR_PAIR(AddiBge, st.regs[d.rs] + static_cast<std::uint64_t>(d.imm),
+                  static_cast<std::int64_t>(v) >=
+                      static_cast<std::int64_t>(st.regs[d.rt2]))
+EPF_FUSED_BR_PAIR(AndiBeq, st.regs[d.rs] & static_cast<std::uint64_t>(d.imm),
+                  v == st.regs[d.rt2])
+EPF_FUSED_BR_PAIR(AndiBne, st.regs[d.rs] & static_cast<std::uint64_t>(d.imm),
+                  v != st.regs[d.rt2])
+EPF_FUSED_BR_PAIR(SubBeq, st.regs[d.rs] - st.regs[d.rt],
+                  v == st.regs[d.rt2])
+EPF_FUSED_BR_PAIR(SubBne, st.regs[d.rs] - st.regs[d.rt],
+                  v != st.regs[d.rt2])
+#undef EPF_FUSED_BR_PAIR
+
+/**
+ * The whole hash idiom as one op: mask (immediate or register), shift,
+ * rebase, prefetch.  Register layout (see tryFuseHash): the and writes
+ * rd, the shli writes rd2 (shift amount in rt for the immediate-mask
+ * form, in imm for the register-mask form), the add writes rs2 with
+ * second operand rt2, and the prefetch emits the add's result.  The
+ * chained value rides in @c v the whole way.
+ */
+#define EPF_FUSED_HASH(Name, MASKEXPR, SHIFTEXPR, TAG, CB)                  \
+    EPF_BODY(Name)                                                          \
+    {                                                                       \
+        std::uint64_t v = (MASKEXPR);                                       \
+        st.regs[d.rd] = v;                                                  \
+        if (hot.cycles + 4 <= hot.maxSteps) [[likely]] {                    \
+            hot.cycles += 4;                                                \
+            v <<= (SHIFTEXPR);                                              \
+            st.regs[d.rd2] = v;                                             \
+            v += st.regs[d.rt2];                                            \
+            st.regs[d.rs2] = v;                                             \
+            emitOne(st, hot, v, (TAG), (CB));                               \
+            return ip + 1;                                                  \
+        }                                                                   \
+        ++hot.cycles; /* budget expires inside: stop op by op */            \
+        if (hot.cycles >= hot.maxSteps)                                     \
+            return kCtrlStep;                                               \
+        ++hot.cycles;                                                       \
+        v <<= (SHIFTEXPR);                                                  \
+        st.regs[d.rd2] = v;                                                 \
+        if (hot.cycles >= hot.maxSteps)                                     \
+            return kCtrlStep;                                               \
+        ++hot.cycles;                                                       \
+        v += st.regs[d.rt2];                                                \
+        st.regs[d.rs2] = v;                                                 \
+        return kCtrlStep; /* the prefetch would have been op 4 */           \
+    }
+
+EPF_FUSED_HASH(HashiPrefetch,
+               st.regs[d.rs] & static_cast<std::uint64_t>(d.imm), d.rt, -1,
+               kNoKernel)
+EPF_FUSED_HASH(HashiPrefetchTag,
+               st.regs[d.rs] & static_cast<std::uint64_t>(d.imm), d.rt,
+               static_cast<std::int32_t>(d.imm2), kNoKernel)
+EPF_FUSED_HASH(HashiPrefetchCb,
+               st.regs[d.rs] & static_cast<std::uint64_t>(d.imm), d.rt, -1,
+               static_cast<KernelId>(d.imm2))
+EPF_FUSED_HASH(HashrPrefetch, st.regs[d.rs] & st.regs[d.rt], d.imm, -1,
+               kNoKernel)
+EPF_FUSED_HASH(HashrPrefetchTag, st.regs[d.rs] & st.regs[d.rt], d.imm,
+               static_cast<std::int32_t>(d.imm2), kNoKernel)
+EPF_FUSED_HASH(HashrPrefetchCb, st.regs[d.rs] & st.regs[d.rt], d.imm, -1,
+               static_cast<KernelId>(d.imm2))
+#undef EPF_FUSED_HASH
+
+#undef EPF_BODY
+
+// Function-pointer handlers: thin address-taken wrappers around the
+// bodies (the bodies themselves stay freely inlinable at the computed-
+// goto labels).
+#define EPF_HANDLER(Name)                                                   \
+    std::uint32_t op##Name(const DecodedInstr &d, std::uint32_t ip,         \
+                           ExecState &st, Hot &hot)                         \
+    {                                                                       \
+        return x##Name(d, ip, st, hot);                                     \
+    }
+EPF_DECODED_OPS(EPF_HANDLER, EPF_HANDLER)
+#undef EPF_HANDLER
+
+#define EPF_HANDLER_ENTRY(Name) &op##Name,
+constexpr detail::Handler kHandlers[] = {
+    EPF_DECODED_OPS(EPF_HANDLER_ENTRY, EPF_HANDLER_ENTRY)};
+#undef EPF_HANDLER_ENTRY
+
+bool
+isCondBranch(Opcode op)
+{
+    return op == Opcode::kBeq || op == Opcode::kBne || op == Opcode::kBlt ||
+           op == Opcode::kBge;
+}
+
+DecodedOp
+condBranchOp(Opcode op)
+{
+    switch (op) {
+      case Opcode::kBeq: return DecodedOp::kBeq;
+      case Opcode::kBne: return DecodedOp::kBne;
+      case Opcode::kBlt: return DecodedOp::kBlt;
+      default: return DecodedOp::kBge;
+    }
+}
+
+/**
+ * Decode one instruction standing alone, hoisting statically-provable
+ * traps and pre-extracting operands.
+ */
+DecodedInstr
+decodeSingle(const Instr &in)
+{
+    DecodedInstr d;
+    d.rd = in.rd;
+    d.rs = in.rs;
+    d.rt = in.rt;
+    d.imm = in.imm;
+    d.archCycles = 1;
+    switch (in.op) {
+      case Opcode::kHalt: d.op = DecodedOp::kHalt; break;
+      case Opcode::kNop: d.op = DecodedOp::kNop; break;
+      case Opcode::kLi: d.op = DecodedOp::kLi; break;
+      case Opcode::kMov: d.op = DecodedOp::kMov; break;
+      case Opcode::kAdd: d.op = DecodedOp::kAdd; break;
+      case Opcode::kSub: d.op = DecodedOp::kSub; break;
+      case Opcode::kMul: d.op = DecodedOp::kMul; break;
+      case Opcode::kDiv: d.op = DecodedOp::kDiv; break;
+      case Opcode::kAnd: d.op = DecodedOp::kAnd; break;
+      case Opcode::kOr: d.op = DecodedOp::kOr; break;
+      case Opcode::kXor: d.op = DecodedOp::kXor; break;
+      case Opcode::kShl: d.op = DecodedOp::kShl; break;
+      case Opcode::kShr: d.op = DecodedOp::kShr; break;
+      case Opcode::kAddi: d.op = DecodedOp::kAddi; break;
+      case Opcode::kMuli: d.op = DecodedOp::kMuli; break;
+      case Opcode::kDivi:
+        // A zero immediate divisor always traps: prove it at decode.
+        d.op = in.imm == 0 ? DecodedOp::kTrap : DecodedOp::kDivi;
+        break;
+      case Opcode::kAndi: d.op = DecodedOp::kAndi; break;
+      case Opcode::kShli:
+        d.op = DecodedOp::kShli;
+        d.imm = in.imm & 63;
+        break;
+      case Opcode::kShri:
+        d.op = DecodedOp::kShri;
+        d.imm = in.imm & 63;
+        break;
+      case Opcode::kVaddr: d.op = DecodedOp::kVaddr; break;
+      case Opcode::kLineBase: d.op = DecodedOp::kLineBase; break;
+      case Opcode::kLdLine: d.op = DecodedOp::kLdLine; break;
+      case Opcode::kLdLine32: d.op = DecodedOp::kLdLine32; break;
+      case Opcode::kGread:
+        // An out-of-range global index always traps: hoist the check.
+        d.op = (in.imm < 0 ||
+                in.imm >= static_cast<std::int64_t>(kGlobalRegs))
+                   ? DecodedOp::kTrap
+                   : DecodedOp::kGread;
+        break;
+      case Opcode::kLookahead:
+        d.op = in.imm < 0 ? DecodedOp::kTrap : DecodedOp::kLookahead;
+        break;
+      case Opcode::kPrefetch: d.op = DecodedOp::kPrefetch; break;
+      case Opcode::kPrefetchTag: d.op = DecodedOp::kPrefetchTag; break;
+      case Opcode::kPrefetchCb: d.op = DecodedOp::kPrefetchCb; break;
+      case Opcode::kBeq:
+      case Opcode::kBne:
+      case Opcode::kBlt:
+      case Opcode::kBge:
+        d.op = condBranchOp(in.op);
+        break;
+      case Opcode::kJmp: d.op = DecodedOp::kJmp; break;
+      default:
+        // Out-of-enum opcode byte (only constructible from raw Instr
+        // structs): the reference switch falls through its cases and
+        // executes it as a charged no-op — match that, don't trap.
+        d.op = DecodedOp::kNop;
+        break;
+    }
+    return d;
+}
+
+/** Does @p b chain on @p a (reads exactly a's destination register)? */
+bool
+chains(const Instr &a, std::uint8_t consumerReg)
+{
+    return consumerReg == a.rd;
+}
+
+/**
+ * Try to fuse the pair (@p a, @p b) into one macro-op.  Every pattern
+ * requires the second op to *chain* on the first (consume its rd), so
+ * the body can forward the value through a host local — the reads and
+ * writes still happen in architectural order, so semantics are exact.
+ * Returns true and fills @p out (branch targets patched later).
+ */
+bool
+tryFusePair(const Instr &a, const Instr &b, DecodedInstr &out)
+{
+    DecodedOp op = DecodedOp::kOpCount_;
+    switch (a.op) {
+      case Opcode::kLi:
+        if (b.op == Opcode::kPrefetch && chains(a, b.rs))
+            op = DecodedOp::kLiPrefetch;
+        else if (b.op == Opcode::kPrefetchTag && chains(a, b.rs))
+            op = DecodedOp::kLiPrefetchTag;
+        else if (b.op == Opcode::kPrefetchCb && chains(a, b.rs))
+            op = DecodedOp::kLiPrefetchCb;
+        break;
+      case Opcode::kAdd:
+        if (b.op == Opcode::kPrefetch && chains(a, b.rs))
+            op = DecodedOp::kAddPrefetch;
+        else if (b.op == Opcode::kPrefetchTag && chains(a, b.rs))
+            op = DecodedOp::kAddPrefetchTag;
+        else if (b.op == Opcode::kPrefetchCb && chains(a, b.rs))
+            op = DecodedOp::kAddPrefetchCb;
+        break;
+      case Opcode::kAddi:
+        if (b.op == Opcode::kLdLine && chains(a, b.rs))
+            op = DecodedOp::kAddiLdLine;
+        else if (isCondBranch(b.op) && chains(a, b.rs)) {
+            switch (b.op) {
+              case Opcode::kBeq: op = DecodedOp::kAddiBeq; break;
+              case Opcode::kBne: op = DecodedOp::kAddiBne; break;
+              case Opcode::kBlt: op = DecodedOp::kAddiBlt; break;
+              default: op = DecodedOp::kAddiBge; break;
+            }
+        }
+        break;
+      case Opcode::kAndi:
+        if (b.op == Opcode::kShli && chains(a, b.rs))
+            op = DecodedOp::kAndiShli;
+        else if (b.op == Opcode::kBeq && chains(a, b.rs))
+            op = DecodedOp::kAndiBeq;
+        else if (b.op == Opcode::kBne && chains(a, b.rs))
+            op = DecodedOp::kAndiBne;
+        break;
+      case Opcode::kAnd:
+        if (b.op == Opcode::kShli && chains(a, b.rs))
+            op = DecodedOp::kAndShli;
+        break;
+      case Opcode::kSub:
+        if (b.op == Opcode::kBeq && chains(a, b.rs))
+            op = DecodedOp::kSubBeq;
+        else if (b.op == Opcode::kBne && chains(a, b.rs))
+            op = DecodedOp::kSubBne;
+        break;
+      default:
+        break;
+    }
+    if (op == DecodedOp::kOpCount_)
+        return false;
+
+    out = DecodedInstr{};
+    out.op = op;
+    out.rd = a.rd;
+    out.rs = a.rs;
+    out.rt = a.rt;
+    out.imm = a.imm; // no fusion pattern leads with a shift
+    out.rd2 = b.rd;
+    out.rs2 = b.rs;
+    out.rt2 = b.rt;
+    out.imm2 = b.op == Opcode::kShli ? (b.imm & 63) : b.imm;
+    out.archCycles = 2;
+    return true;
+}
+
+/**
+ * Try to fuse the full hash idiom (and/andi + shli + add + prefetch*)
+ * into one macro-op.  The chain and/andi.rd -> shli.rs, shli.rd ->
+ * add operand, add.rd -> prefetch.rs must hold exactly (the add may
+ * take the shifted value on either side — addition commutes).
+ *
+ * Register slot layout in the DecodedInstr (tight on purpose, to keep
+ * the struct at one size for every op):
+ *   rd   and/andi destination      rs/rt (+imm)  and/andi sources
+ *   rt   shift amount (imm-mask form only; reg form keeps it in imm)
+ *   rd2  shli destination
+ *   rs2  add destination           rt2  add's non-chained operand
+ *   imm2 prefetch tag / callback id
+ */
+bool
+tryFuseHash(const Instr &a, const Instr &b, const Instr &c,
+            const Instr &p, DecodedInstr &out)
+{
+    if (a.op != Opcode::kAnd && a.op != Opcode::kAndi)
+        return false;
+    if (b.op != Opcode::kShli || !chains(a, b.rs))
+        return false;
+    if (c.op != Opcode::kAdd)
+        return false;
+    std::uint8_t other;
+    if (c.rs == b.rd)
+        other = c.rt;
+    else if (c.rt == b.rd)
+        other = c.rs;
+    else
+        return false;
+    if (p.op != Opcode::kPrefetch && p.op != Opcode::kPrefetchTag &&
+        p.op != Opcode::kPrefetchCb)
+        return false;
+    if (!chains(c, p.rs))
+        return false;
+
+    out = DecodedInstr{};
+    const bool immMask = a.op == Opcode::kAndi;
+    switch (p.op) {
+      case Opcode::kPrefetch:
+        out.op = immMask ? DecodedOp::kHashiPrefetch
+                         : DecodedOp::kHashrPrefetch;
+        break;
+      case Opcode::kPrefetchTag:
+        out.op = immMask ? DecodedOp::kHashiPrefetchTag
+                         : DecodedOp::kHashrPrefetchTag;
+        break;
+      default:
+        out.op = immMask ? DecodedOp::kHashiPrefetchCb
+                         : DecodedOp::kHashrPrefetchCb;
+        break;
+    }
+    out.rd = a.rd;
+    out.rs = a.rs;
+    if (immMask) {
+        out.imm = a.imm;
+        out.rt = static_cast<std::uint8_t>(b.imm & 63);
+    } else {
+        out.rt = a.rt;
+        out.imm = b.imm & 63;
+    }
+    out.rd2 = b.rd;
+    out.rs2 = c.rd;
+    out.rt2 = other;
+    out.imm2 = p.imm;
+    out.archCycles = 4;
+    return true;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Decoder
+// ---------------------------------------------------------------------
+
+DecodedKernel::DecodedKernel(const Kernel &k) : src_(k.code)
+{
+    const std::size_t size = src_.size();
+
+    // Control-flow joins: fusing across a branch target would let a
+    // taken branch skip into the middle of a macro-op, so a slot whose
+    // original index is a target can only start one.
+    std::vector<std::uint8_t> isTarget(size + 1, 0);
+    for (std::size_t i = 0; i < size; ++i) {
+        const Instr &in = src_[i];
+        if (isCondBranch(in.op) || in.op == Opcode::kJmp) {
+            const std::int64_t t =
+                static_cast<std::int64_t>(i) + 1 + in.imm;
+            if (t >= 0 && t <= static_cast<std::int64_t>(size))
+                isTarget[static_cast<std::size_t>(t)] = 1;
+        }
+    }
+    auto joinFree = [&isTarget](std::size_t from, std::size_t to) {
+        for (std::size_t j = from; j <= to; ++j)
+            if (isTarget[j])
+                return false;
+        return true;
+    };
+
+    std::vector<std::uint32_t> origToDecoded(size + 1, 0);
+    struct Patch
+    {
+        std::uint32_t at;
+        std::int64_t origTarget;
+    };
+    std::vector<Patch> patches;
+
+    prog_.reserve(size + 1);
+    std::size_t i = 0;
+    while (i < size) {
+        const auto slot = static_cast<std::uint32_t>(prog_.size());
+        origToDecoded[i] = slot;
+        DecodedInstr d;
+        std::size_t consumed = 1;
+        if (i + 3 < size && joinFree(i + 1, i + 3) &&
+            tryFuseHash(src_[i], src_[i + 1], src_[i + 2], src_[i + 3],
+                        d)) {
+            consumed = 4;
+        } else if (i + 1 < size && !isTarget[i + 1] &&
+                   tryFusePair(src_[i], src_[i + 1], d)) {
+            consumed = 2;
+            if (isCondBranch(src_[i + 1].op))
+                patches.push_back({slot, static_cast<std::int64_t>(i + 1) +
+                                             1 + src_[i + 1].imm});
+        } else {
+            d = decodeSingle(src_[i]);
+            if (isCondBranch(src_[i].op) || src_[i].op == Opcode::kJmp)
+                patches.push_back(
+                    {slot,
+                     static_cast<std::int64_t>(i) + 1 + src_[i].imm});
+        }
+        if (consumed > 1)
+            ++fusedPairs_;
+        for (std::size_t j = 1; j < consumed; ++j)
+            origToDecoded[i + j] = slot; // never branch targets
+        prog_.push_back(d);
+        i += consumed;
+    }
+    origToDecoded[size] = static_cast<std::uint32_t>(prog_.size());
+
+    // The synthetic boundary slot: falling past the last instruction
+    // (or branching anywhere outside [0, size)) lands here and traps,
+    // which lets the dispatcher skip per-op bounds checks entirely.
+    DecodedInstr boundary;
+    boundary.op = DecodedOp::kBoundary;
+    prog_.push_back(boundary);
+
+    const auto n = static_cast<std::uint32_t>(prog_.size() - 1);
+    for (const Patch &p : patches) {
+        prog_[p.at].target =
+            (p.origTarget >= 0 &&
+             p.origTarget < static_cast<std::int64_t>(size))
+                ? origToDecoded[static_cast<std::size_t>(p.origTarget)]
+                : n;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+ExecResult
+runState(const DecodedInstr *const code, ExecState &st, unsigned max_steps,
+         std::uint64_t *regs_out)
+{
+    // Raw storage: PrefetchEmit's default member initialisers would
+    // otherwise zero the whole buffer on every event; emitOne writes
+    // all fields of every entry it stages, so this never reads junk.
+    static_assert(std::is_trivially_copyable_v<PrefetchEmit>);
+    alignas(PrefetchEmit) std::byte
+        stageRaw[sizeof(PrefetchEmit) * kStageCap];
+    st.stage = reinterpret_cast<PrefetchEmit *>(stageRaw);
+    st.flushed = 0;
+
+    // Zero the architectural registers with plain stores: a memset of
+    // 128 bytes compiles to a microcoded `rep stos` whose startup cost
+    // is a measurable fraction of a whole short event.
+    for (unsigned i = 0; i < kPpuRegs; ++i)
+        st.regs[i] = 0;
+
+    Hot hot;
+    hot.cycles = 0;
+    hot.emitted = 0;
+    hot.maxSteps = max_steps;
+    std::uint32_t ip = 0;
+    std::uint32_t ctrl;
+
+#if EPF_PREDECODE_THREADED
+    {
+        // Direct threading: every op body ends in its own indirect
+        // branch, so the host branch predictor sees per-op successor
+        // history instead of one central switch.  Ops that cannot
+        // exit (plain ALU, branches, prefetch emits) skip the
+        // control-code check after their body.
+#define EPF_LABEL_ADDR(Name) &&lb_##Name,
+        static const void *const kLabels[] = {
+            EPF_DECODED_OPS(EPF_LABEL_ADDR, EPF_LABEL_ADDR)};
+#undef EPF_LABEL_ADDR
+        const DecodedInstr *d;
+#define EPF_DISPATCH()                                                      \
+    do {                                                                    \
+        if (hot.cycles >= hot.maxSteps) {                                   \
+            ctrl = kCtrlStep;                                               \
+            goto exec_done;                                                 \
+        }                                                                   \
+        d = &code[ip];                                                      \
+        goto *kLabels[static_cast<unsigned>(d->op)];                        \
+    } while (0)
+#define EPF_CASE_X(Name)                                                    \
+    lb_##Name:                                                              \
+        ip = x##Name(*d, ip, st, hot);                                      \
+        if (ip >= kCtrlBase) {                                              \
+            ctrl = ip;                                                      \
+            goto exec_done;                                                 \
+        }                                                                   \
+        EPF_DISPATCH();
+#define EPF_CASE_N(Name)                                                    \
+    lb_##Name:                                                              \
+        ip = x##Name(*d, ip, st, hot);                                      \
+        EPF_DISPATCH();
+        EPF_DISPATCH();
+        EPF_DECODED_OPS(EPF_CASE_X, EPF_CASE_N)
+#undef EPF_CASE_N
+#undef EPF_CASE_X
+#undef EPF_DISPATCH
+    }
+exec_done:;
+#else
+    for (;;) {
+        if (hot.cycles >= hot.maxSteps) {
+            ctrl = kCtrlStep;
+            break;
+        }
+        const DecodedInstr &d = code[ip];
+        ip = kHandlers[static_cast<unsigned>(d.op)](d, ip, st, hot);
+        if (ip >= kCtrlBase) {
+            ctrl = ip;
+            break;
+        }
+    }
+#endif
+
+    if (hot.emitted != st.flushed)
+        flushStage(st, hot.emitted);
+
+    ExecResult res;
+    res.cycles = hot.cycles;
+    res.emitted = hot.emitted;
+    res.exit = ctrl == kCtrlHalt
+                   ? ExitReason::kHalted
+                   : (ctrl == kCtrlTrap ? ExitReason::kTrapped
+                                        : ExitReason::kStepLimit);
+    if (regs_out != nullptr)
+        std::memcpy(regs_out, st.regs, sizeof(st.regs));
+    return res;
+}
+
+} // namespace
+
+ExecResult
+DecodedKernel::run(const DecodedKernel &dk, const EventContext &ctx,
+                   const Interpreter::EmitFn &emit, unsigned max_steps,
+                   std::uint64_t *regs_out)
+{
+    ExecState st;
+    st.ctx = &ctx;
+    st.emitVec = nullptr;
+    st.emitFn = &emit;
+    return runState(dk.prog_.data(), st, max_steps, regs_out);
+}
+
+ExecResult
+DecodedKernel::run(const DecodedKernel &dk, const EventContext &ctx,
+                   std::vector<PrefetchEmit> *sink, unsigned max_steps,
+                   std::uint64_t *regs_out)
+{
+    static const Interpreter::EmitFn kNoFn;
+    ExecState st;
+    st.ctx = &ctx;
+    st.emitVec = sink;
+    st.emitFn = &kNoFn;
+    return runState(dk.prog_.data(), st, max_steps, regs_out);
+}
+
+// ---------------------------------------------------------------------
+// DecodeCache
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+struct InternTable
+{
+    std::mutex mu;
+    /** Content hash -> decoded programs with that hash. */
+    std::unordered_map<std::uint64_t,
+                       std::vector<std::shared_ptr<const DecodedKernel>>>
+        byHash;
+    std::size_t count = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+};
+
+InternTable &
+internTable()
+{
+    static InternTable t;
+    return t;
+}
+
+/** FNV-1a over the semantic fields of the code (names excluded). */
+std::uint64_t
+codeHash(const std::vector<Instr> &code)
+{
+    std::uint64_t h = 1469598103934665603ULL;
+    auto mix = [&h](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xFF;
+            h *= 1099511628211ULL;
+        }
+    };
+    for (const Instr &in : code) {
+        mix(static_cast<std::uint64_t>(in.op) |
+            (static_cast<std::uint64_t>(in.rd) << 8) |
+            (static_cast<std::uint64_t>(in.rs) << 16) |
+            (static_cast<std::uint64_t>(in.rt) << 24));
+        mix(static_cast<std::uint64_t>(in.imm));
+    }
+    mix(code.size());
+    return h;
+}
+
+bool
+sameCode(const std::vector<Instr> &a, const std::vector<Instr> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].op != b[i].op || a[i].rd != b[i].rd ||
+            a[i].rs != b[i].rs || a[i].rt != b[i].rt ||
+            a[i].imm != b[i].imm)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+std::shared_ptr<const DecodedKernel>
+DecodeCache::decode(const Kernel &k)
+{
+    InternTable &t = internTable();
+    const std::uint64_t h = codeHash(k.code);
+    std::lock_guard<std::mutex> lock(t.mu);
+    auto &bucket = t.byHash[h];
+    for (const auto &dk : bucket) {
+        if (sameCode(dk->source(), k.code)) {
+            ++t.hits;
+            return dk;
+        }
+    }
+    ++t.misses;
+    auto dk = std::make_shared<const DecodedKernel>(k);
+    bucket.push_back(dk);
+    ++t.count;
+    return dk;
+}
+
+std::size_t
+DecodeCache::internedKernels()
+{
+    InternTable &t = internTable();
+    std::lock_guard<std::mutex> lock(t.mu);
+    return t.count;
+}
+
+std::uint64_t
+DecodeCache::hits()
+{
+    InternTable &t = internTable();
+    std::lock_guard<std::mutex> lock(t.mu);
+    return t.hits;
+}
+
+std::uint64_t
+DecodeCache::misses()
+{
+    InternTable &t = internTable();
+    std::lock_guard<std::mutex> lock(t.mu);
+    return t.misses;
+}
+
+void
+DecodeCache::drop()
+{
+    InternTable &t = internTable();
+    std::lock_guard<std::mutex> lock(t.mu);
+    t.byHash.clear();
+    t.count = 0;
+}
+
+} // namespace epf

@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Pre-decoded, direct-threaded PPU interpreter.
+ *
+ * Interpreter::run (interpreter.cpp) re-reads raw Instr structs and
+ * pays a full switch decode per instruction per event; since every
+ * observed cache-line event runs one or more kernels, that decode cost
+ * is paid millions of times per experiment.  This module compiles a
+ * Kernel once into a dense decoded program:
+ *
+ *  - one handler per decoded op, dispatched either through a computed
+ *    goto (GCC/Clang, the default; see EPF_PREDECODE_THREADED) or
+ *    through handler function pointers stored in each DecodedInstr
+ *    (the portable fallback),
+ *  - operands pre-extracted into fixed-width slots (shift immediates
+ *    pre-masked, tag/callback immediates pre-narrowed, branch targets
+ *    resolved to absolute decoded indices),
+ *  - statically-provable traps hoisted to a dedicated kTrap op
+ *    (divide by a zero immediate, out-of-range global-register or
+ *    negative lookahead indices), and
+ *  - fused macro-ops for the dominant traversal idioms (constant /
+ *    pointer-arithmetic feeding a prefetch, address-generation feeding
+ *    a line load, hash mask+shift sequences, compare+branch pairs).
+ *
+ * Timing purity: a fused macro-op still charges the architectural
+ * cycle count of the original un-fused sequence, checks the step-limit
+ * watchdog between its two halves exactly where the reference
+ * interpreter would, and leaves the same register state behind when
+ * truncated or trapped mid-sequence.  The reference switch interpreter
+ * remains the semantic oracle: the differential fuzzer
+ * (tests/fuzz_isa_test.cpp) holds exit reason, cycle count, emit
+ * sequence and final register file bit-identical across both.
+ *
+ * DecodeCache interns decoded programs by code content (kernel names
+ * are not part of the identity), so the per-core PPF instances of a
+ * multi-core machine — which each register their own copy of the same
+ * kernels — share one read-only decoded program instead of decoding
+ * once per core.
+ */
+
+#ifndef EPF_ISA_PREDECODE_HPP
+#define EPF_ISA_PREDECODE_HPP
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "isa/interpreter.hpp"
+#include "isa/isa.hpp"
+
+/**
+ * Dispatch mechanism feature macro: 1 = computed-goto direct threading
+ * (GNU C extension), 0 = portable handler-function-pointer loop.  The
+ * two share one set of op bodies, so they cannot drift semantically.
+ */
+#ifndef EPF_PREDECODE_THREADED
+#if defined(__GNUC__) || defined(__clang__)
+#define EPF_PREDECODE_THREADED 1
+#else
+#define EPF_PREDECODE_THREADED 0
+#endif
+#endif
+
+namespace epf
+{
+
+/**
+ * Decoded opcodes.  The first block mirrors the architectural ISA; the
+ * tail adds decode-time specialisations (kTrap, kBoundary) and fused
+ * macro-ops covering two architectural instructions each.
+ */
+enum class DecodedOp : std::uint8_t
+{
+    kHalt,
+    kNop,
+    kLi,
+    kMov,
+    kAdd,
+    kSub,
+    kMul,
+    kDiv,
+    kAnd,
+    kOr,
+    kXor,
+    kShl,
+    kShr,
+    kAddi,
+    kMuli,
+    kDivi,
+    kAndi,
+    kShli,
+    kShri,
+    kVaddr,
+    kLineBase,
+    kLdLine,
+    kLdLine32,
+    kGread,
+    kLookahead,
+    kPrefetch,
+    kPrefetchTag,
+    kPrefetchCb,
+    kBeq,
+    kBne,
+    kBlt,
+    kBge,
+    kJmp,
+    /** Statically-proven trap (hoisted bounds/zero-divisor check). */
+    kTrap,
+    /** Synthetic slot past the end: fall-off or wild branch target. */
+    kBoundary,
+    // ---- fused macro-ops --------------------------------------------
+    // Each covers 2-4 architectural instructions whose operands chain
+    // (every consumer reads the previous producer's rd, verified at
+    // decode), so the body forwards the chained value through a host
+    // local instead of bouncing it through the memory-resident
+    // register file — that forwarding, not the saved dispatches, is
+    // most of the speedup.  Architectural cycle counts and step-limit
+    // truncation points are preserved exactly.
+    kLiPrefetch,
+    kLiPrefetchTag,
+    kLiPrefetchCb,
+    kAddPrefetch,
+    kAddPrefetchTag,
+    kAddPrefetchCb,
+    kAddiLdLine,
+    kAndiShli,
+    kAndShli,
+    kAddiBeq,
+    kAddiBne,
+    kAddiBlt,
+    kAddiBge,
+    kAndiBeq,
+    kAndiBne,
+    kSubBeq,
+    kSubBne,
+    // Whole hash idiom (mask, shift, rebase, prefetch) as one op:
+    // kAndi/kAnd + kShli + kAdd + kPrefetch{,Tag,Cb}.
+    kHashiPrefetch,
+    kHashiPrefetchTag,
+    kHashiPrefetchCb,
+    kHashrPrefetch,
+    kHashrPrefetchTag,
+    kHashrPrefetchCb,
+    kOpCount_,
+};
+
+struct DecodedInstr;
+
+namespace detail
+{
+/** Emit staging-buffer capacity (flushes to the real sink when full). */
+constexpr std::uint32_t kStageCap = 512;
+
+/**
+ * Interpreter state shared by every handler.  Only the cold half lives
+ * here; the per-dispatch counters ride in Hot (below) so the dispatch
+ * loop keeps them in host registers.  Emits land in a stack staging
+ * buffer at an address computed from the register-resident counter —
+ * back-to-back emits pipeline instead of serialising on a sink pointer
+ * bounced through memory — and flush to the real sink (raw vector or
+ * callback) in bulk.
+ */
+struct ExecState
+{
+    std::uint64_t regs[kPpuRegs];
+    const EventContext *ctx;
+    /** Fast sink: emits append here when non-null. */
+    std::vector<PrefetchEmit> *emitVec;
+    /** Callback sink, used only when emitVec is null. */
+    const Interpreter::EmitFn *emitFn;
+    /** Emit staging buffer (lives on the dispatch loop's stack). */
+    PrefetchEmit *stage;
+    /** Emits already flushed out of the staging buffer. */
+    std::uint32_t flushed;
+};
+
+/** The dispatch loop's register-resident counters. */
+struct Hot
+{
+    std::uint32_t cycles;
+    std::uint32_t emitted;
+    std::uint32_t maxSteps;
+};
+
+/** A handler executes one decoded op and returns the next decoded
+ *  index, or a control code >= kCtrlBase (see predecode.cpp). */
+using Handler = std::uint32_t (*)(const DecodedInstr &d, std::uint32_t ip,
+                                  ExecState &st, Hot &hot);
+} // namespace detail
+
+/**
+ * One decoded op with pre-extracted operands.  Kept at 32 bytes so the
+ * dispatcher reaches slot @c ip with one shift-and-add; dispatch goes
+ * through the per-op label/handler tables indexed by @c op (the
+ * function-pointer form looks the handler up in a table rather than
+ * storing it here — the extra 8 bytes per op cost more than the load).
+ */
+struct DecodedInstr
+{
+    DecodedOp op = DecodedOp::kBoundary;
+    /** First (or only) architectural op's registers. */
+    std::uint8_t rd = 0, rs = 0, rt = 0;
+    /** Second/later architectural ops' registers (fused macro-ops). */
+    std::uint8_t rd2 = 0, rs2 = 0, rt2 = 0;
+    /**
+     * Architectural cycles this op charges when fully executed.
+     * Informational (tests and introspection): the op bodies hard-code
+     * their charges; predecode_test pins the two against each other.
+     */
+    std::uint8_t archCycles = 1;
+    /** Branch-taken target as an absolute decoded index. */
+    std::uint32_t target = 0;
+    /** First-op immediate (pre-masked/narrowed where possible). */
+    std::int64_t imm = 0;
+    /** Second-op immediate of a fused op (tag/callback/shift). */
+    std::int64_t imm2 = 0;
+};
+static_assert(sizeof(DecodedInstr) == 32);
+
+/**
+ * A kernel compiled to its decoded program.  Immutable after
+ * construction, so instances are safe to share read-only across
+ * threads and across per-core prefetcher instances.
+ */
+class DecodedKernel
+{
+  public:
+    explicit DecodedKernel(const Kernel &k);
+
+    /**
+     * Execute the decoded program.  Semantics (exit reason, cycle
+     * count, emit sequence, register effects, trap points, step-limit
+     * truncation — including mid-fused-sequence) are bit-identical to
+     * Interpreter::run on the source kernel.
+     */
+    static ExecResult run(const DecodedKernel &dk, const EventContext &ctx,
+                          const Interpreter::EmitFn &emit,
+                          unsigned max_steps = kMaxKernelSteps,
+                          std::uint64_t *regs_out = nullptr);
+
+    /**
+     * Fast-sink form: emitted prefetches append to @p sink (may be
+     * null to discard).  This is the PPF's per-event path — it avoids
+     * a std::function construction and an indirect call per emit.
+     */
+    static ExecResult run(const DecodedKernel &dk, const EventContext &ctx,
+                          std::vector<PrefetchEmit> *sink,
+                          unsigned max_steps = kMaxKernelSteps,
+                          std::uint64_t *regs_out = nullptr);
+
+    /** Decoded ops, excluding the synthetic boundary slot. */
+    std::size_t decodedLength() const { return prog_.size() - 1; }
+    /** Architectural instructions in the source kernel. */
+    std::size_t archLength() const { return src_.size(); }
+    /** Number of fused macro-ops (pairs and quads) in the program. */
+    unsigned fusedOps() const { return fusedPairs_; }
+    /** The source code this program was decoded from. */
+    const std::vector<Instr> &source() const { return src_; }
+    /** Introspection for tests: decoded op at @p idx. */
+    const DecodedInstr &at(std::size_t idx) const { return prog_[idx]; }
+
+  private:
+    /** Decoded program; the last slot is the kBoundary sink. */
+    std::vector<DecodedInstr> prog_;
+    /** Copy of the source code (content identity for DecodeCache). */
+    std::vector<Instr> src_;
+    /** Fused macro-ops emitted (pairs and quads). */
+    unsigned fusedPairs_ = 0;
+};
+
+/**
+ * Process-wide, thread-safe intern table of decoded kernels, keyed by
+ * code content.  Two kernels with byte-identical code (names ignored)
+ * share one DecodedKernel, so the N per-core PPF instances of a
+ * multi-core run decode each kernel once, not N times.  Entries live
+ * for the process (kernels are tiny — the paper budgets 4 KiB per
+ * application); drop() releases the table, e.g. between test suites.
+ */
+class DecodeCache
+{
+  public:
+    /** Decode @p k, or return the shared already-decoded program. */
+    static std::shared_ptr<const DecodedKernel> decode(const Kernel &k);
+
+    /** Distinct decoded programs currently interned. */
+    static std::size_t internedKernels();
+    /** Lookups served from the intern table / decodes performed. */
+    static std::uint64_t hits();
+    static std::uint64_t misses();
+
+    /** Release the intern table (outstanding shared_ptrs stay valid). */
+    static void drop();
+};
+
+} // namespace epf
+
+#endif // EPF_ISA_PREDECODE_HPP

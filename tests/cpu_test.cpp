@@ -11,8 +11,10 @@
 #include "cpu/core.hpp"
 #include "cpu/generator.hpp"
 #include "cpu/micro_op.hpp"
+#include "isa/builder.hpp"
 #include "mem/guest_memory.hpp"
 #include "mem/hierarchy.hpp"
+#include "ppf/ppf.hpp"
 #include "sim/event_queue.hpp"
 
 namespace epf
@@ -264,6 +266,55 @@ TEST_F(CoreTest, PfConfigRunsAtDispatch)
     EXPECT_TRUE(configured);
     EXPECT_EQ(core_->stats().configOps, 1u);
     EXPECT_EQ(core_->stats().instrs, 6u);
+}
+
+TEST_F(CoreTest, PfConfigKernelMutationMidTraceTakesEffect)
+{
+    // Callback-kernel dispatch across a mid-trace reconfiguration: a
+    // PfConfig op registers a kernel, a load triggers it, a second
+    // PfConfig patches the kernel's code in place (the relocation
+    // idiom), and the next load must run the *patched* program — the
+    // PPF's decoded-program cache has to refresh, not serve stale code.
+    ProgrammablePrefetcher ppf(*eq_, *gmem_, PpfConfig{});
+    mem_->setListener(&ppf); // no prefetch source: requests stay queued
+
+    std::vector<Addr> emitted;
+    auto drain = [&] {
+        while (ppf.hasRequest())
+            emitted.push_back(ppf.popRequest().vaddr);
+    };
+
+    KernelId k = kNoKernel;
+    auto tr = [&]() -> Generator<MicroOp> {
+        co_yield OpFactory::pfConfig(4, [&] {
+            KernelBuilder b("constpf");
+            b.li(1, 0x1000).prefetch(1).halt();
+            k = ppf.kernels().add(b.build());
+            FilterEntry fe;
+            fe.name = "buf";
+            fe.base = base_;
+            fe.limit = base_ + 4096;
+            fe.onLoad = k;
+            ppf.addFilter(fe);
+        });
+        ValueId v1;
+        co_yield OpFactory{}.load(at(0), 1, v1);
+        co_yield OpFactory::workDep(64, v1); // let the event finish
+        co_yield OpFactory::pfConfig(4, [&] {
+            drain();
+            ppf.kernels().mutableKernel(k).code[0].imm = 0x2000;
+        });
+        ValueId v2;
+        co_yield OpFactory{}.load(at(1), 1, v2);
+        co_yield OpFactory::workDep(64, v2);
+    };
+    run(tr());
+    drain();
+
+    ASSERT_EQ(ppf.stats().eventsRun, 2u);
+    ASSERT_EQ(emitted.size(), 2u);
+    EXPECT_EQ(emitted[0], 0x1000u);
+    EXPECT_EQ(emitted[1], 0x2000u);
 }
 
 TEST_F(CoreTest, ValueDependenceThroughWork)

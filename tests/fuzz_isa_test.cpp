@@ -9,6 +9,13 @@
  * disassemble() -> parseInstr() — and all three must (a) re-encode to
  * identical bytes and (b) execute with identical effects: exit reason,
  * cycle count, and the exact emitted prefetch sequence.
+ *
+ * Differential harness: every program additionally runs through the
+ * pre-decoded direct-threaded interpreter (predecode.hpp) at several
+ * step budgets — including tiny ones that truncate execution in the
+ * middle of a fused macro-op — and must match the reference switch
+ * interpreter bit-for-bit: exit reason, cycle count, the emit
+ * sequence, and the final register file.
  */
 
 #include <gtest/gtest.h>
@@ -24,6 +31,7 @@
 #include "isa/builder.hpp"
 #include "isa/disasm.hpp"
 #include "isa/interpreter.hpp"
+#include "isa/predecode.hpp"
 #include "sim/rng.hpp"
 
 namespace epf
@@ -97,6 +105,53 @@ execute(const Kernel &k, const EventContext &ctx)
     fx.cycles = res.cycles;
     fx.emitted = res.emitted;
     return fx;
+}
+
+/**
+ * Differential check: the pre-decoded interpreter must match the
+ * reference switch interpreter bit-for-bit on @p code — exit reason,
+ * cycles, emit sequence and the final register file — at the full
+ * fuzz budget and at tiny budgets chosen to truncate execution inside
+ * fused macro-op pairs.
+ */
+void
+checkDecodedMatchesReference(const std::vector<Instr> &code,
+                             const EventContext &ctx,
+                             const std::string &what)
+{
+    const Kernel k{"fuzz", code};
+    const DecodedKernel dk(k);
+    for (unsigned max_steps : {kFuzzSteps, 7u, 2u, 1u}) {
+        std::vector<PrefetchEmit> refEmits, decEmits;
+        std::uint64_t refRegs[kPpuRegs], decRegs[kPpuRegs];
+        const ExecResult ref = Interpreter::run(
+            k, ctx,
+            [&](const PrefetchEmit &e) { refEmits.push_back(e); },
+            max_steps, refRegs);
+        const ExecResult dec = DecodedKernel::run(
+            dk, ctx,
+            [&](const PrefetchEmit &e) { decEmits.push_back(e); },
+            max_steps, decRegs);
+
+        const std::string where =
+            what + " @max_steps=" + std::to_string(max_steps);
+        ASSERT_EQ(ref.exit, dec.exit)
+            << where << ": exit reason diverged\n" << disassemble(k);
+        ASSERT_EQ(ref.cycles, dec.cycles)
+            << where << ": cycle count diverged\n" << disassemble(k);
+        ASSERT_EQ(ref.emitted, dec.emitted)
+            << where << ": emit count diverged\n" << disassemble(k);
+        ASSERT_EQ(refEmits.size(), decEmits.size()) << where;
+        for (std::size_t i = 0; i < refEmits.size(); ++i) {
+            ASSERT_TRUE(refEmits[i].vaddr == decEmits[i].vaddr &&
+                        refEmits[i].tag == decEmits[i].tag &&
+                        refEmits[i].cbKernel == decEmits[i].cbKernel)
+                << where << ": emit " << i << " diverged\n"
+                << disassemble(k);
+        }
+        ASSERT_EQ(0, std::memcmp(refRegs, decRegs, sizeof(refRegs)))
+            << where << ": register file diverged\n" << disassemble(k);
+    }
 }
 
 /** All opcodes the generator draws from (every ISA instruction). */
@@ -340,6 +395,8 @@ checkProgram(const std::vector<Instr> &code, const EventContext &ctx,
     ASSERT_TRUE(fx_parsed == fx_raw)
         << what << ": parsed effects differ\n"
         << disassemble(raw);
+
+    checkDecodedMatchesReference(code, ctx, what);
 }
 
 TEST(IsaFuzz, EveryOpcodeRoundTripsDeterministically)
@@ -368,6 +425,35 @@ TEST(IsaFuzz, EveryOpcodeRoundTripsDeterministically)
     EventContext ctx = fuzzContext(rng, globals, lookahead, line);
     ctx.hasLine = true;
     checkProgram(code, ctx, "deterministic");
+}
+
+TEST(IsaFuzz, DivOverflowSeed)
+{
+    // Directed seed for the signed-division UB fix: INT64_MIN / -1
+    // must trap (like /0) in both divide forms and both interpreters,
+    // while the two individually-benign halves still divide.
+    const std::int64_t min = std::numeric_limits<std::int64_t>::min();
+    Rng rng(11);
+    std::vector<std::uint64_t> globals(kGlobalRegs, 1);
+    std::vector<std::uint64_t> lookahead(4, 2);
+    LineData line{};
+    const EventContext ctx = fuzzContext(rng, globals, lookahead, line);
+
+    checkProgram({Instr{Opcode::kLi, 1, 0, 0, min},
+                  Instr{Opcode::kLi, 2, 0, 0, -1},
+                  Instr{Opcode::kDiv, 3, 1, 2, 0},
+                  Instr{Opcode::kHalt, 0, 0, 0, 0}},
+                 ctx, "div overflow seed");
+    checkProgram({Instr{Opcode::kLi, 1, 0, 0, min},
+                  Instr{Opcode::kDivi, 3, 1, 0, -1},
+                  Instr{Opcode::kHalt, 0, 0, 0, 0}},
+                 ctx, "divi overflow seed");
+    checkProgram({Instr{Opcode::kLi, 1, 0, 0, min + 1},
+                  Instr{Opcode::kDivi, 3, 1, 0, -1},
+                  Instr{Opcode::kLi, 2, 0, 0, 1},
+                  Instr{Opcode::kDiv, 3, 1, 2, 0},
+                  Instr{Opcode::kHalt, 0, 0, 0, 0}},
+                 ctx, "near-overflow divides");
 }
 
 TEST(IsaFuzz, TenThousandRandomPrograms)

@@ -82,5 +82,57 @@ INSTANTIATE_TEST_SUITE_P(
         return out;
     });
 
+/**
+ * End-to-end A/B proof for the pre-decoded interpreter: a PPF-heavy
+ * cell re-run with the reference switch interpreter (predecode off)
+ * must reproduce the checked-in golden byte-for-byte — i.e. the fast
+ * path cannot have changed a single simulated event.  The kernel-level
+ * equivalence is fuzzed exhaustively in fuzz_isa_test; this pins the
+ * full stack (scheduling, EWMA, queue timing, chained callbacks).
+ */
+class InterpreterParity
+    : public ::testing::TestWithParam<std::tuple<std::string, Technique>>
+{
+};
+
+TEST_P(InterpreterParity, ReferenceInterpreterMatchesGolden)
+{
+    const GoldenCell cell{std::get<0>(GetParam()), std::get<1>(GetParam())};
+    const std::string file = goldenDir() + "/" + goldenFileName(cell);
+
+    std::ifstream is(file, std::ios::binary);
+    ASSERT_TRUE(is) << "missing golden " << file;
+    std::ostringstream want;
+    want << is.rdbuf();
+
+    RunConfig cfg = goldenConfig(cell.technique);
+    cfg.ppf.predecode = false; // force the reference oracle
+    const RunResult res = runExperiment(cell.workload, cfg);
+    const std::string got = goldenStatsJson(cell, res);
+
+    EXPECT_EQ(want.str(), got)
+        << cell.workload << " / " << techniqueName(cell.technique)
+        << ": the reference and pre-decoded interpreters produced "
+           "different simulated stats (first divergence at line "
+        << firstDifferingLine(want.str(), got) << ").";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PpfHeavyCells, InterpreterParity,
+    ::testing::Values(
+        std::make_tuple(std::string("RandAcc"), Technique::kManual),
+        std::make_tuple(std::string("HJ-8"), Technique::kManual),
+        std::make_tuple(std::string("G500-List"),
+                        Technique::kManualBlocked)),
+    [](const auto &info) {
+        std::string n = std::get<0>(info.param) + "_" +
+                        techniqueName(std::get<1>(info.param));
+        std::string out;
+        for (char c : n)
+            if (std::isalnum(static_cast<unsigned char>(c)))
+                out += c;
+        return out;
+    });
+
 } // namespace
 } // namespace epf

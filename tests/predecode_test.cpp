@@ -1,0 +1,458 @@
+/**
+ * @file
+ * Tests for the pre-decoded PPU interpreter (src/isa/predecode.hpp):
+ * decode-time fusion and trap hoisting, bit-identical semantics against
+ * the reference interpreter at every exit path (including step-limit
+ * truncation mid-fused-sequence), the content-addressed DecodeCache,
+ * and the ProgrammablePrefetcher's cache-invalidation contract
+ * (invalidated by reset()/kernel mutation, preserved across
+ * contextSwitch(), shared across per-core instances).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "isa/builder.hpp"
+#include "isa/interpreter.hpp"
+#include "isa/predecode.hpp"
+#include "mem/guest_memory.hpp"
+#include "ppf/ppf.hpp"
+#include "sim/event_queue.hpp"
+
+namespace epf
+{
+namespace
+{
+
+EventContext
+plainCtx()
+{
+    static std::uint64_t globals[kGlobalRegs] = {7, 11, 13};
+    static std::uint64_t lookahead[4] = {4, 8, 16, 32};
+    EventContext ctx;
+    ctx.vaddr = 0x4321;
+    ctx.globalRegs = globals;
+    ctx.lookahead = lookahead;
+    ctx.lookaheadEntries = 4;
+    return ctx;
+}
+
+/** Execute both interpreters and require bit-identical observables. */
+void
+expectParity(const Kernel &k, const EventContext &ctx, unsigned max_steps,
+             const char *what)
+{
+    std::vector<PrefetchEmit> refEmits, decEmits;
+    std::uint64_t refRegs[kPpuRegs], decRegs[kPpuRegs];
+    const ExecResult ref = Interpreter::run(
+        k, ctx, [&](const PrefetchEmit &e) { refEmits.push_back(e); },
+        max_steps, refRegs);
+    const DecodedKernel dk(k);
+    const ExecResult dec = DecodedKernel::run(
+        dk, ctx, [&](const PrefetchEmit &e) { decEmits.push_back(e); },
+        max_steps, decRegs);
+
+    ASSERT_EQ(ref.exit, dec.exit) << what;
+    ASSERT_EQ(ref.cycles, dec.cycles) << what;
+    ASSERT_EQ(ref.emitted, dec.emitted) << what;
+    ASSERT_EQ(refEmits.size(), decEmits.size()) << what;
+    for (std::size_t i = 0; i < refEmits.size(); ++i) {
+        EXPECT_EQ(refEmits[i].vaddr, decEmits[i].vaddr) << what;
+        EXPECT_EQ(refEmits[i].tag, decEmits[i].tag) << what;
+        EXPECT_EQ(refEmits[i].cbKernel, decEmits[i].cbKernel) << what;
+    }
+    EXPECT_EQ(0, std::memcmp(refRegs, decRegs, sizeof(refRegs))) << what;
+}
+
+// ---------------------------------------------------------------------
+// Decode shape
+// ---------------------------------------------------------------------
+
+TEST(PredecodeTest, FusesDominantIdioms)
+{
+    // li+prefetch and addi+bne fuse as pairs; the chained hash idiom
+    // andi+shli+add+prefetch fuses whole as a quad: 9 architectural
+    // instructions decode to 4 slots.
+    KernelBuilder b("fuse");
+    auto loop = b.newLabel();
+    b.li(1, 0x1000);       // fused pair with...
+    b.prefetch(1);         // ...this prefetch
+    b.bind(loop);
+    b.andi(2, 1, 0xFF);    // the four-instruction hash idiom:
+    b.shli(2, 2, 3);       // mask, shift,
+    b.add(3, 2, 1);        // rebase,
+    b.prefetch(3);         // emit -- fuses whole as a quad
+    b.addi(4, 4, 1);       // fused pair with...
+    b.bne(4, 5, loop);     // ...the loop branch
+    b.halt();
+    const Kernel k = b.build();
+    const DecodedKernel dk(k);
+
+    EXPECT_EQ(dk.archLength(), 9u);
+    EXPECT_EQ(dk.fusedOps(), 3u);
+    EXPECT_EQ(dk.decodedLength(), 4u);
+    EXPECT_EQ(dk.at(0).op, DecodedOp::kLiPrefetch);
+    EXPECT_EQ(dk.at(0).archCycles, 2u);
+    EXPECT_EQ(dk.at(1).op, DecodedOp::kHashiPrefetch);
+    EXPECT_EQ(dk.at(1).archCycles, 4u);
+    EXPECT_EQ(dk.at(2).op, DecodedOp::kAddiBne);
+    EXPECT_EQ(dk.at(2).target, 1u); // decoded index of the loop head
+    EXPECT_EQ(dk.at(3).op, DecodedOp::kHalt);
+
+    expectParity(k, plainCtx(), kMaxKernelSteps, "fused idioms");
+    // Truncation at every point inside the quad stays exact.
+    for (unsigned steps = 1; steps <= 10; ++steps)
+        expectParity(k, plainCtx(), steps, "fused idioms truncation");
+}
+
+TEST(PredecodeTest, RegisterMaskHashFusesToo)
+{
+    // The randacc/hashjoin form masks with a register (gread'd mask):
+    // and+shli+add+prefetchCb also quad-fuses.
+    KernelBuilder b("hashr");
+    b.vaddr(1).gread(3, 0).andr(2, 1, 3).shli(2, 2, 3).add(2, 2, 3)
+        .prefetchCb(2, 7).halt();
+    const Kernel k = b.build();
+    const DecodedKernel dk(k);
+    EXPECT_EQ(dk.fusedOps(), 1u);
+    EXPECT_EQ(dk.at(2).op, DecodedOp::kHashrPrefetchCb);
+    expectParity(k, plainCtx(), kMaxKernelSteps, "hashr quad");
+    for (unsigned steps = 1; steps <= 7; ++steps)
+        expectParity(k, plainCtx(), steps, "hashr quad truncation");
+}
+
+TEST(PredecodeTest, BranchTargetBlocksFusion)
+{
+    // The jmp lands on the shli, so the (chained) andi+shli must NOT
+    // fuse: a taken branch has to be able to enter at the pair's
+    // second half.
+    KernelBuilder b("join");
+    auto mid = b.newLabel();
+    b.li(1, 0xF0).li(2, 2).jmp(mid);
+    b.andi(3, 1, 0x0F); // skipped by the jmp
+    b.bind(mid);
+    b.shli(4, 3, 1); // chains on the andi, but is a join point
+    b.prefetch(4).halt();
+    const Kernel k = b.build();
+    const DecodedKernel dk(k);
+
+    EXPECT_EQ(dk.fusedOps(), 0u);
+    EXPECT_EQ(dk.decodedLength(), dk.archLength());
+    expectParity(k, plainCtx(), kMaxKernelSteps, "join blocks fusion");
+}
+
+TEST(PredecodeTest, UnchainedPairsDoNotFuse)
+{
+    // The prefetch reads r2, not the li's r1: no chain, no fusion (the
+    // forwarding optimisation would be wrong).
+    KernelBuilder b("nochain");
+    b.li(1, 0x1000).prefetch(2).halt();
+    const DecodedKernel dk(b.build());
+    EXPECT_EQ(dk.fusedOps(), 0u);
+    expectParity(b.build(), plainCtx(), kMaxKernelSteps, "unchained");
+}
+
+TEST(PredecodeTest, HoistsStaticTraps)
+{
+    // divi #0, out-of-range gread and a negative lookahead index are
+    // provable at decode: they become kTrap instead of dynamic checks.
+    {
+        KernelBuilder b("d0");
+        b.li(1, 9).divi(1, 1, 0).halt();
+        const DecodedKernel dk(b.build());
+        EXPECT_EQ(dk.at(1).op, DecodedOp::kTrap);
+        expectParity(b.build(), plainCtx(), kMaxKernelSteps, "divi #0");
+    }
+    {
+        KernelBuilder b("goob");
+        b.gread(1, kGlobalRegs + 3).halt();
+        const DecodedKernel dk(b.build());
+        EXPECT_EQ(dk.at(0).op, DecodedOp::kTrap);
+        expectParity(b.build(), plainCtx(), kMaxKernelSteps, "gread oob");
+    }
+    {
+        Kernel k{"laneg", {Instr{Opcode::kLookahead, 1, 0, 0, -2},
+                           Instr{Opcode::kHalt, 0, 0, 0, 0}}};
+        const DecodedKernel dk(k);
+        EXPECT_EQ(dk.at(0).op, DecodedOp::kTrap);
+        expectParity(k, plainCtx(), kMaxKernelSteps, "lookahead neg");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Semantics parity at every exit path
+// ---------------------------------------------------------------------
+
+TEST(PredecodeTest, LoopParity)
+{
+    KernelBuilder b("sum");
+    auto loop = b.newLabel();
+    b.li(1, 0).li(2, 1).li(3, 6);
+    b.bind(loop).add(1, 1, 2).addi(2, 2, 1).blt(2, 3, loop);
+    b.prefetch(1).halt();
+    expectParity(b.build(), plainCtx(), kMaxKernelSteps, "sum loop");
+}
+
+TEST(PredecodeTest, StepLimitMidFusedPairTruncatesExactly)
+{
+    // max_steps = 1 stops a fused li+prefetch between its halves: the
+    // li's register write lands, the prefetch must NOT be emitted, and
+    // cycles stops at exactly 1 — in both interpreters.
+    KernelBuilder b("t");
+    b.li(1, 0xAB).prefetch(1).halt();
+    const Kernel k = b.build();
+    ASSERT_EQ(DecodedKernel(k).fusedOps(), 1u);
+    expectParity(k, plainCtx(), 1, "step limit mid-pair");
+
+    std::uint64_t regs[kPpuRegs];
+    const ExecResult dec = DecodedKernel::run(
+        DecodedKernel(k), plainCtx(), nullptr, 1, regs);
+    EXPECT_EQ(dec.exit, ExitReason::kStepLimit);
+    EXPECT_EQ(dec.cycles, 1u);
+    EXPECT_EQ(dec.emitted, 0u);
+    EXPECT_EQ(regs[1], 0xABu);
+
+    // Every other budget around the pair boundary agrees too.
+    for (unsigned steps = 2; steps <= 4; ++steps)
+        expectParity(k, plainCtx(), steps, "step limit sweep");
+}
+
+TEST(PredecodeTest, TrapMidFusedPairKeepsFirstHalfEffects)
+{
+    // addi+ldLine fuses; without line data the ldLine half traps, but
+    // the addi's register write must survive and 2 cycles are charged.
+    KernelBuilder b("t");
+    b.addi(1, 1, 0x40).ldLine(2, 1, 0).halt();
+    const Kernel k = b.build();
+    ASSERT_EQ(DecodedKernel(k).fusedOps(), 1u);
+
+    EventContext ctx = plainCtx();
+    ctx.hasLine = false;
+    expectParity(k, ctx, kMaxKernelSteps, "trap mid-pair");
+
+    std::uint64_t regs[kPpuRegs];
+    const ExecResult dec =
+        DecodedKernel::run(DecodedKernel(k), ctx, nullptr,
+                           kMaxKernelSteps, regs);
+    EXPECT_EQ(dec.exit, ExitReason::kTrapped);
+    EXPECT_EQ(dec.cycles, 2u);
+    EXPECT_EQ(regs[1], 0x40u);
+}
+
+TEST(PredecodeTest, BoundaryAndWildBranchParity)
+{
+    // Falling off the end traps without charging a cycle for the
+    // missing fetch; a branch to an out-of-range target does the same.
+    {
+        KernelBuilder b("falloff");
+        b.li(1, 1).addi(1, 1, 1); // no halt
+        expectParity(b.build(), plainCtx(), kMaxKernelSteps, "fall off");
+    }
+    {
+        Kernel k{"wild", {Instr{Opcode::kJmp, 0, 0, 0, 1000},
+                          Instr{Opcode::kHalt, 0, 0, 0, 0}}};
+        expectParity(k, plainCtx(), kMaxKernelSteps, "wild jmp");
+    }
+    {
+        Kernel k{"neg", {Instr{Opcode::kJmp, 0, 0, 0, -55}}};
+        expectParity(k, plainCtx(), kMaxKernelSteps, "negative jmp");
+    }
+}
+
+TEST(PredecodeTest, DivOverflowParity)
+{
+    const std::int64_t min = std::numeric_limits<std::int64_t>::min();
+    {
+        KernelBuilder b("div");
+        b.li(1, min).li(2, -1).div(3, 1, 2).halt();
+        expectParity(b.build(), plainCtx(), kMaxKernelSteps,
+                     "div INT64_MIN/-1");
+    }
+    {
+        KernelBuilder b("divi");
+        b.li(1, min).divi(3, 1, -1).halt();
+        expectParity(b.build(), plainCtx(), kMaxKernelSteps,
+                     "divi INT64_MIN/-1");
+    }
+    {
+        KernelBuilder b("ok");
+        b.li(1, min + 1).divi(3, 1, -1).prefetch(3).halt();
+        expectParity(b.build(), plainCtx(), kMaxKernelSteps,
+                     "divi near-overflow");
+    }
+}
+
+TEST(PredecodeTest, OutOfEnumOpcodeIsAChargedNop)
+{
+    // An opcode byte outside the enum (only constructible from raw
+    // Instr structs) falls through the reference switch as a charged
+    // no-op; the decoder must map it the same way, not trap.
+    Kernel k{"weird", {Instr{static_cast<Opcode>(200), 1, 2, 3, 7},
+                       Instr{Opcode::kLi, 1, 0, 0, 5},
+                       Instr{Opcode::kHalt, 0, 0, 0, 0}}};
+    const DecodedKernel dk(k);
+    EXPECT_EQ(dk.at(0).op, DecodedOp::kNop);
+    expectParity(k, plainCtx(), kMaxKernelSteps, "out-of-enum opcode");
+}
+
+TEST(PredecodeTest, EmptyKernelTrapsWithZeroCycles)
+{
+    const Kernel k{"empty", {}};
+    expectParity(k, plainCtx(), kMaxKernelSteps, "empty kernel");
+    const ExecResult dec =
+        DecodedKernel::run(DecodedKernel(k), plainCtx(), nullptr);
+    EXPECT_EQ(dec.exit, ExitReason::kTrapped);
+    EXPECT_EQ(dec.cycles, 0u);
+}
+
+// ---------------------------------------------------------------------
+// DecodeCache: content-addressed sharing
+// ---------------------------------------------------------------------
+
+TEST(DecodeCacheTest, IdenticalCodeSharesOneProgram)
+{
+    KernelBuilder b1("first");
+    b1.vaddr(1).addi(1, 1, 64).prefetch(1).halt();
+    KernelBuilder b2("second_name_differs");
+    b2.vaddr(1).addi(1, 1, 64).prefetch(1).halt();
+
+    const auto before = DecodeCache::internedKernels();
+    auto p1 = DecodeCache::decode(b1.build());
+    auto p2 = DecodeCache::decode(b2.build());
+    EXPECT_EQ(p1.get(), p2.get()); // names are not part of the identity
+    EXPECT_EQ(DecodeCache::internedKernels(), before + 1);
+
+    KernelBuilder b3("different_code");
+    b3.vaddr(1).addi(1, 1, 128).prefetch(1).halt();
+    auto p3 = DecodeCache::decode(b3.build());
+    EXPECT_NE(p1.get(), p3.get());
+    EXPECT_EQ(DecodeCache::internedKernels(), before + 2);
+}
+
+// ---------------------------------------------------------------------
+// ProgrammablePrefetcher integration: invalidation contract
+// ---------------------------------------------------------------------
+
+/** A PPF over a small guest array (mirrors the ppf_test fixture). */
+class PredecodePpfTest : public ::testing::Test
+{
+  protected:
+    PredecodePpfTest()
+    {
+        data_.resize(1024);
+        for (std::size_t i = 0; i < data_.size(); ++i)
+            data_[i] = i;
+        base_ = gmem_.addRegion("data", data_.data(), data_.size() * 8);
+    }
+
+    /** Register a li(addr)+prefetch kernel and a filter that runs it. */
+    KernelId
+    installConstKernel(ProgrammablePrefetcher &p, std::uint64_t addr)
+    {
+        KernelBuilder b("constpf");
+        b.li(1, static_cast<std::int64_t>(addr)).prefetch(1).halt();
+        KernelId k = p.kernels().add(b.build());
+        FilterEntry fe;
+        fe.name = "data";
+        fe.base = base_;
+        fe.limit = base_ + 4096;
+        fe.onLoad = k;
+        p.addFilter(fe);
+        return k;
+    }
+
+    /** Trigger one event and return the emitted request addresses. */
+    std::vector<Addr>
+    fire(ProgrammablePrefetcher &p)
+    {
+        p.notifyDemand(base_, true, false, 0);
+        eq_.run();
+        std::vector<Addr> out;
+        while (p.hasRequest())
+            out.push_back(p.popRequest().vaddr);
+        return out;
+    }
+
+    EventQueue eq_;
+    GuestMemory gmem_;
+    std::vector<std::uint64_t> data_;
+    Addr base_ = 0;
+};
+
+TEST_F(PredecodePpfTest, MutableKernelInvalidatesDecodedProgram)
+{
+    ProgrammablePrefetcher ppf(eq_, gmem_, PpfConfig{});
+    KernelId k = installConstKernel(ppf, 0x1000);
+    EXPECT_EQ(fire(ppf), std::vector<Addr>{0x1000});
+
+    // Patch the kernel in place (the relocation idiom the manual
+    // workloads use): the decoded program must be rebuilt, not served
+    // stale from the cache.
+    ppf.kernels().mutableKernel(k).code[0].imm = 0x2000;
+    EXPECT_EQ(fire(ppf), std::vector<Addr>{0x2000});
+}
+
+TEST_F(PredecodePpfTest, ContextSwitchPreservesDecodedPrograms)
+{
+    ProgrammablePrefetcher ppf(eq_, gmem_, PpfConfig{});
+    installConstKernel(ppf, 0x3000);
+    EXPECT_EQ(fire(ppf), std::vector<Addr>{0x3000});
+
+    const auto hits = DecodeCache::hits();
+    const auto misses = DecodeCache::misses();
+    ppf.contextSwitch(); // configuration (and decode cache) survive
+    EXPECT_EQ(fire(ppf), std::vector<Addr>{0x3000});
+    // The preserved per-kernel slot served the event: the shared
+    // intern table was not consulted at all.
+    EXPECT_EQ(DecodeCache::hits(), hits);
+    EXPECT_EQ(DecodeCache::misses(), misses);
+}
+
+TEST_F(PredecodePpfTest, ResetInvalidatesDecodedPrograms)
+{
+    ProgrammablePrefetcher ppf(eq_, gmem_, PpfConfig{});
+    installConstKernel(ppf, 0x4000);
+    EXPECT_EQ(fire(ppf), std::vector<Addr>{0x4000});
+
+    const auto hits = DecodeCache::hits();
+    ppf.reset(); // full reconfiguration: decoded programs dropped
+    installConstKernel(ppf, 0x4000);
+    EXPECT_EQ(fire(ppf), std::vector<Addr>{0x4000});
+    // The re-registered kernel re-consulted the intern table (and
+    // found the identical content already decoded).
+    EXPECT_EQ(DecodeCache::hits(), hits + 1);
+}
+
+TEST_F(PredecodePpfTest, PerCoreInstancesShareDecodedPrograms)
+{
+    // Two PPF instances (as per-core PPFs in a multi-core machine)
+    // registering identical kernels decode once, not twice.
+    ProgrammablePrefetcher a(eq_, gmem_, PpfConfig{});
+    ProgrammablePrefetcher b(eq_, gmem_, PpfConfig{});
+    installConstKernel(a, 0x5000);
+    installConstKernel(b, 0x5000);
+
+    const auto misses = DecodeCache::misses();
+    const auto hitsBefore = DecodeCache::hits();
+    EXPECT_EQ(fire(a), std::vector<Addr>{0x5000});
+    EXPECT_EQ(fire(b), std::vector<Addr>{0x5000});
+    // At most one decode between them; the second instance hit.
+    EXPECT_LE(DecodeCache::misses(), misses + 1);
+    EXPECT_GE(DecodeCache::hits(), hitsBefore + 1);
+}
+
+TEST_F(PredecodePpfTest, ReferenceInterpreterPathStillWorks)
+{
+    PpfConfig cfg;
+    cfg.predecode = false; // A/B oracle path
+    ProgrammablePrefetcher ppf(eq_, gmem_, cfg);
+    installConstKernel(ppf, 0x6000);
+    EXPECT_EQ(fire(ppf), std::vector<Addr>{0x6000});
+    EXPECT_EQ(ppf.stats().eventsRun, 1u);
+}
+
+} // namespace
+} // namespace epf
