@@ -13,8 +13,10 @@
 
 #include "compiler/ir.hpp"
 #include "compiler/passes.hpp"
+#include "interp_kernels.hpp"
 #include "isa/builder.hpp"
 #include "isa/interpreter.hpp"
+#include "isa/predecode.hpp"
 #include "mem/cache.hpp"
 #include "mem/dram.hpp"
 #include "mem/guest_memory.hpp"
@@ -169,6 +171,89 @@ BM_Interpreter(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_Interpreter);
+
+/**
+ * Reference switch interpreter vs the pre-decoded direct-threaded one
+ * on the three kernel shapes of tools/bench_interp.  Items processed =
+ * architectural PPU instructions, so items/s compares directly across
+ * the Ref/Decoded pairs (both execute the same instruction stream).
+ */
+void
+runInterpRef(benchmark::State &state, const epf::Kernel &k)
+{
+    const epf::bench::BenchInput in;
+    std::vector<epf::PrefetchEmit> emits; // the PPF's pooled-buffer shape
+    emits.reserve(64);
+    std::uint64_t instrs = 0;
+    for (auto _ : state) {
+        emits.clear();
+        auto res = epf::Interpreter::run(k, in.ctx, &emits);
+        instrs += res.cycles;
+        benchmark::DoNotOptimize(res.cycles);
+        benchmark::DoNotOptimize(emits.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(instrs));
+}
+
+void
+runInterpDecoded(benchmark::State &state, const epf::Kernel &k)
+{
+    const epf::bench::BenchInput in;
+    const epf::DecodedKernel dk(k); // decoded once, as in the PPF cache
+    std::vector<epf::PrefetchEmit> emits;
+    emits.reserve(64);
+    std::uint64_t instrs = 0;
+    for (auto _ : state) {
+        emits.clear();
+        auto res = epf::DecodedKernel::run(dk, in.ctx, &emits);
+        instrs += res.cycles;
+        benchmark::DoNotOptimize(res.cycles);
+        benchmark::DoNotOptimize(emits.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(instrs));
+}
+
+void
+BM_InterpreterPointerChaseRef(benchmark::State &state)
+{
+    runInterpRef(state, epf::bench::pointerChaseKernel());
+}
+BENCHMARK(BM_InterpreterPointerChaseRef);
+
+void
+BM_InterpreterPointerChaseDecoded(benchmark::State &state)
+{
+    runInterpDecoded(state, epf::bench::pointerChaseKernel());
+}
+BENCHMARK(BM_InterpreterPointerChaseDecoded);
+
+void
+BM_InterpreterHashProbeRef(benchmark::State &state)
+{
+    runInterpRef(state, epf::bench::hashProbeKernel());
+}
+BENCHMARK(BM_InterpreterHashProbeRef);
+
+void
+BM_InterpreterHashProbeDecoded(benchmark::State &state)
+{
+    runInterpDecoded(state, epf::bench::hashProbeKernel());
+}
+BENCHMARK(BM_InterpreterHashProbeDecoded);
+
+void
+BM_InterpreterCallbackChainRef(benchmark::State &state)
+{
+    runInterpRef(state, epf::bench::callbackChainKernel());
+}
+BENCHMARK(BM_InterpreterCallbackChainRef);
+
+void
+BM_InterpreterCallbackChainDecoded(benchmark::State &state)
+{
+    runInterpDecoded(state, epf::bench::callbackChainKernel());
+}
+BENCHMARK(BM_InterpreterCallbackChainDecoded);
 
 void
 BM_ConversionPass(benchmark::State &state)

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Interpreter performance trajectory tool.
+ *
+ * Times the BM_Interpreter* kernels (bench/interp_kernels.hpp) through
+ * both the reference switch interpreter and the pre-decoded
+ * direct-threaded one, runs a small fig9a-style end-to-end smoke
+ * (RandAcc baseline + Manual at 1 GHz), and writes a BENCH_interp.json
+ * summary — the first point of the repo's perf trajectory, regenerated
+ * by CI on every push.
+ *
+ *   ./build/bench_interp [out.json]     # default BENCH_interp.json
+ *   EPF_BENCH_QUICK=1 ./build/bench_interp   # CI smoke: fewer reps
+ *
+ * Schema (BENCH_interp/v1): per-benchmark ns/op for both interpreters
+ * plus their ratio, and end-to-end hostSeconds for the smoke cells.
+ */
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/interp_kernels.hpp"
+#include "isa/interpreter.hpp"
+#include "isa/predecode.hpp"
+#include "runner/experiment.hpp"
+#include "sim/rng.hpp"
+
+namespace
+{
+
+using namespace epf;
+
+double
+now()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+struct KernelResult
+{
+    std::string name;
+    double refNsPerOp = 0;
+    double decodedNsPerOp = 0;
+    double speedup = 0;
+};
+
+/** Time one kernel through both interpreters; ns per architectural op. */
+KernelResult
+timeKernel(const std::string &name, const Kernel &k, int reps)
+{
+    const bench::BenchInput in;
+    const EventContext &ctx = in.ctx;
+    const DecodedKernel dk(k);
+    const double arch =
+        static_cast<double>(Interpreter::run(k, ctx, nullptr).cycles);
+
+    std::vector<PrefetchEmit> emits;
+    emits.reserve(256);
+
+    auto timeOne = [&](auto runEvent) {
+        runEvent(); // warm
+        double best = 1e99;
+        for (int attempt = 0; attempt < 3; ++attempt) {
+            const double t0 = now();
+            for (int i = 0; i < reps; ++i)
+                runEvent();
+            const double per = (now() - t0) * 1e9 / reps;
+            if (per < best)
+                best = per;
+        }
+        return best;
+    };
+
+    KernelResult r;
+    r.name = name;
+    r.refNsPerOp = timeOne([&] {
+                       emits.clear();
+                       Interpreter::run(k, ctx, &emits);
+                   }) /
+                   arch;
+    r.decodedNsPerOp = timeOne([&] {
+                           emits.clear();
+                           DecodedKernel::run(dk, ctx, &emits);
+                       }) /
+                       arch;
+    r.speedup = r.refNsPerOp / r.decodedNsPerOp;
+    return r;
+}
+
+/** One fig9a-style cell; returns wall-clock seconds. */
+double
+runCell(const std::string &workload, Technique t, Tick ppu_period)
+{
+    RunConfig cfg;
+    cfg.technique = t;
+    cfg.scale.factor = 0.02;
+    cfg.ppf.ppuPeriod = ppu_period;
+    const double t0 = now();
+    runExperiment(workload, cfg);
+    return now() - t0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string out = argc > 1 ? argv[1] : "BENCH_interp.json";
+    const bool quick = std::getenv("EPF_BENCH_QUICK") != nullptr;
+    const int reps = quick ? 20'000 : 2'000'000;
+
+    std::vector<KernelResult> results;
+    results.push_back(
+        timeKernel("BM_InterpreterPointerChase",
+                   epf::bench::pointerChaseKernel(), reps));
+    results.push_back(timeKernel("BM_InterpreterHashProbe",
+                                 epf::bench::hashProbeKernel(), reps));
+    results.push_back(
+        timeKernel("BM_InterpreterCallbackChain",
+                   epf::bench::callbackChainKernel(), reps));
+
+    // fig9a smoke: one workload, the baseline column and the Manual
+    // 1 GHz column, end-to-end through the full machine model.
+    const double base_s =
+        runCell("RandAcc", epf::Technique::kNone, 16);
+    const double manual_s =
+        runCell("RandAcc", epf::Technique::kManual, 16);
+
+    std::ofstream os(out, std::ios::trunc);
+    os << "{\n  \"schema\": \"BENCH_interp/v1\",\n";
+    os << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
+    os << "  \"benchmarks\": {\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto &r = results[i];
+        os << "    \"" << r.name << "\": { \"refNsPerOp\": "
+           << r.refNsPerOp << ", \"decodedNsPerOp\": " << r.decodedNsPerOp
+           << ", \"speedup\": " << r.speedup << " }"
+           << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    os << "  },\n";
+    os << "  \"fig9a_smoke\": {\n"
+       << "    \"workload\": \"RandAcc\", \"scale\": 0.02,\n"
+       << "    \"hostSeconds\": { \"baseline\": " << base_s
+       << ", \"Manual_1GHz\": " << manual_s << " }\n  }\n}\n";
+    os.close();
+
+    for (const auto &r : results)
+        std::cout << r.name << ": ref " << r.refNsPerOp << " ns/op, decoded "
+                  << r.decodedNsPerOp << " ns/op, speedup " << r.speedup
+                  << "x\n";
+    std::cout << "fig9a smoke (RandAcc @0.02): baseline " << base_s
+              << "s, Manual@1GHz " << manual_s << "s\n"
+              << "wrote " << out << "\n";
+    return 0;
+}
