@@ -6,6 +6,7 @@
 #include <set>
 
 #include "compiler/codegen.hpp"
+#include "compiler/verify.hpp"
 #include "isa/builder.hpp"
 
 namespace epf
@@ -13,6 +14,28 @@ namespace epf
 
 namespace
 {
+
+/**
+ * Post-codegen gate: statically verify the lowered program.  Generated
+ * code must always be clean — an error here is a codegen bug, and the
+ * pass reports failure rather than handing over a program that traps.
+ * Warnings surface as remarks; a clean program adds nothing (the
+ * experiment goldens pin the remark list).
+ */
+void
+verifyLowered(PassResult &res, std::vector<std::string> &remarks)
+{
+    const ProgramVerification pv = verifyProgram(res.program);
+    if (pv.hasErrors()) {
+        res.ok = false;
+        res.failureReason = "generated program failed verification:\n" +
+                            pv.format(res.program);
+        return;
+    }
+    if (pv.diagCount() != 0)
+        remarks.push_back("verifier: " + std::to_string(pv.diagCount()) +
+                          " warning(s):\n" + pv.format(res.program));
+}
 
 /** What a backwards scan of one address expression found. */
 struct ScanInfo
@@ -453,6 +476,8 @@ convertSoftwarePrefetches(const LoopIR &ir)
         " software prefetch(es) and their address generation from the "
         "main loop (dead-code elimination)");
     res.ok = !res.program.kernels.empty();
+    if (res.ok)
+        verifyLowered(res, res.program.remarks);
     return res;
 }
 
@@ -556,6 +581,8 @@ generateFromPragma(const LoopIR &ir)
     res.program = lowerDraft(ir, draft, remarks);
     res.program.remarks = std::move(remarks);
     res.ok = !res.program.kernels.empty();
+    if (res.ok)
+        verifyLowered(res, res.program.remarks);
     return res;
 }
 

@@ -1,0 +1,93 @@
+#include "compiler/verify.hpp"
+
+namespace epf
+{
+
+bool
+ProgramVerification::hasErrors() const
+{
+    if (analysis::hasErrors(programDiags))
+        return true;
+    for (const analysis::KernelAnalysis &k : kernels)
+        if (k.hasErrors())
+            return true;
+    return false;
+}
+
+std::size_t
+ProgramVerification::diagCount() const
+{
+    std::size_t n = programDiags.size();
+    for (const analysis::KernelAnalysis &k : kernels)
+        n += k.diags.size();
+    return n;
+}
+
+std::string
+ProgramVerification::format(const EventProgram &prog) const
+{
+    std::string out;
+    for (std::size_t i = 0; i < kernels.size(); ++i) {
+        const std::string &name = i < prog.kernels.size()
+                                      ? prog.kernels[i].name
+                                      : std::string();
+        for (const analysis::Diag &d : kernels[i].diags) {
+            out += name.empty() ? "#" + std::to_string(i) : name;
+            out += ": ";
+            out += analysis::formatDiag(d);
+            out += '\n';
+        }
+    }
+    for (const analysis::Diag &d : programDiags) {
+        out += "program: ";
+        out += analysis::formatDiag(d);
+        out += '\n';
+    }
+    return out;
+}
+
+ProgramVerification
+verifyProgram(const EventProgram &prog)
+{
+    // The analysis runs in the program's local id space: a scratch
+    // table mirrors the kernels (strict off — verification is exactly
+    // what we are doing here) so the table-wide passes see local
+    // callback edges before installInto() relocates them.
+    KernelTable scratch;
+    scratch.setStrict(false);
+    for (const Kernel &k : prog.kernels)
+        scratch.add(k);
+
+    // Trigger kinds: filters type their onLoad kernels as demand
+    // events (no line data); every callback target runs on a fill.
+    std::vector<std::uint8_t> demand(prog.kernels.size(), 0);
+    std::vector<std::uint8_t> fill(prog.kernels.size(), 0);
+    for (const EventProgram::FilterInit &f : prog.filters)
+        if (f.onLoadLocal >= 0 &&
+            static_cast<std::size_t>(f.onLoadLocal) < demand.size())
+            demand[static_cast<std::size_t>(f.onLoadLocal)] = 1;
+    for (const Kernel &k : prog.kernels)
+        for (const Instr &in : k.code)
+            if (in.op == Opcode::kPrefetchCb && in.imm >= 0 &&
+                static_cast<std::size_t>(in.imm) < fill.size())
+                fill[static_cast<std::size_t>(in.imm)] = 1;
+
+    const analysis::TableAnalysis ta = analysis::analyzeTable(
+        scratch, [&prog, &demand, &fill](KernelId id) {
+            analysis::KernelContext ctx;
+            const auto i = static_cast<std::size_t>(id);
+            if (demand[i] && !fill[i])
+                ctx.line = analysis::KernelContext::Line::kNever;
+            else if (fill[i] && !demand[i])
+                ctx.line = analysis::KernelContext::Line::kAlways;
+            ctx.lookaheadEntries = static_cast<int>(prog.filters.size());
+            return ctx;
+        });
+
+    ProgramVerification pv;
+    pv.kernels = ta.kernels;
+    pv.programDiags = ta.tableDiags;
+    return pv;
+}
+
+} // namespace epf

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Post-codegen verification of compiled event programs.
+ *
+ * The compiler's output is a relocatable EventProgram: callback and
+ * lookahead operands are *local* indices, and each kernel's trigger
+ * kind is explicit in the filter configuration.  That is everything the
+ * static analyzer needs, so generated code can be verified before it is
+ * ever installed — the compiler refuses to hand over a program whose
+ * kernels could trap or loop, instead of letting the prefetcher
+ * discover it mid-experiment.
+ */
+
+#ifndef EPF_COMPILER_VERIFY_HPP
+#define EPF_COMPILER_VERIFY_HPP
+
+#include <string>
+#include <vector>
+
+#include "compiler/event_program.hpp"
+#include "isa/analysis/verifier.hpp"
+
+namespace epf
+{
+
+/** Analysis of one compiled program (local-id space). */
+struct ProgramVerification
+{
+    /** Per-kernel results, in program order. */
+    std::vector<analysis::KernelAnalysis> kernels;
+    /** Program-wide findings (callback cycles, code budget). */
+    std::vector<analysis::Diag> programDiags;
+
+    bool hasErrors() const;
+    std::size_t diagCount() const;
+
+    /** "kernel:pc: severity: [code] message" lines; empty when clean. */
+    std::string format(const EventProgram &prog) const;
+};
+
+/**
+ * Verify @p prog: every kernel under its filter-derived context
+ * (onLoad triggers carry no line data, chained kernels always do,
+ * lookahead reads checked against the program's own filter count), plus
+ * local callback resolution, callback-cycle and code-budget checks.
+ */
+ProgramVerification verifyProgram(const EventProgram &prog);
+
+} // namespace epf
+
+#endif // EPF_COMPILER_VERIFY_HPP

@@ -10,8 +10,8 @@
 #ifndef EPF_ISA_BUILDER_HPP
 #define EPF_ISA_BUILDER_HPP
 
-#include <cassert>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -39,11 +39,23 @@ class KernelBuilder
         return Label{static_cast<int>(labels_.size() - 1)};
     }
 
-    /** Place @p l at the next emitted instruction. */
+    /**
+     * Place @p l at the next emitted instruction.  Throws
+     * std::invalid_argument on a label this builder didn't create or
+     * one already bound — a double bind would silently retarget every
+     * branch through the label.
+     */
     KernelBuilder &
     bind(Label l)
     {
-        assert(l.id >= 0 && labels_[static_cast<unsigned>(l.id)] == kUnbound);
+        if (l.id < 0 || static_cast<std::size_t>(l.id) >= labels_.size())
+            throw std::invalid_argument(name_ +
+                                        ": bind() of a foreign label");
+        if (labels_[static_cast<unsigned>(l.id)] != kUnbound)
+            throw std::invalid_argument(
+                name_ + ": label " + std::to_string(l.id) +
+                " bound twice (second bind at instruction " +
+                std::to_string(code_.size()) + ")");
         labels_[static_cast<unsigned>(l.id)] = static_cast<int>(code_.size());
         return *this;
     }
@@ -93,13 +105,22 @@ class KernelBuilder
     KernelBuilder &nop() { return emit({Opcode::kNop, 0, 0, 0, 0}); }
     KernelBuilder &halt() { return emit({Opcode::kHalt, 0, 0, 0, 0}); }
 
-    /** Resolve labels and produce the kernel. */
+    /**
+     * Resolve labels and produce the kernel.  Throws
+     * std::invalid_argument if any branched-to label was never bound
+     * (the branch would otherwise keep a zero offset and silently fall
+     * through).
+     */
     Kernel
     build()
     {
         for (auto &fix : fixups_) {
             int target = labels_[static_cast<unsigned>(fix.label)];
-            assert(target != kUnbound && "unbound label");
+            if (target == kUnbound)
+                throw std::invalid_argument(
+                    name_ + ": branch at instruction " +
+                    std::to_string(fix.at) + " targets unbound label " +
+                    std::to_string(fix.label));
             // Offset relative to the instruction after the branch.
             code_[fix.at].imm = target - static_cast<int>(fix.at) - 1;
         }
@@ -118,10 +139,14 @@ class KernelBuilder
         int label;
     };
 
-    static std::uint8_t
-    r(unsigned reg)
+    std::uint8_t
+    r(unsigned reg) const
     {
-        assert(reg < kPpuRegs);
+        if (reg >= kPpuRegs)
+            throw std::invalid_argument(
+                name_ + ": register r" + std::to_string(reg) +
+                " out of range (the PPU has " + std::to_string(kPpuRegs) +
+                " registers)");
         return static_cast<std::uint8_t>(reg);
     }
 
@@ -135,7 +160,9 @@ class KernelBuilder
     KernelBuilder &
     branch(Opcode op, unsigned rs, unsigned rt, Label l)
     {
-        assert(l.id >= 0);
+        if (l.id < 0 || static_cast<std::size_t>(l.id) >= labels_.size())
+            throw std::invalid_argument(name_ +
+                                        ": branch to a foreign label");
         fixups_.push_back({code_.size(), l.id});
         return emit({op, 0, r(rs), r(rt), 0});
     }

@@ -115,14 +115,24 @@ constexpr KernelId kNoKernel = -1;
 class KernelTable
 {
   public:
-    /** Register a kernel; returns its id. */
-    KernelId
-    add(Kernel k)
-    {
-        ++version_;
-        kernels_.push_back(std::move(k));
-        return static_cast<KernelId>(kernels_.size() - 1);
-    }
+    /**
+     * Register a kernel; returns its id.  In strict mode (the default)
+     * the kernel is verified first — see src/isa/analysis — and a
+     * std::invalid_argument carrying the formatted diagnostics is
+     * thrown on any error (wild branch target, fall-off-the-end,
+     * guaranteed trap, empty kernel).  Callback ids are NOT checked
+     * here: the compiler registers kernels with local ids and patches
+     * them afterwards; analysis::analyzeTable() covers resolution.
+     */
+    KernelId add(Kernel k);
+
+    /**
+     * Strict verification on add().  Workloads and the compiler keep
+     * it on; the ISA fuzzer turns it off for its intentionally-
+     * trapping corpus.
+     */
+    void setStrict(bool strict) { strict_ = strict; }
+    bool strict() const { return strict_; }
 
     const Kernel &operator[](KernelId id) const { return kernels_.at(static_cast<std::size_t>(id)); }
 
@@ -174,6 +184,7 @@ class KernelTable
   private:
     std::vector<Kernel> kernels_;
     std::uint64_t version_ = 0;
+    bool strict_ = true;
 };
 
 } // namespace epf

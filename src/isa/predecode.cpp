@@ -1,5 +1,7 @@
 #include "isa/predecode.hpp"
 
+#include "isa/analysis/verifier.hpp"
+
 #include <cstring>
 #include <limits>
 #include <mutex>
@@ -657,8 +659,10 @@ decodeSingle(const Instr &in)
       case Opcode::kAddi: d.op = DecodedOp::kAddi; break;
       case Opcode::kMuli: d.op = DecodedOp::kMuli; break;
       case Opcode::kDivi:
-        // A zero immediate divisor always traps: prove it at decode.
-        d.op = in.imm == 0 ? DecodedOp::kTrap : DecodedOp::kDivi;
+        // A zero immediate divisor always traps; the verifier owns the
+        // proof (analysis::alwaysTraps), the decoder just consumes it.
+        d.op = analysis::alwaysTraps(in) ? DecodedOp::kTrap
+                                         : DecodedOp::kDivi;
         break;
       case Opcode::kAndi: d.op = DecodedOp::kAndi; break;
       case Opcode::kShli:
@@ -674,14 +678,17 @@ decodeSingle(const Instr &in)
       case Opcode::kLdLine: d.op = DecodedOp::kLdLine; break;
       case Opcode::kLdLine32: d.op = DecodedOp::kLdLine32; break;
       case Opcode::kGread:
-        // An out-of-range global index always traps: hoist the check.
-        d.op = (in.imm < 0 ||
-                in.imm >= static_cast<std::int64_t>(kGlobalRegs))
-                   ? DecodedOp::kTrap
-                   : DecodedOp::kGread;
+        // An out-of-range global index always traps: hoist the
+        // verifier's fact.
+        d.op = analysis::alwaysTraps(in) ? DecodedOp::kTrap
+                                         : DecodedOp::kGread;
         break;
       case Opcode::kLookahead:
-        d.op = in.imm < 0 ? DecodedOp::kTrap : DecodedOp::kLookahead;
+        // Only the negative-index trap is context-free (the installed
+        // filter count is a run-time property), so this hoists exactly
+        // what the verifier proves without a KernelContext.
+        d.op = analysis::alwaysTraps(in) ? DecodedOp::kTrap
+                                         : DecodedOp::kLookahead;
         break;
       case Opcode::kPrefetch: d.op = DecodedOp::kPrefetch; break;
       case Opcode::kPrefetchTag: d.op = DecodedOp::kPrefetchTag; break;

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Lint a configured prefetcher's kernel store.
+ *
+ * The verifier (src/isa/analysis) proves more with a KernelContext than
+ * without one, and a fully-configured ProgrammablePrefetcher knows the
+ * context exactly: which kernels trigger on demand loads (no line data
+ * — ldline always traps), which run on fills and callbacks (line always
+ * present), and how many lookahead filter entries exist.  This module
+ * derives that context from the filter table, the tag bindings and the
+ * callback graph, then runs the table-wide analysis.
+ */
+
+#ifndef EPF_PPF_LINT_HPP
+#define EPF_PPF_LINT_HPP
+
+#include "isa/analysis/verifier.hpp"
+#include "ppf/ppf.hpp"
+
+namespace epf
+{
+
+/**
+ * The event context kernel @p id runs under, derived from @p ppf's
+ * configuration: onLoad triggers see no line data, fill/callback/tag
+ * triggers always do, and a kernel reachable through both kinds gets
+ * Line::kUnknown.  lookaheadEntries is the installed filter count.
+ */
+analysis::KernelContext contextFor(const ProgrammablePrefetcher &ppf,
+                                   KernelId id);
+
+/** Analyze every registered kernel under its derived context. */
+analysis::TableAnalysis lintPrefetcher(const ProgrammablePrefetcher &ppf);
+
+/**
+ * Render @p ta as "kernel:pc: severity: [code] message" lines, one per
+ * diagnostic (kernel names from @p table).  Empty when clean.
+ */
+std::string formatTableDiags(const KernelTable &table,
+                             const analysis::TableAnalysis &ta);
+
+} // namespace epf
+
+#endif // EPF_PPF_LINT_HPP

@@ -107,6 +107,7 @@ class ProgrammablePrefetcher : public MemoryListener, public PrefetchSource
 
     /** The kernel store for this application. */
     KernelTable &kernels() { return kernels_; }
+    const KernelTable &kernels() const { return kernels_; }
 
     /** Configure an address range; returns the filter index. */
     int addFilter(const FilterEntry &e);
@@ -152,6 +153,10 @@ class ProgrammablePrefetcher : public MemoryListener, public PrefetchSource
     const std::vector<PpuStats> &ppuStats() const { return ppuStats_; }
     const FilterTable &filters() const { return filters_; }
     const PpfConfig &config() const { return cfg_; }
+
+    /** Registered memory-request tags, tag index -> fill kernel.  The
+     *  lint layer uses this to type each kernel's trigger events. */
+    const std::vector<KernelId> &tagKernels() const { return tagKernels_; }
 
     /** Current lookahead (elements) for filter entry @p idx. */
     std::uint64_t lookaheadOf(int idx) const;

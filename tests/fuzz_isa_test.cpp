@@ -28,6 +28,7 @@
 #include <sstream>
 #include <vector>
 
+#include "isa/analysis/verifier.hpp"
 #include "isa/builder.hpp"
 #include "isa/disasm.hpp"
 #include "isa/interpreter.hpp"
@@ -374,6 +375,42 @@ fuzzContext(Rng &rng, const std::vector<std::uint64_t> &globals,
     return ctx;
 }
 
+/**
+ * Static-analyzer cross-validation: the verifier's claims must never
+ * contradict what actually happens when the program runs.  The analysis
+ * context mirrors what is knowable about @p ctx — the event's line kind
+ * and the lookahead entry count — so trap-free proofs are as strong as
+ * the analyzer can make them.
+ */
+void
+checkAnalyzerAgrees(const Kernel &k, const EventContext &ctx,
+                    const Effects &fx, const std::string &what)
+{
+    analysis::KernelContext actx;
+    actx.line = ctx.hasLine ? analysis::KernelContext::Line::kAlways
+                            : analysis::KernelContext::Line::kNever;
+    actx.lookaheadEntries = static_cast<int>(ctx.lookaheadEntries);
+    const analysis::KernelAnalysis ka = analysis::analyzeKernel(k, actx);
+
+    ASSERT_LE(fx.cycles, ka.maxCycles)
+        << what << ": observed cycles exceed the static bound\n"
+        << disassemble(k);
+    ASSERT_LE(fx.emitted, ka.maxEmits)
+        << what << ": observed emits exceed the static bound\n"
+        << disassemble(k);
+    if (ka.provenTrapFree)
+        ASSERT_NE(fx.exit, ExitReason::kTrapped)
+            << what << ": kernel proven trap-free trapped\n"
+            << disassemble(k);
+    // An acyclic kernel can execute at most code.size() < kFuzzSteps
+    // instructions, so only a kernel with a CFG cycle can hit the
+    // step limit.
+    if (ka.acyclic)
+        ASSERT_NE(fx.exit, ExitReason::kStepLimit)
+            << what << ": acyclic kernel hit the watchdog\n"
+            << disassemble(k);
+}
+
 void
 checkProgram(const std::vector<Instr> &code, const EventContext &ctx,
              const std::string &what)
@@ -396,6 +433,7 @@ checkProgram(const std::vector<Instr> &code, const EventContext &ctx,
         << what << ": parsed effects differ\n"
         << disassemble(raw);
 
+    checkAnalyzerAgrees(raw, ctx, fx_raw, what);
     checkDecodedMatchesReference(code, ctx, what);
 }
 

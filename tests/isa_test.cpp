@@ -8,6 +8,7 @@
 
 #include <cstring>
 #include <limits>
+#include <stdexcept>
 #include <vector>
 
 #include "isa/builder.hpp"
@@ -379,6 +380,56 @@ TEST(InterpreterTest, RandomLinearProgramsTerminate)
         EXPECT_EQ(r.exit, ExitReason::kHalted);
         EXPECT_LE(r.cycles, len + 1);
     }
+}
+
+// ---------------------------------------------------------------------
+// Builder hardening: malformed programs throw instead of silently
+// producing a broken kernel in release builds.
+// ---------------------------------------------------------------------
+
+TEST(BuilderTest, ThrowsOnOutOfRangeRegister)
+{
+    KernelBuilder b("regs");
+    EXPECT_THROW(b.li(kPpuRegs, 1), std::invalid_argument);
+    EXPECT_THROW(b.add(1, 2, 200), std::invalid_argument);
+    EXPECT_THROW(b.prefetch(16), std::invalid_argument);
+    EXPECT_NO_THROW(b.li(kPpuRegs - 1, 1));
+}
+
+TEST(BuilderTest, ThrowsOnUnboundLabelAtBuild)
+{
+    KernelBuilder b("unbound");
+    auto l = b.newLabel();
+    b.li(1, 1).beq(1, 1, l).halt();
+    EXPECT_THROW(b.build(), std::invalid_argument);
+    // Binding it repairs the kernel.
+    b.bind(l).halt();
+    EXPECT_NO_THROW(b.build());
+}
+
+TEST(BuilderTest, ThrowsOnDoubleBind)
+{
+    KernelBuilder b("double");
+    auto l = b.newLabel();
+    b.bind(l).li(1, 1);
+    EXPECT_THROW(b.bind(l), std::invalid_argument);
+}
+
+TEST(BuilderTest, ThrowsOnForeignLabel)
+{
+    KernelBuilder a("a");
+    KernelBuilder b("b");
+    auto la = a.newLabel();
+    (void)la;
+    KernelBuilder::Label never; // id -1: not from any builder
+    EXPECT_THROW(b.bind(never), std::invalid_argument);
+    EXPECT_THROW(b.jmp(never), std::invalid_argument);
+    // A label from another builder with an id this builder never
+    // allocated is also foreign.
+    auto la2 = a.newLabel();
+    (void)la2;
+    auto foreign = KernelBuilder::Label{1};
+    EXPECT_THROW(b.bind(foreign), std::invalid_argument);
 }
 
 } // namespace

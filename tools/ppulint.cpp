@@ -1,0 +1,226 @@
+/**
+ * @file
+ * ppulint — static analysis front end for PPU kernels.
+ *
+ *   ./build/ppulint --workloads          lint every registered
+ *                                        workload's manual kernels and
+ *                                        each workload's compiled
+ *                                        programs, under the exact
+ *                                        event contexts the prefetcher
+ *                                        configuration implies
+ *   ./build/ppulint file.s [file2.s...]  lint disassembly listings
+ *                                        (the disassemble(Kernel)
+ *                                        format: "name:" then one
+ *                                        "  N: instr" line per
+ *                                        instruction; '#' comments and
+ *                                        blank lines ignored)
+ *
+ * Every diagnostic prints as file:kernel:pc: severity: [code] message.
+ * Exit status: 2 on usage/parse problems, 1 if any kernel has errors
+ * (or, with --werror, any diagnostic at all), 0 when clean.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "compiler/passes.hpp"
+#include "compiler/verify.hpp"
+#include "isa/analysis/verifier.hpp"
+#include "isa/disasm.hpp"
+#include "ppf/lint.hpp"
+#include "sim/event_queue.hpp"
+#include "workloads/workload.hpp"
+
+namespace
+{
+
+using namespace epf;
+
+struct Counts
+{
+    unsigned errors = 0;
+    unsigned warnings = 0;
+    unsigned kernels = 0;
+
+    void
+    tally(const std::vector<analysis::Diag> &diags)
+    {
+        for (const analysis::Diag &d : diags)
+            (d.severity == analysis::Severity::kError ? errors
+                                                      : warnings)++;
+    }
+};
+
+void
+printDiags(const std::string &where, const std::string &kernel,
+           const std::vector<analysis::Diag> &diags)
+{
+    for (const analysis::Diag &d : diags) {
+        std::cout << where << ":" << kernel;
+        if (d.pc != analysis::kNoPc)
+            std::cout << ":" << d.pc;
+        std::cout << ": " << analysis::severityName(d.severity) << ": ["
+                  << analysis::diagCodeName(d.code) << "] " << d.message
+                  << "\n";
+    }
+}
+
+/** Parse a disassembly listing into kernels. */
+bool
+parseListing(const std::string &path, std::vector<Kernel> &out)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::cerr << "ppulint: cannot open " << path << "\n";
+        return false;
+    }
+    std::string line;
+    unsigned lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        std::size_t b = line.find_first_not_of(" \t\r");
+        if (b == std::string::npos)
+            continue;
+        std::size_t e = line.find_last_not_of(" \t\r");
+        std::string t = line.substr(b, e - b + 1);
+        if (t.back() == ':' && t.find(' ') == std::string::npos) {
+            out.push_back({t.substr(0, t.size() - 1), {}});
+            continue;
+        }
+        // "N: instr" — the index prefix is optional.
+        const std::size_t colon = t.find(':');
+        if (colon != std::string::npos &&
+            t.find_first_not_of("0123456789", 0) == colon)
+            t = t.substr(colon + 1);
+        if (out.empty())
+            out.push_back({path, {}}); // headerless listing: one kernel
+        try {
+            out.back().code.push_back(parseInstr(t));
+        } catch (const std::invalid_argument &ex) {
+            std::cerr << path << ":" << lineno << ": parse error: "
+                      << ex.what() << "\n";
+            return false;
+        }
+    }
+    return true;
+}
+
+int
+lintFiles(const std::vector<std::string> &paths, bool werror)
+{
+    Counts c;
+    for (const std::string &path : paths) {
+        std::vector<Kernel> kernels;
+        if (!parseListing(path, kernels))
+            return 2;
+        // A listing is a standalone kernel set: analyze it as its own
+        // table so prefetch.cb references between listed kernels (by
+        // position) resolve, without any event-context assumptions.
+        KernelTable table;
+        table.setStrict(false);
+        for (Kernel &k : kernels)
+            table.add(std::move(k));
+        const analysis::TableAnalysis ta = analysis::analyzeTable(table);
+        for (std::size_t i = 0; i < ta.kernels.size(); ++i) {
+            printDiags(path, table[static_cast<KernelId>(i)].name,
+                       ta.kernels[i].diags);
+            c.tally(ta.kernels[i].diags);
+            ++c.kernels;
+        }
+        printDiags(path, "<table>", ta.tableDiags);
+        c.tally(ta.tableDiags);
+    }
+    std::cout << c.kernels << " kernel(s): " << c.errors << " error(s), "
+              << c.warnings << " warning(s)\n";
+    return c.errors != 0 || (werror && c.warnings != 0) ? 1 : 0;
+}
+
+int
+lintWorkloads(bool werror)
+{
+    Counts c;
+    for (const std::string &name : workloadNames()) {
+        WorkloadScale sc;
+        sc.factor = 0.02; // kernels don't depend on the data scale
+        auto wl = makeWorkload(name, sc);
+        GuestMemory gm;
+        wl->setup(gm, 42);
+
+        EventQueue eq;
+        PpfConfig cfg;
+        ProgrammablePrefetcher ppf(eq, gm, cfg);
+        wl->programManual(ppf);
+
+        const analysis::TableAnalysis ta = lintPrefetcher(ppf);
+        for (std::size_t i = 0; i < ta.kernels.size(); ++i) {
+            printDiags(name, ppf.kernels()[static_cast<KernelId>(i)].name,
+                       ta.kernels[i].diags);
+            c.tally(ta.kernels[i].diags);
+            ++c.kernels;
+        }
+        printDiags(name, "<table>", ta.tableDiags);
+        c.tally(ta.tableDiags);
+
+        // The compiler paths: verify whatever the passes produce from
+        // this workload's IR.
+        for (const auto &ir : wl->buildIR()) {
+            for (const PassResult &res :
+                 {convertSoftwarePrefetches(*ir), generateFromPragma(*ir)}) {
+                if (!res.ok)
+                    continue;
+                const ProgramVerification pv = verifyProgram(res.program);
+                for (std::size_t i = 0; i < pv.kernels.size(); ++i) {
+                    printDiags(name, res.program.kernels[i].name,
+                               pv.kernels[i].diags);
+                    c.tally(pv.kernels[i].diags);
+                    ++c.kernels;
+                }
+                printDiags(name, "<program>", pv.programDiags);
+                c.tally(pv.programDiags);
+            }
+        }
+    }
+    std::cout << c.kernels << " kernel(s): " << c.errors << " error(s), "
+              << c.warnings << " warning(s)\n";
+    return c.errors != 0 || (werror && c.warnings != 0) ? 1 : 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool werror = false;
+    bool workloads = false;
+    std::vector<std::string> paths;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--werror")
+            werror = true;
+        else if (arg == "--workloads")
+            workloads = true;
+        else if (arg == "--help" || arg == "-h") {
+            std::cout << "usage: ppulint [--werror] --workloads | "
+                         "file.s [file2.s...]\n";
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "ppulint: unknown option " << arg << "\n";
+            return 2;
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (workloads && paths.empty())
+        return lintWorkloads(werror);
+    if (!workloads && !paths.empty())
+        return lintFiles(paths, werror);
+    std::cerr << "usage: ppulint [--werror] --workloads | file.s...\n";
+    return 2;
+}
