@@ -1,0 +1,1001 @@
+#include "isa/analysis/dataflow.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+
+#include "isa/analysis/verifier.hpp"
+#include "sim/types.hpp"
+
+namespace epf::analysis
+{
+namespace
+{
+
+using I128 = __int128;
+
+constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+
+/**
+ * Widening thresholds, ascending.  The interesting loop bounds in real
+ * kernels are line- and step-sized (kLineBytes = 64, kMaxKernelSteps =
+ * 4096); jumping a moving bound to the next threshold instead of
+ * straight to the i64 extreme keeps the subsequent +imm transfer from
+ * overflowing to top, which is what lets the narrowing sweeps recover
+ * exact loop bounds afterwards.
+ */
+constexpr std::int64_t kThresholds[] = {
+    kMin,           -(1ll << 32), -4096, -64, 0, 64,
+    4096,           (1ll << 32),  kMax,
+};
+
+constexpr unsigned kWidenDelay = 2;
+
+unsigned
+regIdx(std::uint8_t r)
+{
+    return r % kPpuRegs;
+}
+
+// ---- interval arithmetic -----------------------------------------------
+// All PPU arithmetic wraps mod 2^64; whenever a bound leaves the i64
+// range the wrapped value set is no longer an interval, so the sound
+// hull is top.  The known-bits domain does not suffer this (wrapping is
+// exact bit-wise), and normalize() recovers interval facts from it.
+
+Interval
+hull(Interval a, Interval b)
+{
+    if (a.isEmpty())
+        return b;
+    if (b.isEmpty())
+        return a;
+    return {std::min(a.lo, b.lo), std::max(a.hi, b.hi)};
+}
+
+Interval
+meet(Interval a, Interval b)
+{
+    return {std::max(a.lo, b.lo), std::min(a.hi, b.hi)};
+}
+
+Interval
+fromI128(I128 lo, I128 hi)
+{
+    if (lo < kMin || hi > kMax)
+        return Interval::top();
+    return {static_cast<std::int64_t>(lo), static_cast<std::int64_t>(hi)};
+}
+
+Interval
+addIv(Interval a, Interval b)
+{
+    return fromI128(static_cast<I128>(a.lo) + b.lo,
+                    static_cast<I128>(a.hi) + b.hi);
+}
+
+Interval
+subIv(Interval a, Interval b)
+{
+    return fromI128(static_cast<I128>(a.lo) - b.hi,
+                    static_cast<I128>(a.hi) - b.lo);
+}
+
+Interval
+mulIv(Interval a, Interval b)
+{
+    // The real product over a box attains its extremes at corners; if
+    // every corner is representable no wrap occurs and the hull is
+    // exact.
+    const I128 c[4] = {static_cast<I128>(a.lo) * b.lo,
+                       static_cast<I128>(a.lo) * b.hi,
+                       static_cast<I128>(a.hi) * b.lo,
+                       static_cast<I128>(a.hi) * b.hi};
+    I128 lo = c[0], hi = c[0];
+    for (I128 v : c) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    return fromI128(lo, hi);
+}
+
+/**
+ * Quotient range on the non-trapping path: divisor 0 and the
+ * INT64_MIN / -1 pair are excluded from the box.  n/d is monotone in
+ * each variable over a same-sign divisor range, so extremes sit at
+ * corners; the one excluded corner is replaced by its two neighbours.
+ */
+Interval
+divIv(Interval n, Interval d)
+{
+    Interval out = Interval::empty();
+    auto acc = [&out](std::int64_t nn, std::int64_t dd) {
+        if (dd == 0 || (nn == kMin && dd == -1))
+            return;
+        const std::int64_t q = nn / dd;
+        out = hull(out, Interval::constant(q));
+    };
+    auto corners = [&](std::int64_t dl, std::int64_t dh) {
+        if (dl > dh)
+            return;
+        for (std::int64_t dd : {dl, dh})
+            for (std::int64_t nn : {n.lo, n.hi}) {
+                if (nn == kMin && dd == -1) {
+                    if (n.hi >= kMin + 1)
+                        acc(kMin + 1, -1);
+                    if (dl <= -2)
+                        acc(kMin, -2);
+                } else {
+                    acc(nn, dd);
+                }
+            }
+    };
+    corners(d.lo, std::min<std::int64_t>(d.hi, -1)); // negative divisors
+    corners(std::max<std::int64_t>(d.lo, 1), d.hi);  // positive divisors
+    if (out.isEmpty())
+        return Interval::top(); // divisor pinned to 0: caller traps first
+    return out;
+}
+
+/** x & ~(2^k - 1) is monotone in x (it is 2^k * floor(x / 2^k)). */
+std::int64_t
+alignDown(std::int64_t x, std::int64_t mask)
+{
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(x) &
+                                     ~static_cast<std::uint64_t>(mask));
+}
+
+// ---- known-bits arithmetic ---------------------------------------------
+
+KnownBits
+notKb(KnownBits a)
+{
+    return {a.mask, ~a.val & a.mask};
+}
+
+KnownBits
+andKb(KnownBits a, KnownBits b)
+{
+    const std::uint64_t zero = (a.mask & ~a.val) | (b.mask & ~b.val);
+    const std::uint64_t one = a.mask & a.val & b.mask & b.val;
+    return {zero | one, one};
+}
+
+KnownBits
+orKb(KnownBits a, KnownBits b)
+{
+    const std::uint64_t one = (a.mask & a.val) | (b.mask & b.val);
+    const std::uint64_t zero = (a.mask & ~a.val) & (b.mask & ~b.val);
+    return {zero | one, one};
+}
+
+KnownBits
+xorKb(KnownBits a, KnownBits b)
+{
+    const std::uint64_t both = a.mask & b.mask;
+    return {both, (a.val ^ b.val) & both};
+}
+
+/** Bit-serial ripple adder over tri-state bits (carry in {0, 1, ?}). */
+KnownBits
+addKb(KnownBits a, KnownBits b, int carry)
+{
+    KnownBits out;
+    int c = carry;
+    for (unsigned i = 0; i < 64; ++i) {
+        const int av =
+            (a.mask >> i & 1) != 0 ? static_cast<int>(a.val >> i & 1) : -1;
+        const int bv =
+            (b.mask >> i & 1) != 0 ? static_cast<int>(b.val >> i & 1) : -1;
+        if (av >= 0 && bv >= 0 && c >= 0) {
+            const int s = av + bv + c;
+            out.mask |= 1ull << i;
+            out.val |= static_cast<std::uint64_t>(s & 1) << i;
+            c = s >> 1;
+        } else {
+            const int ones = (av == 1) + (bv == 1) + (c == 1);
+            const int zeros = (av == 0) + (bv == 0) + (c == 0);
+            c = ones >= 2 ? 1 : (zeros >= 2 ? 0 : -1);
+        }
+    }
+    return out;
+}
+
+KnownBits
+subKb(KnownBits a, KnownBits b)
+{
+    return addKb(a, notKb(b), 1);
+}
+
+KnownBits
+shlKb(KnownBits a, unsigned s)
+{
+    if (s == 0)
+        return a;
+    const std::uint64_t lowZeros = (1ull << s) - 1;
+    return {(a.mask << s) | lowZeros, a.val << s};
+}
+
+KnownBits
+shrKb(KnownBits a, unsigned s)
+{
+    if (s == 0)
+        return a;
+    const std::uint64_t highZeros = ~(~0ull >> s);
+    return {(a.mask >> s) | highZeros, a.val >> s};
+}
+
+} // namespace
+
+unsigned
+KnownBits::trailingZeros() const
+{
+    // Bits proven zero are exactly where (val | ~mask) is 0, so the
+    // trailing-zero count of that word is the answer (64 for a proven
+    // all-zero value).
+    return static_cast<unsigned>(std::countr_zero(val | ~mask));
+}
+
+namespace
+{
+
+/** Signed bounds implied by the known bits (unknown bits free). */
+void
+kbBounds(KnownBits kb, std::int64_t &lo, std::int64_t &hi)
+{
+    const std::uint64_t unknown = ~kb.mask;
+    const std::uint64_t msb = 1ull << 63;
+    if ((kb.mask & msb) != 0) {
+        // Sign known: unsigned min/max order matches signed order.
+        lo = static_cast<std::int64_t>(kb.val);
+        hi = static_cast<std::int64_t>(kb.val | unknown);
+    } else {
+        lo = static_cast<std::int64_t>(kb.val | msb);
+        hi = static_cast<std::int64_t>(kb.val | (unknown & ~msb));
+    }
+}
+
+/**
+ * Mutual reduction of the two domains; returns false when they
+ * contradict (the program point is infeasible).
+ */
+bool
+normalize(AbsValue &v)
+{
+    // known-bits -> interval.
+    std::int64_t lo = 0, hi = 0;
+    kbBounds(v.kb, lo, hi);
+    v.iv.lo = std::max(v.iv.lo, lo);
+    v.iv.hi = std::min(v.iv.hi, hi);
+    if (v.iv.isEmpty())
+        return false;
+
+    // interval -> known-bits: when both bounds share the sign bit, the
+    // common leading bits of the two bounds hold for every value
+    // between them.
+    const auto ulo = static_cast<std::uint64_t>(v.iv.lo);
+    const auto uhi = static_cast<std::uint64_t>(v.iv.hi);
+    if ((v.iv.lo < 0) == (v.iv.hi < 0)) {
+        const std::uint64_t x = ulo ^ uhi;
+        const std::uint64_t common =
+            x == 0 ? ~0ull : ~(~0ull >> std::countl_zero(x));
+        if ((v.kb.mask & common & (v.kb.val ^ ulo)) != 0)
+            return false; // domains disagree on a known bit
+        v.kb.mask |= common;
+        v.kb.val |= ulo & common;
+        v.kb.val &= v.kb.mask;
+    }
+    if (v.iv.isConst() && !v.kb.admits(ulo))
+        return false;
+    return true;
+}
+
+AbsValue
+makeAbs(Interval iv, KnownBits kb, bool &ok)
+{
+    AbsValue v{iv, kb};
+    if (!normalize(v))
+        ok = false;
+    return v;
+}
+
+AbsValue
+joinAbs(const AbsValue &a, const AbsValue &b)
+{
+    AbsValue out;
+    out.iv = hull(a.iv, b.iv);
+    const std::uint64_t agree = a.kb.mask & b.kb.mask & ~(a.kb.val ^ b.kb.val);
+    out.kb = {agree, a.kb.val & agree};
+    normalize(out); // join of feasible states cannot contradict
+    return out;
+}
+
+RegState
+joinState(const RegState &a, const RegState &b)
+{
+    if (!a.feasible)
+        return b;
+    if (!b.feasible)
+        return a;
+    RegState out;
+    out.feasible = true;
+    for (unsigned r = 0; r < kPpuRegs; ++r)
+        out.reg[r] = joinAbs(a.reg[r], b.reg[r]);
+    return out;
+}
+
+std::int64_t
+widenLo(std::int64_t oldLo, std::int64_t newLo)
+{
+    if (newLo >= oldLo)
+        return newLo;
+    std::int64_t best = kMin;
+    for (std::int64_t t : kThresholds)
+        if (t <= newLo)
+            best = std::max(best, t);
+    return best;
+}
+
+std::int64_t
+widenHi(std::int64_t oldHi, std::int64_t newHi)
+{
+    if (newHi <= oldHi)
+        return newHi;
+    std::int64_t best = kMax;
+    for (std::int64_t t : kThresholds)
+        if (t >= newHi)
+            best = std::min(best, t);
+    return best;
+}
+
+RegState
+widenState(const RegState &prev, const RegState &next)
+{
+    if (!prev.feasible || !next.feasible)
+        return next;
+    RegState out = next;
+    for (unsigned r = 0; r < kPpuRegs; ++r) {
+        out.reg[r].iv.lo = widenLo(prev.reg[r].iv.lo, next.reg[r].iv.lo);
+        out.reg[r].iv.hi = widenHi(prev.reg[r].iv.hi, next.reg[r].iv.hi);
+        // Known bits form a finite descending chain under join; no
+        // widening needed, but keep the domains consistent.
+        normalize(out.reg[r]);
+    }
+    return out;
+}
+
+// ---- per-instruction transfer ------------------------------------------
+
+/** Shift amount if statically known: imm forms mask at decode, register
+ *  forms read only the low 6 bits of rt. */
+std::optional<unsigned>
+shiftAmount(const AbsValue &amt)
+{
+    if ((amt.kb.mask & 63ull) == 63ull)
+        return static_cast<unsigned>(amt.kb.val & 63ull);
+    return std::nullopt;
+}
+
+AbsValue
+shlAbs(const AbsValue &a, const AbsValue &amt)
+{
+    const auto s = shiftAmount(amt);
+    if (!s)
+        return AbsValue::top();
+    bool ok = true; // shifted known bits are exact, never contradictory
+    const I128 lo = static_cast<I128>(a.iv.lo) << *s;
+    const I128 hi = static_cast<I128>(a.iv.hi) << *s;
+    return makeAbs(fromI128(lo, hi), shlKb(a.kb, *s), ok);
+}
+
+AbsValue
+shrAbs(const AbsValue &a, const AbsValue &amt)
+{
+    const auto s = shiftAmount(amt);
+    bool ok = true;
+    if (!s) {
+        // Amount unknown: s = 0 keeps the value, s >= 1 lands in
+        // [0, kMax]; the hull below covers both.
+        if (a.iv.lo >= 0)
+            return makeAbs({0, a.iv.hi}, KnownBits::top(), ok);
+        return makeAbs({a.iv.lo, kMax}, KnownBits::top(), ok);
+    }
+    Interval iv;
+    if (*s == 0) {
+        iv = a.iv;
+    } else if (a.iv.lo >= 0) {
+        iv = {a.iv.lo >> *s, a.iv.hi >> *s};
+    } else if (a.iv.hi < 0) {
+        // All-negative range: unsigned order matches signed order.
+        iv = {static_cast<std::int64_t>(
+                  static_cast<std::uint64_t>(a.iv.lo) >> *s),
+              static_cast<std::int64_t>(
+                  static_cast<std::uint64_t>(a.iv.hi) >> *s)};
+    } else {
+        iv = {0, static_cast<std::int64_t>(~0ull >> *s)};
+    }
+    return makeAbs(iv, shrKb(a.kb, *s), ok);
+}
+
+/** Conservative hull for |, ^ of two non-negative ranges: the result
+ *  cannot exceed the all-ones mask covering both maxima. */
+Interval
+bitHullNonneg(Interval a, Interval b, std::int64_t lo)
+{
+    const std::uint64_t h =
+        static_cast<std::uint64_t>(a.hi) | static_cast<std::uint64_t>(b.hi);
+    const std::int64_t hi =
+        h == 0 ? 0 : static_cast<std::int64_t>(~0ull >> std::countl_zero(h));
+    return {lo, hi};
+}
+
+AbsValue
+mulAbs(const AbsValue &a, const AbsValue &b)
+{
+    const auto ca = a.asConst();
+    const auto cb = b.asConst();
+    if ((ca && *ca == 0) || (cb && *cb == 0))
+        return AbsValue::constant(0);
+    if (a.kb.isConst() && b.kb.isConst())
+        return AbsValue::constant(
+            static_cast<std::int64_t>(a.kb.val * b.kb.val));
+    KnownBits kb;
+    const unsigned tz =
+        std::min(64u, a.kb.trailingZeros() + b.kb.trailingZeros());
+    if (tz > 0) {
+        kb.mask = tz >= 64 ? ~0ull : ((1ull << tz) - 1);
+        kb.val = 0;
+    }
+    bool ok = true;
+    return makeAbs(mulIv(a.iv, b.iv), kb, ok);
+}
+
+/**
+ * Everything the dataflow needs to know about the triggering event,
+ * derived from the verifier context once per analysis.
+ */
+struct Seeds
+{
+    const KernelContext *ctx;
+    AbsValue vaddr;
+    AbsValue lineBase;
+};
+
+Seeds
+makeSeeds(const KernelContext &ctx)
+{
+    Seeds s{&ctx, AbsValue::top(), AbsValue::top()};
+    bool ok = true;
+    s.vaddr = makeAbs(Interval::range(ctx.vaddrLo, ctx.vaddrHi),
+                      KnownBits::top(), ok);
+    KnownBits aligned;
+    aligned.mask = kLineBytes - 1; // low bits proven zero
+    aligned.val = 0;
+    s.lineBase =
+        makeAbs(Interval::range(alignDown(ctx.vaddrLo, kLineBytes - 1),
+                                alignDown(ctx.vaddrHi, kLineBytes - 1)),
+                aligned, ok);
+    return s;
+}
+
+AbsValue
+greadValue(const Seeds &seeds, std::int64_t imm)
+{
+    for (const KernelContext::SeededGlobal &g : seeds.ctx->globalValues)
+        if (static_cast<std::int64_t>(g.index) == imm)
+            return AbsValue::constant(static_cast<std::int64_t>(g.value));
+    return AbsValue::top();
+}
+
+/**
+ * Abstract execution of one non-branching instruction.  Returns false
+ * when the state becomes contradictory (never-executing point).
+ * Trap conditions are NOT modelled here — the caller checks the
+ * refined trap facts before advancing past the instruction.
+ */
+bool
+apply(const Instr &in, RegState &s, const Seeds &seeds)
+{
+    auto &reg = s.reg;
+    auto rd = [&]() -> AbsValue & { return reg[regIdx(in.rd)]; };
+    const AbsValue &rs = reg[regIdx(in.rs)];
+    const AbsValue &rt = reg[regIdx(in.rt)];
+    const AbsValue immv = AbsValue::constant(in.imm);
+    bool ok = true;
+    switch (in.op) {
+      case Opcode::kHalt:
+      case Opcode::kNop:
+      case Opcode::kJmp:
+      case Opcode::kBeq:
+      case Opcode::kBne:
+      case Opcode::kBlt:
+      case Opcode::kBge:
+      case Opcode::kPrefetch:
+      case Opcode::kPrefetchTag:
+      case Opcode::kPrefetchCb:
+        break;
+      case Opcode::kLi:
+        rd() = AbsValue::constant(in.imm);
+        break;
+      case Opcode::kMov:
+        rd() = rs;
+        break;
+      case Opcode::kAdd:
+        rd() = makeAbs(addIv(rs.iv, rt.iv), addKb(rs.kb, rt.kb, 0), ok);
+        break;
+      case Opcode::kAddi:
+        rd() = makeAbs(addIv(rs.iv, immv.iv), addKb(rs.kb, immv.kb, 0), ok);
+        break;
+      case Opcode::kSub:
+        rd() = makeAbs(subIv(rs.iv, rt.iv), subKb(rs.kb, rt.kb), ok);
+        break;
+      case Opcode::kMul:
+        rd() = mulAbs(rs, rt);
+        break;
+      case Opcode::kMuli:
+        rd() = mulAbs(rs, immv);
+        break;
+      case Opcode::kDiv:
+        rd() = makeAbs(divIv(rs.iv, rt.iv), KnownBits::top(), ok);
+        break;
+      case Opcode::kDivi:
+        rd() = makeAbs(divIv(rs.iv, immv.iv), KnownBits::top(), ok);
+        break;
+      case Opcode::kAnd:
+      case Opcode::kAndi: {
+        const AbsValue &o = in.op == Opcode::kAnd ? rt : immv;
+        Interval iv = Interval::top();
+        if (rs.iv.lo >= 0 && o.iv.lo >= 0)
+            iv = {0, std::min(rs.iv.hi, o.iv.hi)};
+        else if (rs.iv.lo >= 0)
+            iv = {0, rs.iv.hi};
+        else if (o.iv.lo >= 0)
+            iv = {0, o.iv.hi};
+        rd() = makeAbs(iv, andKb(rs.kb, o.kb), ok);
+        break;
+      }
+      case Opcode::kOr: {
+        Interval iv = Interval::top();
+        if (rs.iv.lo >= 0 && rt.iv.lo >= 0)
+            iv = bitHullNonneg(rs.iv, rt.iv, std::max(rs.iv.lo, rt.iv.lo));
+        rd() = makeAbs(iv, orKb(rs.kb, rt.kb), ok);
+        break;
+      }
+      case Opcode::kXor: {
+        Interval iv = Interval::top();
+        if (rs.iv.lo >= 0 && rt.iv.lo >= 0)
+            iv = bitHullNonneg(rs.iv, rt.iv, 0);
+        rd() = makeAbs(iv, xorKb(rs.kb, rt.kb), ok);
+        break;
+      }
+      case Opcode::kShl:
+        rd() = shlAbs(rs, rt);
+        break;
+      case Opcode::kShli:
+        rd() = shlAbs(rs, immv);
+        break;
+      case Opcode::kShr:
+        rd() = shrAbs(rs, rt);
+        break;
+      case Opcode::kShri:
+        rd() = shrAbs(rs, immv);
+        break;
+      case Opcode::kVaddr:
+        rd() = seeds.vaddr;
+        break;
+      case Opcode::kLineBase:
+        rd() = seeds.lineBase;
+        break;
+      case Opcode::kLdLine:
+        rd() = AbsValue::top();
+        break;
+      case Opcode::kLdLine32: {
+        KnownBits kb{0xFFFFFFFF00000000ull, 0};
+        rd() = makeAbs(Interval::range(0, 0xFFFFFFFFll), kb, ok);
+        break;
+      }
+      case Opcode::kGread:
+        rd() = greadValue(seeds, in.imm);
+        break;
+      case Opcode::kLookahead:
+        rd() = AbsValue::top();
+        break;
+    }
+    // Out-of-enum opcode bytes execute as charged no-ops: no change.
+    if (!ok)
+        s.feasible = false;
+    return ok;
+}
+
+// ---- refined trap facts ------------------------------------------------
+
+bool
+refinedMayTrap(const Instr &in, const KernelContext &ctx, const RegState &s)
+{
+    if (!s.feasible)
+        return mayTrap(in, ctx);
+    switch (in.op) {
+      case Opcode::kDiv: {
+        const AbsValue &d = s.reg[regIdx(in.rt)];
+        const AbsValue &n = s.reg[regIdx(in.rs)];
+        const bool zero = d.contains(0);
+        const bool pair = d.contains(~0ull) &&
+                          n.contains(static_cast<std::uint64_t>(kMin));
+        return zero || pair;
+      }
+      case Opcode::kDivi: {
+        if (in.imm == 0)
+            return true;
+        if (in.imm != -1)
+            return false;
+        return s.reg[regIdx(in.rs)].contains(static_cast<std::uint64_t>(kMin));
+      }
+      default:
+        return mayTrap(in, ctx);
+    }
+}
+
+bool
+refinedAlwaysTraps(const Instr &in, const KernelContext &ctx,
+                   const RegState &s)
+{
+    if (alwaysTraps(in, ctx))
+        return true;
+    if (!s.feasible)
+        return false;
+    switch (in.op) {
+      case Opcode::kDiv: {
+        const auto d = s.reg[regIdx(in.rt)].asConst();
+        if (d && *d == 0)
+            return true;
+        if (d && *d == -1) {
+            const auto n = s.reg[regIdx(in.rs)].asConst();
+            return n && *n == kMin;
+        }
+        return false;
+      }
+      case Opcode::kDivi: {
+        if (in.imm != -1)
+            return false;
+        const auto n = s.reg[regIdx(in.rs)].asConst();
+        return n && *n == kMin;
+      }
+      default:
+        return false;
+    }
+}
+
+// ---- branch edge refinement --------------------------------------------
+
+bool
+refineEq(AbsValue &a, AbsValue &b)
+{
+    AbsValue m;
+    m.iv = meet(a.iv, b.iv);
+    if (m.iv.isEmpty())
+        return false;
+    if ((a.kb.mask & b.kb.mask & (a.kb.val ^ b.kb.val)) != 0)
+        return false; // agree on no value: edge infeasible
+    m.kb.mask = a.kb.mask | b.kb.mask;
+    m.kb.val = (a.kb.val | b.kb.val) & m.kb.mask;
+    if (!normalize(m))
+        return false;
+    a = b = m;
+    return true;
+}
+
+bool
+refineNe(AbsValue &a, AbsValue &b)
+{
+    const auto ca = a.asConst();
+    const auto cb = b.asConst();
+    if (ca && cb)
+        return *ca != *cb;
+    auto trim = [](AbsValue &v, std::int64_t c) {
+        if (v.iv.lo == c)
+            ++v.iv.lo; // lo == c < hi here, so no overflow
+        if (v.iv.hi == c)
+            --v.iv.hi;
+        return !v.iv.isEmpty() && normalize(v);
+    };
+    if (ca)
+        return trim(b, *ca);
+    if (cb)
+        return trim(a, *cb);
+    return true;
+}
+
+/** rs < rt (signed), in-place. */
+bool
+refineLt(AbsValue &a, AbsValue &b)
+{
+    if (b.iv.hi == kMin || a.iv.lo == kMax)
+        return false; // nothing is < INT64_MIN; nothing exceeds INT64_MAX
+    a.iv.hi = std::min(a.iv.hi, b.iv.hi - 1);
+    b.iv.lo = std::max(b.iv.lo, a.iv.lo + 1);
+    return !a.iv.isEmpty() && !b.iv.isEmpty() && normalize(a) && normalize(b);
+}
+
+/** rs >= rt (signed), in-place. */
+bool
+refineGe(AbsValue &a, AbsValue &b)
+{
+    a.iv.lo = std::max(a.iv.lo, b.iv.lo);
+    b.iv.hi = std::min(b.iv.hi, a.iv.hi);
+    return !a.iv.isEmpty() && !b.iv.isEmpty() && normalize(a) && normalize(b);
+}
+
+/**
+ * State on one outgoing edge of a conditional branch.  Returns an
+ * infeasible state when the condition contradicts the operand facts
+ * (including the same-register special cases: beq r,r always takes,
+ * blt r,r never does).
+ */
+RegState
+refineEdge(const Instr &in, const RegState &s, bool taken)
+{
+    RegState out = s;
+    const unsigned ra = regIdx(in.rs);
+    const unsigned rb = regIdx(in.rt);
+    if (ra == rb) {
+        const bool takesAlways =
+            in.op == Opcode::kBeq || in.op == Opcode::kBge;
+        if (taken != takesAlways)
+            out.feasible = false;
+        return out;
+    }
+    AbsValue &a = out.reg[ra];
+    AbsValue &b = out.reg[rb];
+    bool ok = true;
+    switch (in.op) {
+      case Opcode::kBeq:
+        ok = taken ? refineEq(a, b) : refineNe(a, b);
+        break;
+      case Opcode::kBne:
+        ok = taken ? refineNe(a, b) : refineEq(a, b);
+        break;
+      case Opcode::kBlt:
+        ok = taken ? refineLt(a, b) : refineGe(a, b);
+        break;
+      case Opcode::kBge:
+        ok = taken ? refineGe(a, b) : refineLt(a, b);
+        break;
+      default:
+        break;
+    }
+    if (!ok)
+        out.feasible = false;
+    return out;
+}
+
+} // namespace
+
+BranchOutcome
+branchOutcome(const Instr &in, const RegState &s)
+{
+    if (!s.feasible || !isCondBranch(in.op))
+        return BranchOutcome::kUnknown;
+    const bool taken = refineEdge(in, s, /*taken=*/true).feasible;
+    const bool fall = refineEdge(in, s, /*taken=*/false).feasible;
+    if (taken && !fall)
+        return BranchOutcome::kAlwaysTaken;
+    if (!taken && fall)
+        return BranchOutcome::kNeverTaken;
+    return BranchOutcome::kUnknown;
+}
+
+namespace
+{
+
+// ---- the fixpoint engine -----------------------------------------------
+
+struct Engine
+{
+    const std::vector<Instr> &code;
+    const Cfg &cfg;
+    const KernelContext &ctx;
+    Seeds seeds;
+
+    std::vector<RegState> blockIn;
+    /** Per block: refined state pushed along each succ edge (parallel to
+     *  Block::succs; infeasible entries prune the edge). */
+    std::vector<std::vector<RegState>> edgeOut;
+
+    Engine(const std::vector<Instr> &c, const Cfg &g, const KernelContext &x)
+        : code(c), cfg(g), ctx(x), seeds(makeSeeds(x)),
+          blockIn(g.size()), edgeOut(g.size())
+    {
+    }
+
+    /** Abstractly execute a block; infeasible result means a refined
+     *  always-trap (or contradiction) stops execution inside it. */
+    RegState
+    walk(const Block &blk, RegState s) const
+    {
+        for (std::uint32_t pc = blk.first; pc <= blk.last && s.feasible;
+             ++pc) {
+            if (refinedAlwaysTraps(code[pc], ctx, s)) {
+                s.feasible = false;
+                break;
+            }
+            apply(code[pc], s, seeds);
+        }
+        return s;
+    }
+
+    void
+    computeEdges(std::uint32_t b)
+    {
+        const Block &blk = cfg.blocks()[b];
+        auto &out = edgeOut[b];
+        out.assign(blk.succs.size(), RegState{});
+        if (blk.exit != BlockExit::kFlows || blk.succs.empty())
+            return;
+        const RegState s = walk(blk, blockIn[b]);
+        if (!s.feasible)
+            return;
+        const Instr &last = code[blk.last];
+        if (!isCondBranch(last.op)) {
+            for (std::size_t i = 0; i < blk.succs.size(); ++i)
+                out[i] = s;
+            return;
+        }
+        const std::int64_t takenPc = branchTarget(last, blk.last);
+        const std::int64_t fallPc = static_cast<std::int64_t>(blk.last) + 1;
+        for (std::size_t i = 0; i < blk.succs.size(); ++i) {
+            const std::int64_t first = cfg.blocks()[blk.succs[i]].first;
+            if (takenPc == fallPc) {
+                out[i] = s; // both arms land here: condition tells nothing
+            } else if (first == takenPc) {
+                out[i] = refineEdge(last, s, /*taken=*/true);
+            } else if (first == fallPc) {
+                out[i] = refineEdge(last, s, /*taken=*/false);
+            } else {
+                out[i] = s;
+            }
+        }
+    }
+
+    RegState
+    joinPreds(std::uint32_t b, const RegState &entryState,
+              std::uint32_t entryBlock) const
+    {
+        RegState fresh; // infeasible until a live edge joins in
+        if (b == entryBlock)
+            fresh = entryState;
+        for (std::uint32_t p : cfg.preds(b)) {
+            const Block &pb = cfg.blocks()[p];
+            for (std::size_t i = 0; i < pb.succs.size(); ++i)
+                if (pb.succs[i] == b && i < edgeOut[p].size())
+                    fresh = joinState(fresh, edgeOut[p][i]);
+        }
+        return fresh;
+    }
+};
+
+} // namespace
+
+DataflowResult
+analyzeDataflow(const std::vector<Instr> &code, const Cfg &cfg,
+                const KernelContext &ctx)
+{
+    DataflowResult res;
+    const std::size_t size = code.size();
+    res.in.assign(size, RegState{});
+    res.mayTrapPc.assign(size, 0);
+    res.alwaysTrapsPc.assign(size, 0);
+    for (std::size_t pc = 0; pc < size; ++pc) {
+        res.mayTrapPc[pc] = mayTrap(code[pc], ctx) ? 1 : 0;
+        res.alwaysTrapsPc[pc] = alwaysTraps(code[pc], ctx) ? 1 : 0;
+    }
+    res.converged = true;
+    if (size == 0 || cfg.rpo().empty())
+        return res;
+
+    Engine eng(code, cfg, ctx);
+    const std::vector<std::uint32_t> &rpo = cfg.rpo();
+    const std::uint32_t entryBlock = rpo.front();
+
+    RegState entryState;
+    entryState.feasible = true;
+    for (unsigned r = 0; r < kPpuRegs; ++r)
+        entryState.reg[r] = AbsValue::constant(0); // file zeroed at entry
+
+    // Loop heads: any block with a predecessor at an equal or later
+    // reverse-postorder position (back or cross edge).
+    std::vector<std::uint32_t> rpoIdx(cfg.size(),
+                                      std::numeric_limits<std::uint32_t>::max());
+    for (std::uint32_t i = 0; i < rpo.size(); ++i)
+        rpoIdx[rpo[i]] = i;
+    std::vector<std::uint8_t> widenAt(cfg.size(), 0);
+    for (std::uint32_t b : rpo)
+        for (std::uint32_t p : cfg.preds(b))
+            if (rpoIdx[p] != std::numeric_limits<std::uint32_t>::max() &&
+                rpoIdx[p] >= rpoIdx[b])
+                widenAt[b] = 1;
+
+    // Ascending phase: monotone (join with the previous state), with
+    // threshold widening at loop heads after kWidenDelay updates.  The
+    // iteration cap is a belt-and-braces guard; threshold widening plus
+    // the finite known-bits lattice guarantees convergence in theory.
+    std::vector<unsigned> visits(cfg.size(), 0);
+    const unsigned kMaxIters =
+        static_cast<unsigned>(64 * cfg.size() + 128);
+    bool changed = true;
+    unsigned iter = 0;
+    while (changed && iter++ < kMaxIters) {
+        changed = false;
+        for (std::uint32_t b : rpo) {
+            RegState fresh = eng.joinPreds(b, entryState, entryBlock);
+            RegState next = joinState(eng.blockIn[b], fresh);
+            if (widenAt[b] != 0 && visits[b] >= kWidenDelay)
+                next = widenState(eng.blockIn[b], next);
+            if (!(next == eng.blockIn[b])) {
+                eng.blockIn[b] = next;
+                ++visits[b];
+                eng.computeEdges(b);
+                changed = true;
+            }
+        }
+    }
+    res.converged = !changed;
+
+    if (!res.converged) {
+        // Give up on precision, keep soundness: every CFG-reachable pc
+        // gets a top state and the instruction-local trap facts.
+        for (const Block &b : cfg.blocks()) {
+            if (!b.reachable)
+                continue;
+            RegState top;
+            top.feasible = true;
+            for (std::uint32_t pc = b.first; pc <= b.last; ++pc)
+                res.in[pc] = top;
+        }
+        return res;
+    }
+
+    // Two descending (narrowing) sweeps from the post-fixpoint recover
+    // the precision widening gave away (e.g. the exact loop bound the
+    // back-edge comparison implies).  Monotone transfers keep every
+    // intermediate state an over-approximation.
+    for (int sweep = 0; sweep < 2; ++sweep) {
+        for (std::uint32_t b : rpo) {
+            RegState fresh = eng.joinPreds(b, entryState, entryBlock);
+            if (!(fresh == eng.blockIn[b])) {
+                eng.blockIn[b] = fresh;
+                eng.computeEdges(b);
+            }
+        }
+    }
+
+    // Per-pc extraction: replay each block from its solved entry state.
+    for (std::uint32_t b : rpo) {
+        const Block &blk = cfg.blocks()[b];
+        RegState s = eng.blockIn[b];
+        for (std::uint32_t pc = blk.first; pc <= blk.last && s.feasible;
+             ++pc) {
+            res.in[pc] = s;
+            const bool always = refinedAlwaysTraps(code[pc], ctx, s);
+            res.alwaysTrapsPc[pc] = always ? 1 : 0;
+            res.mayTrapPc[pc] =
+                (always || refinedMayTrap(code[pc], ctx, s)) ? 1 : 0;
+            if (always)
+                break; // the rest of the block never executes
+            apply(code[pc], s, eng.seeds);
+        }
+    }
+    return res;
+}
+
+DataflowResult
+analyzeDataflow(const Kernel &k, const KernelContext &ctx)
+{
+    std::vector<std::uint8_t> trapAt(k.code.size(), 0);
+    for (std::size_t pc = 0; pc < k.code.size(); ++pc)
+        trapAt[pc] = alwaysTraps(k.code[pc], ctx) ? 1 : 0;
+    const Cfg cfg(k.code, trapAt);
+    return analyzeDataflow(k.code, cfg, ctx);
+}
+
+} // namespace epf::analysis

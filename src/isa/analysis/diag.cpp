@@ -12,6 +12,10 @@ diagCodeName(DiagCode code)
       case DiagCode::kEmptyKernel: return "empty-kernel";
       case DiagCode::kUnreachableCode: return "unreachable-code";
       case DiagCode::kUninitRead: return "uninit-read";
+      case DiagCode::kDeadAssignment: return "dead-assignment";
+      case DiagCode::kConstantBranch: return "constant-branch";
+      case DiagCode::kDegeneratePrefetch: return "degenerate-prefetch";
+      case DiagCode::kOutOfRegionPrefetch: return "out-of-region-prefetch";
       case DiagCode::kGuaranteedTrap: return "guaranteed-trap";
       case DiagCode::kWatchdogLoop: return "watchdog-loop";
       case DiagCode::kUnresolvedCallback: return "unresolved-callback";
@@ -34,6 +38,11 @@ formatDiag(const Diag &d)
     if (d.pc != kNoPc) {
         s += "pc ";
         s += std::to_string(d.pc);
+        if (!d.instrText.empty()) {
+            s += " (";
+            s += d.instrText;
+            s += ")";
+        }
         s += ": ";
     }
     s += severityName(d.severity);

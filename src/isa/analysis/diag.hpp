@@ -45,6 +45,18 @@ enum class DiagCode
      *  hardware zeroes registers at event entry, so this is legal —
      *  but almost always a forgotten initialisation). */
     kUninitRead,
+    /** A register assignment no path ever reads before the value is
+     *  overwritten or the kernel exits. */
+    kDeadAssignment,
+    /** A conditional branch whose outcome the value analysis proves:
+     *  always taken or never taken on every execution. */
+    kConstantBranch,
+    /** A prefetch whose address is a compile-time constant: it fetches
+     *  the same line on every event, so it prefetches nothing new. */
+    kDegeneratePrefetch,
+    /** A prefetch whose address range is provably disjoint from every
+     *  declared memory region: the emitted request can never hit. */
+    kOutOfRegionPrefetch,
 
     // ---- static trap facts -----------------------------------------
     /** A reachable instruction that traps every time it executes
@@ -82,12 +94,24 @@ struct Diag
     int pc = kNoPc;
     DiagCode code = DiagCode::kUnreachableCode;
     std::string message;
+    /** Disassembled text of the instruction at pc ("" when the finding
+     *  is kernel- or table-wide, or the producer predates it). */
+    std::string instrText;
+
+    Diag() = default;
+    Diag(Severity sev, int at, DiagCode c, std::string msg,
+         std::string instr = {})
+        : severity(sev), pc(at), code(c), message(std::move(msg)),
+          instrText(std::move(instr))
+    {
+    }
 };
 
 /** "error" / "warning". */
 const char *severityName(Severity s);
 
-/** Render as "pc 3: error: [bad-branch-target] ..." (no trailing \n). */
+/** Render as "pc 3: error: [bad-branch-target] ..." (no trailing \n);
+ *  with instrText set, the anchor reads "pc 3 (div r1, r1, r2): ...". */
 std::string formatDiag(const Diag &d);
 
 /** True if any diag in @p diags is an error. */

@@ -1,8 +1,13 @@
 #include "isa/analysis/verifier.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 #include <string>
+
+#include "isa/analysis/dataflow.hpp"
+#include "isa/disasm.hpp"
+#include "sim/types.hpp"
 
 namespace epf::analysis
 {
@@ -110,6 +115,55 @@ sortByPc(std::vector<Diag> &diags)
 {
     std::stable_sort(diags.begin(), diags.end(),
                      [](const Diag &a, const Diag &b) { return a.pc < b.pc; });
+}
+
+/** Attach the disassembled instruction to every pc-anchored diag so the
+ *  finding is actionable without a second lookup. */
+void
+fillInstrText(std::vector<Diag> &diags, const std::vector<Instr> &code)
+{
+    for (Diag &d : diags)
+        if (d.pc != kNoPc && static_cast<std::size_t>(d.pc) < code.size() &&
+            d.instrText.empty())
+            d.instrText = disassemble(code[static_cast<std::size_t>(d.pc)]);
+}
+
+std::string
+refinedTrapWhy(const Instr &in, const KernelContext &ctx)
+{
+    switch (in.op) {
+      case Opcode::kDiv:
+        return "division provably traps on every execution (divisor is "
+               "zero or the INT64_MIN / -1 overflow)";
+      case Opcode::kDivi:
+        return "divi #-1 provably overflows: rs is INT64_MIN on every "
+               "execution";
+      default:
+        return trapWhy(in, ctx);
+    }
+}
+
+/**
+ * Can the prefetch target range [lo, hi] (signed bounds on the emitted
+ * address) touch the region, with a line of slack either side?  The
+ * negative half of the signed range maps to addresses above 2^63 —
+ * far outside any modelled region, but only provably so when the whole
+ * range is non-negative, so a possibly-negative lo disables the check.
+ */
+bool
+mayTouchRegion(std::int64_t lo, std::int64_t hi,
+               const KernelContext::AddrRegion &r)
+{
+    const auto ulo = static_cast<std::uint64_t>(lo);
+    const auto uhi = static_cast<std::uint64_t>(hi);
+    const std::uint64_t slack = kLineBytes;
+    auto satAdd = [](std::uint64_t a, std::uint64_t b) {
+        const std::uint64_t s = a + b;
+        return s < a ? std::numeric_limits<std::uint64_t>::max() : s;
+    };
+    const std::uint64_t regionLo = r.base > slack ? r.base - slack : 0;
+    const std::uint64_t regionHi = satAdd(satAdd(r.base, r.size), slack);
+    return uhi >= regionLo && ulo < regionHi;
 }
 
 } // namespace
@@ -239,23 +293,136 @@ analyzeKernel(const Kernel &k, const KernelContext &ctx)
                              range + " unreachable from the entry"});
     }
 
-    // ---- static trap proofs -----------------------------------------
+    // ---- static trap proofs (value-refined) -------------------------
+    // The dataflow fixpoint sharpens the instruction-local facts: a div
+    // whose divisor interval excludes zero is proven trap-free, a
+    // divisor pinned to zero is a guaranteed trap, and pcs on proven-
+    // dead paths never execute at all.
+    const DataflowResult df = analyzeDataflow(code, cfg, ctx);
+    out.trapFreePc.assign(size, 0);
     bool reachableTrap = false;
     bool reachableMayTrap = false;
     for (std::uint32_t pc = 0; pc < size; ++pc) {
-        if (!out.reachablePc[pc])
+        out.trapFreePc[pc] = df.provenTrapFree(pc) ? 1 : 0;
+        if (!out.reachablePc[pc] || !df.in[pc].feasible)
             continue;
-        if (trapAt[pc]) {
+        if (df.alwaysTrapsPc[pc] != 0) {
             reachableTrap = true;
             out.diags.push_back({Severity::kError, static_cast<int>(pc),
                                  DiagCode::kGuaranteedTrap,
-                                 trapWhy(code[pc], ctx)});
-        } else if (mayTrap(code[pc], ctx)) {
+                                 trapAt[pc] != 0
+                                     ? trapWhy(code[pc], ctx)
+                                     : refinedTrapWhy(code[pc], ctx)});
+        } else if (df.mayTrapPc[pc] != 0) {
             reachableMayTrap = true;
         }
     }
     out.provenTrapFree =
         !boundaryReachable && !reachableTrap && !reachableMayTrap;
+
+    // ---- value-analysis warnings ------------------------------------
+    // All three families fire only on PROVEN facts (a constant or
+    // provably-disjoint range), so top states — the common case —
+    // stay silent.
+    for (std::uint32_t pc = 0; pc < size; ++pc) {
+        if (!out.reachablePc[pc] || !df.in[pc].feasible)
+            continue;
+        const Instr &in = code[pc];
+        const RegState &st = df.in[pc];
+        if (isEmit(in.op)) {
+            const AbsValue &addr = st.reg[in.rs % kPpuRegs];
+            if (const auto c = addr.asConst()) {
+                out.diags.push_back(
+                    {Severity::kWarning, static_cast<int>(pc),
+                     DiagCode::kDegeneratePrefetch,
+                     "prefetch address is always " + std::to_string(*c) +
+                         ": the same line is fetched on every event"});
+            } else if (!ctx.regions.empty() && addr.iv.lo >= 0) {
+                bool touches = false;
+                for (const KernelContext::AddrRegion &r : ctx.regions)
+                    if (mayTouchRegion(addr.iv.lo, addr.iv.hi, r))
+                        touches = true;
+                if (!touches)
+                    out.diags.push_back(
+                        {Severity::kWarning, static_cast<int>(pc),
+                         DiagCode::kOutOfRegionPrefetch,
+                         "prefetch address range [" +
+                             std::to_string(addr.iv.lo) + ", " +
+                             std::to_string(addr.iv.hi) +
+                             "] is provably outside every declared "
+                             "memory region"});
+            }
+        }
+        if (isCondBranch(in.op)) {
+            switch (branchOutcome(in, st)) {
+              case BranchOutcome::kAlwaysTaken:
+                out.diags.push_back(
+                    {Severity::kWarning, static_cast<int>(pc),
+                     DiagCode::kConstantBranch,
+                     "branch is taken on every execution; the "
+                     "fall-through arm is dead"});
+                break;
+              case BranchOutcome::kNeverTaken:
+                out.diags.push_back(
+                    {Severity::kWarning, static_cast<int>(pc),
+                     DiagCode::kConstantBranch,
+                     "branch is never taken; the taken arm is dead"});
+                break;
+              case BranchOutcome::kUnknown:
+                break;
+            }
+        }
+    }
+
+    // ---- dead assignments (backward liveness) -----------------------
+    // A def no path reads before overwrite or exit.  The instruction
+    // may still matter for its trap side effect, so this is a lint on
+    // the unused value, not a removability proof.
+    {
+        const std::size_t nb = cfg.size();
+        std::vector<std::uint32_t> liveIn(nb, 0);
+        std::vector<std::uint32_t> liveOut(nb, 0);
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (auto it = cfg.rpo().rbegin(); it != cfg.rpo().rend(); ++it) {
+                const std::uint32_t b = *it;
+                const Block &blk = cfg.blocks()[b];
+                std::uint32_t lo = 0;
+                for (std::uint32_t s : blk.succs)
+                    lo |= liveIn[s];
+                std::uint32_t live = lo;
+                for (std::uint32_t pc = blk.last + 1; pc-- > blk.first;) {
+                    const UseDef ud = useDef(code[pc]);
+                    live = (live & ~ud.defs) | ud.uses;
+                }
+                if (lo != liveOut[b] || live != liveIn[b]) {
+                    liveOut[b] = lo;
+                    liveIn[b] = live;
+                    changed = true;
+                }
+            }
+        }
+        for (std::uint32_t bi : cfg.rpo()) {
+            const Block &blk = cfg.blocks()[bi];
+            std::uint32_t live = liveOut[bi];
+            for (std::uint32_t pc = blk.last + 1; pc-- > blk.first;) {
+                const UseDef ud = useDef(code[pc]);
+                const std::uint32_t dead = ud.defs & ~live;
+                if (dead != 0 && df.in[pc].feasible) {
+                    for (unsigned r = 0; r < kPpuRegs; ++r)
+                        if ((dead & (1u << r)) != 0)
+                            out.diags.push_back(
+                                {Severity::kWarning, static_cast<int>(pc),
+                                 DiagCode::kDeadAssignment,
+                                 "r" + std::to_string(r) +
+                                     " is assigned here but never read "
+                                     "afterwards on any path"});
+                }
+                live = (live & ~ud.defs) | ud.uses;
+            }
+        }
+    }
 
     // ---- uninitialized-register reads (must-assigned dataflow) ------
     // Forward analysis; a register is "initialized" on entry to a block
@@ -350,6 +517,7 @@ analyzeKernel(const Kernel &k, const KernelContext &ctx)
         }
     }
 
+    fillInstrText(out.diags, code);
     sortByPc(out.diags);
     return out;
 }
@@ -408,8 +576,10 @@ analyzeTable(const KernelTable &table,
                 edges[id].push_back(cb);
             }
         }
-        if (added)
+        if (added) {
+            fillInstrText(ka.diags, k.code);
             sortByPc(ka.diags);
+        }
     }
 
     // Cycle detection over the callback graph: a cycle means every fill

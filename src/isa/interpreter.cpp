@@ -31,10 +31,31 @@ struct FnSink
     }
 };
 
-template <class Sink>
+/** No-op step observer (the untraced fast paths). */
+struct NullTrace
+{
+    void
+    operator()(std::size_t, const std::uint64_t *) const
+    {
+    }
+};
+
+/** Step observer forwarding to Interpreter::StepFn. */
+struct FnTrace
+{
+    const Interpreter::StepFn *fn;
+    void
+    operator()(std::size_t pc, const std::uint64_t *regs) const
+    {
+        if (*fn)
+            (*fn)(pc, regs);
+    }
+};
+
+template <class Sink, class Trace = NullTrace>
 ExecResult
 runImpl(const Kernel &kernel, const EventContext &ctx, Sink emit,
-        unsigned max_steps, std::uint64_t *regs_out)
+        unsigned max_steps, std::uint64_t *regs_out, Trace trace = {})
 {
     ExecResult res;
     std::uint64_t regs[kPpuRegs] = {};
@@ -54,6 +75,7 @@ runImpl(const Kernel &kernel, const EventContext &ctx, Sink emit,
             return done(ExitReason::kStepLimit);
         if (pc < 0 || pc >= size)
             return trap();
+        trace(static_cast<std::size_t>(pc), regs);
 
         const Instr &in = kernel.code[static_cast<std::size_t>(pc)];
         ++pc;
@@ -231,6 +253,15 @@ Interpreter::run(const Kernel &kernel, const EventContext &ctx,
                  std::uint64_t *regs_out)
 {
     return runImpl(kernel, ctx, VecSink{sink}, max_steps, regs_out);
+}
+
+ExecResult
+Interpreter::runTraced(const Kernel &kernel, const EventContext &ctx,
+                       std::vector<PrefetchEmit> *sink, const StepFn &step,
+                       unsigned max_steps, std::uint64_t *regs_out)
+{
+    return runImpl(kernel, ctx, VecSink{sink}, max_steps, regs_out,
+                   FnTrace{&step});
 }
 
 } // namespace epf

@@ -1,0 +1,54 @@
+#include "isa/listing.hpp"
+
+#include <istream>
+#include <stdexcept>
+
+#include "isa/disasm.hpp"
+
+namespace epf
+{
+
+ListingParse
+parseListing(std::istream &in, const std::string &fallbackName)
+{
+    ListingParse out;
+    std::string line;
+    unsigned lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        std::size_t b = line.find_first_not_of(" \t\r");
+        if (b == std::string::npos)
+            continue;
+        std::size_t e = line.find_last_not_of(" \t\r");
+        std::string t = line.substr(b, e - b + 1);
+        if (t.back() == ':' && t.find(' ') == std::string::npos) {
+            out.kernels.push_back({t.substr(0, t.size() - 1), {}});
+            continue;
+        }
+        // "N: instr" — the index prefix is optional.
+        const std::size_t colon = t.find(':');
+        if (colon != std::string::npos &&
+            t.find_first_not_of("0123456789", 0) == colon)
+            t = t.substr(colon + 1);
+        if (out.kernels.empty())
+            out.kernels.push_back({fallbackName, {}});
+        try {
+            out.kernels.back().code.push_back(parseInstr(t));
+        } catch (const std::invalid_argument &ex) {
+            out.error =
+                "line " + std::to_string(lineno) + ": " + ex.what();
+            return out;
+        }
+    }
+    // getline stops on eof (fine) or on a read failure (badbit).  The
+    // latter used to fall through as success, silently linting only
+    // the prefix that happened to arrive before the failure.
+    if (in.bad())
+        out.error = "I/O error after line " + std::to_string(lineno);
+    return out;
+}
+
+} // namespace epf

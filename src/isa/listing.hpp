@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Disassembly-listing parser (the disassemble(Kernel) text format).
+ *
+ * A listing holds one or more kernels: a "name:" header line starts a
+ * kernel, each following "N: instr" line (the index prefix optional)
+ * appends one instruction, '#' starts a comment, blank lines are
+ * ignored.  A listing with no header is a single unnamed kernel.
+ *
+ * Extracted from tools/ppulint.cpp so tests can pin the error paths —
+ * in particular that a stream failing mid-read (badbit) is reported as
+ * an error instead of silently yielding the parsed prefix.
+ */
+
+#ifndef EPF_ISA_LISTING_HPP
+#define EPF_ISA_LISTING_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "isa/isa.hpp"
+
+namespace epf
+{
+
+/** Outcome of parsing one listing. */
+struct ListingParse
+{
+    std::vector<Kernel> kernels;
+    /** Empty on success; otherwise "line N: what" (or an I/O error). */
+    std::string error;
+
+    bool ok() const { return error.empty(); }
+};
+
+/**
+ * Parse the listing text on @p in.  @p fallbackName names the single
+ * implicit kernel of a headerless listing (callers pass the file
+ * path).  On any failure — unparsable instruction line or a stream
+ * that goes bad mid-read — the result's error is set and the partial
+ * kernels must not be used.
+ */
+ListingParse parseListing(std::istream &in, const std::string &fallbackName);
+
+} // namespace epf
+
+#endif // EPF_ISA_LISTING_HPP

@@ -1,5 +1,6 @@
 #include "isa/predecode.hpp"
 
+#include "isa/analysis/dataflow.hpp"
 #include "isa/analysis/verifier.hpp"
 
 #include <cstring>
@@ -875,6 +876,23 @@ DecodedKernel::DecodedKernel(const Kernel &k) : src_(k.code)
 {
     const std::size_t size = src_.size();
 
+    // Decode-time value analysis.  Programs are interned by code
+    // content and run under arbitrary events, so the context must
+    // assume nothing the runtime does not guarantee: line payload
+    // unknown, globals possibly absent (EventContext.globalRegs may be
+    // null), no installed lookahead filters.  Every fact the analysis
+    // proves under this context therefore holds universally, which is
+    // what makes trapFreePc_ usable as the superblock region oracle
+    // and makes hoisting refined always-traps to kTrap sound.
+    analysis::KernelContext dctx;
+    dctx.line = analysis::KernelContext::Line::kUnknown;
+    dctx.globalsPresent = false;
+    dctx.lookaheadEntries = -1;
+    const analysis::DataflowResult df = analysis::analyzeDataflow(k, dctx);
+    trapFreePc_.assign(size, 0);
+    for (std::size_t pc = 0; pc < size; ++pc)
+        trapFreePc_[pc] = df.provenTrapFree(pc) ? 1 : 0;
+
     // Control-flow joins: fusing across a branch target would let a
     // taken branch skip into the middle of a macro-op, so a slot whose
     // original index is a target can only start one.
@@ -910,7 +928,19 @@ DecodedKernel::DecodedKernel(const Kernel &k) : src_(k.code)
         origToDecoded[i] = slot;
         DecodedInstr d;
         std::size_t consumed = 1;
-        if (i + 3 < size && joinFree(i + 1, i + 3) &&
+        if (i < df.alwaysTrapsPc.size() && df.alwaysTrapsPc[i]) {
+            // Dataflow-refined guaranteed trap (e.g. a div whose
+            // divisor interval is exactly [0,0]).  decodeSingle only
+            // hoists the context-free cases; this extends the same
+            // kTrap hoist to value-proven ones.  kTrap charges one
+            // cycle and writes nothing — exactly what the reference
+            // interpreter does when the instruction traps — so timing
+            // and register state stay bit-identical.  No fusion
+            // pattern consumes a div, so checking before the fusion
+            // attempts cannot break a macro-op.
+            d = decodeSingle(src_[i]);
+            d.op = DecodedOp::kTrap;
+        } else if (i + 3 < size && joinFree(i + 1, i + 3) &&
             tryFuseHash(src_[i], src_[i + 1], src_[i + 2], src_[i + 3],
                         d)) {
             consumed = 4;

@@ -248,6 +248,26 @@ class DecodedKernel
                           unsigned max_steps = kMaxKernelSteps,
                           std::uint64_t *regs_out = nullptr);
 
+    /**
+     * Refined per-arch-pc trap fact from the decode-time dataflow
+     * analysis (src/isa/analysis/dataflow.hpp): true when the
+     * instruction at @p archPc can never trap when it executes, for
+     * ANY event.  The decode-time context assumes nothing (programs
+     * are interned by code content and run under arbitrary events), so
+     * the proofs hold universally.  This is the region oracle
+     * superblock formation consumes (ROADMAP item 1): a straight-line
+     * run of trap-free pcs can execute as one fused block.
+     */
+    bool provenTrapFree(std::size_t archPc) const
+    {
+        return archPc < trapFreePc_.size() && trapFreePc_[archPc] != 0;
+    }
+    /** The whole per-arch-pc trap-free bitmap (archLength() entries). */
+    const std::vector<std::uint8_t> &trapFreeMap() const
+    {
+        return trapFreePc_;
+    }
+
     /** Decoded ops, excluding the synthetic boundary slot. */
     std::size_t decodedLength() const { return prog_.size() - 1; }
     /** Architectural instructions in the source kernel. */
@@ -264,6 +284,8 @@ class DecodedKernel
     std::vector<DecodedInstr> prog_;
     /** Copy of the source code (content identity for DecodeCache). */
     std::vector<Instr> src_;
+    /** Per-arch-pc refined cannot-trap bitmap (see provenTrapFree). */
+    std::vector<std::uint8_t> trapFreePc_;
     /** Fused macro-ops emitted (pairs and quads). */
     unsigned fusedPairs_ = 0;
 };

@@ -123,6 +123,12 @@ class ProgrammablePrefetcher : public MemoryListener, public PrefetchSource
 
     std::uint64_t global(unsigned idx) const { return globals_.at(idx); }
 
+    /** Global registers handed out by allocGlobal() so far. */
+    unsigned globalsAllocated() const { return globalsAllocated_; }
+
+    /** The guest address space this prefetcher snoops (region map). */
+    const GuestMemory &guestMem() const { return mem_; }
+
     /** Hook to prod the hierarchy when new requests are queued. */
     void setKick(SmallFunction<void()> fn) { kick_ = std::move(fn); }
 

@@ -36,6 +36,11 @@ collectWarnings(const std::string &wl, const KernelTable &table,
             const std::string where = wl + ":" + kernel;
             EXPECT_NE(d.severity, analysis::Severity::kError)
                 << where << ": " << analysis::formatDiag(d);
+            // Every pc-anchored diag carries the disassembled
+            // instruction text (kernel- and table-wide ones cannot).
+            if (d.pc != analysis::kNoPc)
+                EXPECT_FALSE(d.instrText.empty())
+                    << where << ": " << analysis::formatDiag(d);
             warnings.push_back(where + ":[" +
                                analysis::diagCodeName(d.code) + "]");
         }

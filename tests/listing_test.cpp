@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Disassembly-listing parser tests (src/isa/listing.hpp).
+ *
+ * The badbit regression matters most: ppulint used to treat a stream
+ * failing mid-read as a clean end-of-file and lint only the prefix
+ * that happened to arrive — a truncated listing could pass --werror.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <streambuf>
+
+#include "isa/disasm.hpp"
+#include "isa/listing.hpp"
+
+namespace epf
+{
+namespace
+{
+
+TEST(ListingTest, ParsesHeadersCommentsAndIndexPrefixes)
+{
+    std::istringstream in("# a comment line\n"
+                          "first:\n"
+                          "  0: li r1, 8\n"
+                          "  1: prefetch r1   # trailing comment\n"
+                          "\n"
+                          "second:\n"
+                          "  halt\n");
+    const ListingParse p = parseListing(in, "fallback");
+    ASSERT_TRUE(p.ok()) << p.error;
+    ASSERT_EQ(p.kernels.size(), 2u);
+    EXPECT_EQ(p.kernels[0].name, "first");
+    ASSERT_EQ(p.kernels[0].code.size(), 2u);
+    EXPECT_EQ(p.kernels[0].code[0].op, Opcode::kLi);
+    EXPECT_EQ(p.kernels[0].code[1].op, Opcode::kPrefetch);
+    EXPECT_EQ(p.kernels[1].name, "second");
+    ASSERT_EQ(p.kernels[1].code.size(), 1u);
+    EXPECT_EQ(p.kernels[1].code[0].op, Opcode::kHalt);
+}
+
+TEST(ListingTest, HeaderlessListingIsOneKernelNamedByFallback)
+{
+    std::istringstream in("li r2, 1\nhalt\n");
+    const ListingParse p = parseListing(in, "file.s");
+    ASSERT_TRUE(p.ok()) << p.error;
+    ASSERT_EQ(p.kernels.size(), 1u);
+    EXPECT_EQ(p.kernels[0].name, "file.s");
+    EXPECT_EQ(p.kernels[0].code.size(), 2u);
+}
+
+TEST(ListingTest, ReportsParseErrorWithLineNumber)
+{
+    std::istringstream in("k:\n  li r1, 8\n  frobnicate r2\n");
+    const ListingParse p = parseListing(in, "f");
+    ASSERT_FALSE(p.ok());
+    EXPECT_NE(p.error.find("line 3"), std::string::npos) << p.error;
+}
+
+TEST(ListingTest, RoundTripsDisassembledKernel)
+{
+    Kernel k{"roundtrip",
+             {Instr{Opcode::kVaddr, 1, 0, 0, 0},
+              Instr{Opcode::kAddi, 1, 1, 0, 64},
+              Instr{Opcode::kPrefetch, 0, 1, 0, 0},
+              Instr{Opcode::kHalt, 0, 0, 0, 0}}};
+    std::istringstream in(disassemble(k));
+    const ListingParse p = parseListing(in, "f");
+    ASSERT_TRUE(p.ok()) << p.error;
+    ASSERT_EQ(p.kernels.size(), 1u);
+    EXPECT_EQ(p.kernels[0].name, "roundtrip");
+    ASSERT_EQ(p.kernels[0].code.size(), k.code.size());
+    for (std::size_t i = 0; i < k.code.size(); ++i)
+        EXPECT_EQ(disassemble(p.kernels[0].code[i]),
+                  disassemble(k.code[i]));
+}
+
+/** Serves one buffer, then fails the stream (badbit) on refill. */
+class FailingBuf : public std::streambuf
+{
+  public:
+    explicit FailingBuf(std::string head) : head_(std::move(head))
+    {
+        setg(head_.data(), head_.data(), head_.data() + head_.size());
+    }
+
+  protected:
+    int_type
+    underflow() override
+    {
+        throw std::ios_base::failure("simulated read failure");
+    }
+
+  private:
+    std::string head_;
+};
+
+TEST(ListingTest, MidStreamReadFailureIsAnErrorNotATruncatedParse)
+{
+    // The valid prefix parses, then the device dies.  The old code
+    // path returned the prefix as a successful parse.
+    FailingBuf buf("k:\n  li r1, 8\n  halt\n");
+    std::istream in(&buf);
+    const ListingParse p = parseListing(in, "f");
+    ASSERT_TRUE(in.bad());
+    ASSERT_FALSE(p.ok());
+    EXPECT_NE(p.error.find("I/O error"), std::string::npos) << p.error;
+}
+
+} // namespace
+} // namespace epf

@@ -509,7 +509,11 @@ TEST_F(PpfTest, TrappingKernelCounted)
 {
     auto ppf = make();
     KernelBuilder b("trap");
-    b.li(1, 1).li(2, 0).div(1, 1, 2).halt();
+    // The divisor must be dynamic: a literal zero is now a proven
+    // guaranteed trap and strict add() rejects it.  Global 0 is never
+    // written in this test, so the gread yields 0 and the div traps at
+    // run time while the analyzer can only say "may trap".
+    b.li(1, 1).gread(2, 0).div(1, 1, 2).halt();
     KernelId k = ppf->kernels().add(b.build());
     FilterEntry fe;
     fe.base = base();

@@ -16,10 +16,14 @@
  *                                        blank lines ignored)
  *
  * Every diagnostic prints as file:kernel:pc: severity: [code] message.
+ * With --json FILE, the full diagnostic list and the summary counts
+ * are additionally written to FILE as a machine-readable report (CI
+ * archives it as an artifact).
  * Exit status: 2 on usage/parse problems, 1 if any kernel has errors
  * (or, with --werror, any diagnostic at all), 0 when clean.
  */
 
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -31,6 +35,7 @@
 #include "compiler/verify.hpp"
 #include "isa/analysis/verifier.hpp"
 #include "isa/disasm.hpp"
+#include "isa/listing.hpp"
 #include "ppf/lint.hpp"
 #include "sim/event_queue.hpp"
 #include "workloads/workload.hpp"
@@ -40,112 +45,141 @@ namespace
 
 using namespace epf;
 
-struct Counts
+/** Collects every diagnostic (for the JSON report) while printing. */
+struct Sink
 {
+    struct Record
+    {
+        std::string where;
+        std::string kernel;
+        analysis::Diag diag;
+    };
+
+    std::vector<Record> records;
     unsigned errors = 0;
     unsigned warnings = 0;
     unsigned kernels = 0;
 
     void
-    tally(const std::vector<analysis::Diag> &diags)
+    add(const std::string &where, const std::string &kernel,
+        const std::vector<analysis::Diag> &diags)
     {
-        for (const analysis::Diag &d : diags)
+        for (const analysis::Diag &d : diags) {
+            std::cout << where << ":" << kernel;
+            if (d.pc != analysis::kNoPc)
+                std::cout << ":" << d.pc;
+            std::cout << ": " << analysis::severityName(d.severity)
+                      << ": [" << analysis::diagCodeName(d.code) << "] "
+                      << d.message << "\n";
             (d.severity == analysis::Severity::kError ? errors
                                                       : warnings)++;
+            records.push_back({where, kernel, d});
+        }
+    }
+
+    void
+    summarize() const
+    {
+        std::cout << kernels << " kernel(s): " << errors << " error(s), "
+                  << warnings << " warning(s)\n";
     }
 };
 
-void
-printDiags(const std::string &where, const std::string &kernel,
-           const std::vector<analysis::Diag> &diags)
+std::string
+jsonEscape(const std::string &s)
 {
-    for (const analysis::Diag &d : diags) {
-        std::cout << where << ":" << kernel;
-        if (d.pc != analysis::kNoPc)
-            std::cout << ":" << d.pc;
-        std::cout << ": " << analysis::severityName(d.severity) << ": ["
-                  << analysis::diagCodeName(d.code) << "] " << d.message
-                  << "\n";
+    std::string o;
+    o.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': o += "\\\""; break;
+          case '\\': o += "\\\\"; break;
+          case '\n': o += "\\n"; break;
+          case '\t': o += "\\t"; break;
+          case '\r': o += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                o += buf;
+            } else {
+                o += c;
+            }
+        }
     }
+    return o;
 }
 
-/** Parse a disassembly listing into kernels. */
 bool
-parseListing(const std::string &path, std::vector<Kernel> &out)
+writeJson(const std::string &path, const Sink &sink)
 {
-    std::ifstream in(path);
-    if (!in) {
-        std::cerr << "ppulint: cannot open " << path << "\n";
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "ppulint: cannot write " << path << "\n";
         return false;
     }
-    std::string line;
-    unsigned lineno = 0;
-    while (std::getline(in, line)) {
-        ++lineno;
-        const std::size_t hash = line.find('#');
-        if (hash != std::string::npos)
-            line.erase(hash);
-        std::size_t b = line.find_first_not_of(" \t\r");
-        if (b == std::string::npos)
-            continue;
-        std::size_t e = line.find_last_not_of(" \t\r");
-        std::string t = line.substr(b, e - b + 1);
-        if (t.back() == ':' && t.find(' ') == std::string::npos) {
-            out.push_back({t.substr(0, t.size() - 1), {}});
-            continue;
-        }
-        // "N: instr" — the index prefix is optional.
-        const std::size_t colon = t.find(':');
-        if (colon != std::string::npos &&
-            t.find_first_not_of("0123456789", 0) == colon)
-            t = t.substr(colon + 1);
-        if (out.empty())
-            out.push_back({path, {}}); // headerless listing: one kernel
-        try {
-            out.back().code.push_back(parseInstr(t));
-        } catch (const std::invalid_argument &ex) {
-            std::cerr << path << ":" << lineno << ": parse error: "
-                      << ex.what() << "\n";
-            return false;
-        }
+    out << "{\n"
+        << "  \"kernels\": " << sink.kernels << ",\n"
+        << "  \"errors\": " << sink.errors << ",\n"
+        << "  \"warnings\": " << sink.warnings << ",\n"
+        << "  \"diags\": [";
+    for (std::size_t i = 0; i < sink.records.size(); ++i) {
+        const Sink::Record &r = sink.records[i];
+        out << (i ? ",\n    " : "\n    ") << "{\"where\": \""
+            << jsonEscape(r.where) << "\", \"kernel\": \""
+            << jsonEscape(r.kernel) << "\", \"pc\": " << r.diag.pc
+            << ", \"severity\": \""
+            << analysis::severityName(r.diag.severity) << "\", \"code\": \""
+            << analysis::diagCodeName(r.diag.code) << "\", \"instr\": \""
+            << jsonEscape(r.diag.instrText) << "\", \"message\": \""
+            << jsonEscape(r.diag.message) << "\"}";
+    }
+    out << (sink.records.empty() ? "]\n" : "\n  ]\n") << "}\n";
+    out.flush();
+    if (!out) {
+        std::cerr << "ppulint: error writing " << path << "\n";
+        return false;
     }
     return true;
 }
 
 int
-lintFiles(const std::vector<std::string> &paths, bool werror)
+lintFiles(const std::vector<std::string> &paths, Sink &sink)
 {
-    Counts c;
     for (const std::string &path : paths) {
-        std::vector<Kernel> kernels;
-        if (!parseListing(path, kernels))
+        std::ifstream in(path);
+        if (!in) {
+            std::cerr << "ppulint: cannot open " << path << "\n";
             return 2;
+        }
+        ListingParse parsed = parseListing(in, path);
+        if (!parsed.ok()) {
+            std::cerr << path << ": " << parsed.error << "\n";
+            return 2;
+        }
         // A listing is a standalone kernel set: analyze it as its own
         // table so prefetch.cb references between listed kernels (by
         // position) resolve, without any event-context assumptions.
         KernelTable table;
         table.setStrict(false);
-        for (Kernel &k : kernels)
+        for (Kernel &k : parsed.kernels)
             table.add(std::move(k));
         const analysis::TableAnalysis ta = analysis::analyzeTable(table);
         for (std::size_t i = 0; i < ta.kernels.size(); ++i) {
-            printDiags(path, table[static_cast<KernelId>(i)].name,
-                       ta.kernels[i].diags);
-            c.tally(ta.kernels[i].diags);
-            ++c.kernels;
+            sink.add(path, table[static_cast<KernelId>(i)].name,
+                     ta.kernels[i].diags);
+            ++sink.kernels;
         }
-        printDiags(path, "<table>", ta.tableDiags);
-        c.tally(ta.tableDiags);
+        sink.add(path, "<table>", ta.tableDiags);
     }
-    std::cout << c.kernels << " kernel(s): " << c.errors << " error(s), "
-              << c.warnings << " warning(s)\n";
-    return c.errors != 0 || (werror && c.warnings != 0) ? 1 : 0;
+    return 0;
 }
 
 int
-lintWorkloads(bool werror)
+lintWorkloads(Sink &sink)
 {
-    Counts c;
     for (const std::string &name : workloadNames()) {
         WorkloadScale sc;
         sc.factor = 0.02; // kernels don't depend on the data scale
@@ -160,13 +194,11 @@ lintWorkloads(bool werror)
 
         const analysis::TableAnalysis ta = lintPrefetcher(ppf);
         for (std::size_t i = 0; i < ta.kernels.size(); ++i) {
-            printDiags(name, ppf.kernels()[static_cast<KernelId>(i)].name,
-                       ta.kernels[i].diags);
-            c.tally(ta.kernels[i].diags);
-            ++c.kernels;
+            sink.add(name, ppf.kernels()[static_cast<KernelId>(i)].name,
+                     ta.kernels[i].diags);
+            ++sink.kernels;
         }
-        printDiags(name, "<table>", ta.tableDiags);
-        c.tally(ta.tableDiags);
+        sink.add(name, "<table>", ta.tableDiags);
 
         // The compiler paths: verify whatever the passes produce from
         // this workload's IR.
@@ -177,19 +209,15 @@ lintWorkloads(bool werror)
                     continue;
                 const ProgramVerification pv = verifyProgram(res.program);
                 for (std::size_t i = 0; i < pv.kernels.size(); ++i) {
-                    printDiags(name, res.program.kernels[i].name,
-                               pv.kernels[i].diags);
-                    c.tally(pv.kernels[i].diags);
-                    ++c.kernels;
+                    sink.add(name, res.program.kernels[i].name,
+                             pv.kernels[i].diags);
+                    ++sink.kernels;
                 }
-                printDiags(name, "<program>", pv.programDiags);
-                c.tally(pv.programDiags);
+                sink.add(name, "<program>", pv.programDiags);
             }
         }
     }
-    std::cout << c.kernels << " kernel(s): " << c.errors << " error(s), "
-              << c.warnings << " warning(s)\n";
-    return c.errors != 0 || (werror && c.warnings != 0) ? 1 : 0;
+    return 0;
 }
 
 } // namespace
@@ -199,6 +227,7 @@ main(int argc, char **argv)
 {
     bool werror = false;
     bool workloads = false;
+    std::string jsonPath;
     std::vector<std::string> paths;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -206,9 +235,15 @@ main(int argc, char **argv)
             werror = true;
         else if (arg == "--workloads")
             workloads = true;
-        else if (arg == "--help" || arg == "-h") {
-            std::cout << "usage: ppulint [--werror] --workloads | "
-                         "file.s [file2.s...]\n";
+        else if (arg == "--json") {
+            if (i + 1 >= argc) {
+                std::cerr << "ppulint: --json needs a file argument\n";
+                return 2;
+            }
+            jsonPath = argv[++i];
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout << "usage: ppulint [--werror] [--json FILE] "
+                         "--workloads | file.s [file2.s...]\n";
             return 0;
         } else if (!arg.empty() && arg[0] == '-') {
             std::cerr << "ppulint: unknown option " << arg << "\n";
@@ -217,10 +252,18 @@ main(int argc, char **argv)
             paths.push_back(arg);
         }
     }
-    if (workloads && paths.empty())
-        return lintWorkloads(werror);
-    if (!workloads && !paths.empty())
-        return lintFiles(paths, werror);
-    std::cerr << "usage: ppulint [--werror] --workloads | file.s...\n";
-    return 2;
+    if (workloads == !paths.empty()) {
+        std::cerr << "usage: ppulint [--werror] [--json FILE] "
+                     "--workloads | file.s...\n";
+        return 2;
+    }
+
+    Sink sink;
+    const int rc = workloads ? lintWorkloads(sink) : lintFiles(paths, sink);
+    if (rc != 0)
+        return rc;
+    sink.summarize();
+    if (!jsonPath.empty() && !writeJson(jsonPath, sink))
+        return 2;
+    return sink.errors != 0 || (werror && sink.warnings != 0) ? 1 : 0;
 }
