@@ -9,6 +9,11 @@
  * generation built from the traversal idioms the pre-decoder fuses —
  * address bump feeding a line load, mask+shift hashing, pointer
  * arithmetic feeding a prefetch, and counter+branch loop control.
+ * One level up, the pointer-chase and callback-chain loops decode to
+ * the canonical chase-loop superblock shape (fused bump+load, fused
+ * hash+prefetch, self-loop branch) that the superblock layer executes
+ * dispatch-free, while the hash-probe loop exercises the generic
+ * positional-dispatch superblock path.
  */
 
 #ifndef EPF_BENCH_INTERP_KERNELS_HPP

@@ -174,9 +174,12 @@ BENCHMARK(BM_Interpreter);
 
 /**
  * Reference switch interpreter vs the pre-decoded direct-threaded one
- * on the three kernel shapes of tools/bench_interp.  Items processed =
- * architectural PPU instructions, so items/s compares directly across
- * the Ref/Decoded pairs (both execute the same instruction stream).
+ * (superblocks off — the PR 5 decoded baseline) vs the superblock
+ * interpreter (the PPF default) on the three kernel shapes of
+ * tools/bench_interp.  Items processed = architectural PPU
+ * instructions, so items/s compares directly across the
+ * Ref/Decoded/Superblock triples (all execute the same instruction
+ * stream).
  */
 void
 runInterpRef(benchmark::State &state, const epf::Kernel &k)
@@ -196,10 +199,13 @@ runInterpRef(benchmark::State &state, const epf::Kernel &k)
 }
 
 void
-runInterpDecoded(benchmark::State &state, const epf::Kernel &k)
+runInterpPredecoded(benchmark::State &state, const epf::Kernel &k,
+                    bool superblocks)
 {
     const epf::bench::BenchInput in;
-    const epf::DecodedKernel dk(k); // decoded once, as in the PPF cache
+    // Decoded once, as in the PPF cache; superblocks off is the PR 5
+    // decoded baseline, on is what the PPF actually runs.
+    const epf::DecodedKernel dk(k, superblocks);
     std::vector<epf::PrefetchEmit> emits;
     emits.reserve(64);
     std::uint64_t instrs = 0;
@@ -211,6 +217,18 @@ runInterpDecoded(benchmark::State &state, const epf::Kernel &k)
         benchmark::DoNotOptimize(emits.data());
     }
     state.SetItemsProcessed(static_cast<std::int64_t>(instrs));
+}
+
+void
+runInterpDecoded(benchmark::State &state, const epf::Kernel &k)
+{
+    runInterpPredecoded(state, k, /*superblocks=*/false);
+}
+
+void
+runInterpSuperblock(benchmark::State &state, const epf::Kernel &k)
+{
+    runInterpPredecoded(state, k, /*superblocks=*/true);
 }
 
 void
@@ -228,6 +246,13 @@ BM_InterpreterPointerChaseDecoded(benchmark::State &state)
 BENCHMARK(BM_InterpreterPointerChaseDecoded);
 
 void
+BM_InterpreterPointerChaseSuperblock(benchmark::State &state)
+{
+    runInterpSuperblock(state, epf::bench::pointerChaseKernel());
+}
+BENCHMARK(BM_InterpreterPointerChaseSuperblock);
+
+void
 BM_InterpreterHashProbeRef(benchmark::State &state)
 {
     runInterpRef(state, epf::bench::hashProbeKernel());
@@ -242,6 +267,13 @@ BM_InterpreterHashProbeDecoded(benchmark::State &state)
 BENCHMARK(BM_InterpreterHashProbeDecoded);
 
 void
+BM_InterpreterHashProbeSuperblock(benchmark::State &state)
+{
+    runInterpSuperblock(state, epf::bench::hashProbeKernel());
+}
+BENCHMARK(BM_InterpreterHashProbeSuperblock);
+
+void
 BM_InterpreterCallbackChainRef(benchmark::State &state)
 {
     runInterpRef(state, epf::bench::callbackChainKernel());
@@ -254,6 +286,13 @@ BM_InterpreterCallbackChainDecoded(benchmark::State &state)
     runInterpDecoded(state, epf::bench::callbackChainKernel());
 }
 BENCHMARK(BM_InterpreterCallbackChainDecoded);
+
+void
+BM_InterpreterCallbackChainSuperblock(benchmark::State &state)
+{
+    runInterpSuperblock(state, epf::bench::callbackChainKernel());
+}
+BENCHMARK(BM_InterpreterCallbackChainSuperblock);
 
 void
 BM_ConversionPass(benchmark::State &state)

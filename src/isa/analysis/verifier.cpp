@@ -222,6 +222,20 @@ mayTrap(const Instr &in, const KernelContext &ctx)
     }
 }
 
+std::vector<BlockWeight>
+blockWeights(const Cfg &cfg, const std::vector<Instr> &code)
+{
+    std::vector<BlockWeight> out(cfg.size());
+    for (std::size_t b = 0; b < cfg.size(); ++b) {
+        const Block &blk = cfg.blocks()[b];
+        out[b].cycles = blk.length(); // 1 cycle per executed instruction
+        for (std::uint32_t pc = blk.first; pc <= blk.last; ++pc)
+            if (isEmit(code[pc].op))
+                ++out[b].emits;
+    }
+    return out;
+}
+
 KernelAnalysis
 analyzeKernel(const Kernel &k, const KernelContext &ctx)
 {
@@ -490,28 +504,24 @@ analyzeKernel(const Kernel &k, const KernelContext &ctx)
         out.maxCycles = kMaxKernelSteps;
         out.maxEmits = kMaxKernelSteps; // at most one emit per cycle
     } else {
-        // Longest path over the DAG in reverse postorder.  Every
-        // executed instruction (including a trapping one) charges one
-        // cycle; the boundary trap charges none — so a block's weight
-        // is simply its length.  The two maxima are taken over
-        // independent paths; each is attained by a real CFG path.
+        // Longest path over the DAG in reverse postorder, with the
+        // shared per-block weights (blockWeights) as edge costs — the
+        // same exact block totals superblock execution bulk-charges.
+        // The two maxima are taken over independent paths; each is
+        // attained by a real CFG path.
         const std::size_t nb = cfg.size();
+        const std::vector<BlockWeight> w = blockWeights(cfg, code);
         std::vector<std::uint32_t> cyc(nb, 0);
         std::vector<std::uint32_t> emit(nb, 0);
         for (std::uint32_t b : cfg.rpo()) {
-            const Block &blk = cfg.blocks()[b];
             std::uint32_t bestC = 0;
             std::uint32_t bestE = 0;
             for (std::uint32_t p : cfg.preds(b)) {
                 bestC = std::max(bestC, cyc[p]);
                 bestE = std::max(bestE, emit[p]);
             }
-            std::uint32_t emits = 0;
-            for (std::uint32_t pc = blk.first; pc <= blk.last; ++pc)
-                if (isEmit(code[pc].op))
-                    ++emits;
-            cyc[b] = bestC + blk.length();
-            emit[b] = bestE + emits;
+            cyc[b] = bestC + w[b].cycles;
+            emit[b] = bestE + w[b].emits;
             out.maxCycles = std::max(out.maxCycles, cyc[b]);
             out.maxEmits = std::max(out.maxEmits, emit[b]);
         }

@@ -109,6 +109,28 @@ bool alwaysTraps(const Instr &in, const KernelContext &ctx);
  */
 bool mayTrap(const Instr &in, const KernelContext &ctx);
 
+/** Exact execution weight of one basic block. */
+struct BlockWeight
+{
+    /** Architectural cycles charged when the block runs start to end
+     *  (1 cycle per executed instruction, including a trapping
+     *  terminator's charged fetch; the boundary trap charges none). */
+    std::uint32_t cycles = 0;
+    /** Prefetches emitted when the block runs start to end. */
+    std::uint32_t emits = 0;
+};
+
+/**
+ * Per-block weights over @p cfg (one entry per block, indexed by block
+ * id).  Exact for straight-line execution — these are the edge weights
+ * of the verifier's longest-path cost pass and the block-level cycle
+ * accounting superblock execution bulk-charges (predecode.cpp): a
+ * superblock covering a whole basic block must charge exactly
+ * weights[b].cycles and emit exactly weights[b].emits.
+ */
+std::vector<BlockWeight> blockWeights(const Cfg &cfg,
+                                      const std::vector<Instr> &code);
+
 /** Everything the analyzer proved about one kernel. */
 struct KernelAnalysis
 {

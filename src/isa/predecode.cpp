@@ -1,8 +1,11 @@
 #include "isa/predecode.hpp"
 
+#include "isa/analysis/cfg.hpp"
 #include "isa/analysis/dataflow.hpp"
 #include "isa/analysis/verifier.hpp"
 
+#include <bit>
+#include <cassert>
 #include <cstring>
 #include <limits>
 #include <mutex>
@@ -40,7 +43,7 @@ constexpr std::uint32_t kCtrlStep = kCtrlBase + 2;
     N(Vaddr) N(LineBase) X(LdLine) X(LdLine32) X(Gread) X(Lookahead)        \
     N(Prefetch) N(PrefetchTag) N(PrefetchCb)                                \
     N(Beq) N(Bne) N(Blt) N(Bge) N(Jmp)                                      \
-    X(Trap) X(Boundary)                                                     \
+    X(Trap) X(Boundary) X(Superblock)                                       \
     X(LiPrefetch) X(LiPrefetchTag) X(LiPrefetchCb)                          \
     X(AddPrefetch) X(AddPrefetchTag) X(AddPrefetchCb)                       \
     X(AddiLdLine) X(AndiShli) X(AndShli)                                    \
@@ -423,6 +426,430 @@ EPF_BODY(Boundary)
     return kCtrlTrap;
 }
 
+/** Superblock slow path: one indirect call through the handler table
+ *  (defined after the wrappers below) on the head's original op. */
+std::uint32_t dispatchSlow(const DecodedInstr &d, std::uint32_t ip,
+                           ExecState &st, Hot &hot);
+
+/**
+ * Execute one constituent op of a superblock's fast path against the
+ * host-local register file @p r.  No budget checks, no trap checks, no
+ * control flow: formation admitted only ops that cannot trap under the
+ * block-entry guards, and the whole block's budget was verified up
+ * front.  Emits stage through the shared buffer exactly as the
+ * interpreted ops would, so the emit sequence is bit-identical.
+ */
+EPF_ALWAYS_INLINE void
+execBlockOp(const DecodedInstr &o, std::uint64_t *r, ExecState &st,
+            Hot &hot)
+{
+    switch (o.op) {
+      case DecodedOp::kNop: break;
+      case DecodedOp::kLi:
+        r[o.rd] = static_cast<std::uint64_t>(o.imm);
+        break;
+      case DecodedOp::kMov: r[o.rd] = r[o.rs]; break;
+      case DecodedOp::kAdd: r[o.rd] = r[o.rs] + r[o.rt]; break;
+      case DecodedOp::kSub: r[o.rd] = r[o.rs] - r[o.rt]; break;
+      case DecodedOp::kMul: r[o.rd] = r[o.rs] * r[o.rt]; break;
+      case DecodedOp::kDiv:
+        // Admitted only when the trap-free bitmap proves the divisor
+        // can never be 0 (nor the INT64_MIN / -1 pair) at this pc.
+        r[o.rd] = static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(r[o.rs]) /
+            static_cast<std::int64_t>(r[o.rt]));
+        break;
+      case DecodedOp::kAnd: r[o.rd] = r[o.rs] & r[o.rt]; break;
+      case DecodedOp::kOr: r[o.rd] = r[o.rs] | r[o.rt]; break;
+      case DecodedOp::kXor: r[o.rd] = r[o.rs] ^ r[o.rt]; break;
+      case DecodedOp::kShl: r[o.rd] = r[o.rs] << (r[o.rt] & 63); break;
+      case DecodedOp::kShr: r[o.rd] = r[o.rs] >> (r[o.rt] & 63); break;
+      case DecodedOp::kAddi:
+        r[o.rd] = r[o.rs] + static_cast<std::uint64_t>(o.imm);
+        break;
+      case DecodedOp::kMuli:
+        r[o.rd] = r[o.rs] * static_cast<std::uint64_t>(o.imm);
+        break;
+      case DecodedOp::kDivi:
+        // Proven: imm != 0 (hoisted at decode) and no overflow pair.
+        r[o.rd] = static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(r[o.rs]) / o.imm);
+        break;
+      case DecodedOp::kAndi:
+        r[o.rd] = r[o.rs] & static_cast<std::uint64_t>(o.imm);
+        break;
+      case DecodedOp::kShli: r[o.rd] = r[o.rs] << o.imm; break;
+      case DecodedOp::kShri: r[o.rd] = r[o.rs] >> o.imm; break;
+      case DecodedOp::kVaddr: r[o.rd] = st.ctx->vaddr; break;
+      case DecodedOp::kLineBase:
+        r[o.rd] = lineAlign(st.ctx->vaddr);
+        break;
+      case DecodedOp::kLdLine: // guarded by needsLine
+        r[o.rd] = lineWord64(st, r[o.rs], o.imm);
+        break;
+      case DecodedOp::kLdLine32: {
+        const unsigned off = static_cast<unsigned>(
+            (r[o.rs] + static_cast<std::uint64_t>(o.imm)) &
+            (kLineBytes - 4));
+        std::uint32_t v;
+        std::memcpy(&v, st.ctx->line.data() + off, 4);
+        r[o.rd] = v;
+        break;
+      }
+      case DecodedOp::kGread: // guarded by needsGlobals; index in range
+        r[o.rd] = st.ctx->globalRegs[o.imm];
+        break;
+      case DecodedOp::kLookahead: // guarded by lookaheadMax
+        r[o.rd] = st.ctx->lookahead[o.imm];
+        break;
+      case DecodedOp::kPrefetch:
+        emitOne(st, hot, r[o.rs], -1, kNoKernel);
+        break;
+      case DecodedOp::kPrefetchTag:
+        emitOne(st, hot, r[o.rs], static_cast<std::int32_t>(o.imm),
+                kNoKernel);
+        break;
+      case DecodedOp::kPrefetchCb:
+        emitOne(st, hot, r[o.rs], -1, static_cast<KernelId>(o.imm));
+        break;
+      case DecodedOp::kLiPrefetch:
+      case DecodedOp::kLiPrefetchTag:
+      case DecodedOp::kLiPrefetchCb: {
+        const std::uint64_t v = static_cast<std::uint64_t>(o.imm);
+        r[o.rd] = v;
+        emitOne(st, hot, v,
+                o.op == DecodedOp::kLiPrefetchTag
+                    ? static_cast<std::int32_t>(o.imm2)
+                    : -1,
+                o.op == DecodedOp::kLiPrefetchCb
+                    ? static_cast<KernelId>(o.imm2)
+                    : kNoKernel);
+        break;
+      }
+      case DecodedOp::kAddPrefetch:
+      case DecodedOp::kAddPrefetchTag:
+      case DecodedOp::kAddPrefetchCb: {
+        const std::uint64_t v = r[o.rs] + r[o.rt];
+        r[o.rd] = v;
+        emitOne(st, hot, v,
+                o.op == DecodedOp::kAddPrefetchTag
+                    ? static_cast<std::int32_t>(o.imm2)
+                    : -1,
+                o.op == DecodedOp::kAddPrefetchCb
+                    ? static_cast<KernelId>(o.imm2)
+                    : kNoKernel);
+        break;
+      }
+      case DecodedOp::kAddiLdLine: { // guarded by needsLine
+        const std::uint64_t addr =
+            r[o.rs] + static_cast<std::uint64_t>(o.imm);
+        r[o.rd] = addr;
+        r[o.rd2] = lineWord64(st, addr, o.imm2);
+        break;
+      }
+      case DecodedOp::kAndiShli: {
+        const std::uint64_t v =
+            r[o.rs] & static_cast<std::uint64_t>(o.imm);
+        r[o.rd] = v;
+        r[o.rd2] = v << o.imm2;
+        break;
+      }
+      case DecodedOp::kAndShli: {
+        const std::uint64_t v = r[o.rs] & r[o.rt];
+        r[o.rd] = v;
+        r[o.rd2] = v << o.imm2;
+        break;
+      }
+      case DecodedOp::kHashiPrefetch:
+      case DecodedOp::kHashiPrefetchTag:
+      case DecodedOp::kHashiPrefetchCb: {
+        std::uint64_t v = r[o.rs] & static_cast<std::uint64_t>(o.imm);
+        r[o.rd] = v;
+        v <<= o.rt;
+        r[o.rd2] = v;
+        v += r[o.rt2];
+        r[o.rs2] = v;
+        emitOne(st, hot, v,
+                o.op == DecodedOp::kHashiPrefetchTag
+                    ? static_cast<std::int32_t>(o.imm2)
+                    : -1,
+                o.op == DecodedOp::kHashiPrefetchCb
+                    ? static_cast<KernelId>(o.imm2)
+                    : kNoKernel);
+        break;
+      }
+      case DecodedOp::kHashrPrefetch:
+      case DecodedOp::kHashrPrefetchTag:
+      case DecodedOp::kHashrPrefetchCb: {
+        std::uint64_t v = r[o.rs] & r[o.rt];
+        r[o.rd] = v;
+        v <<= o.imm;
+        r[o.rd2] = v;
+        v += r[o.rt2];
+        r[o.rs2] = v;
+        emitOne(st, hot, v,
+                o.op == DecodedOp::kHashrPrefetchTag
+                    ? static_cast<std::int32_t>(o.imm2)
+                    : -1,
+                o.op == DecodedOp::kHashrPrefetchCb
+                    ? static_cast<KernelId>(o.imm2)
+                    : kNoKernel);
+        break;
+      }
+      default: // formation admits no other op
+        break;
+    }
+}
+
+EPF_BODY(Superblock)
+{
+    const SuperBlock &sb = st.blocks[d.target];
+    // Block-entry check: whole-run budget plus every guard.  The
+    // budget comparison mirrors the dispatcher's per-op check — when
+    // cycles + sb.cycles == maxSteps the reference executes every
+    // constituent op (each fetch still sees cycles < maxSteps) and
+    // stops after, which the dispatcher's next check reproduces.
+    if (hot.cycles + sb.cycles <= hot.maxSteps &&
+        (!sb.needsLine || st.ctx->hasLine) &&
+        (!sb.needsGlobals || st.ctx->globalRegs != nullptr) &&
+        (sb.lookaheadMax < 0 ||
+         (st.ctx->lookahead != nullptr &&
+          static_cast<std::uint64_t>(sb.lookaheadMax) <
+              st.ctx->lookaheadEntries))) [[likely]] {
+        std::uint32_t next;
+        if (sb.shape == SuperBlock::Shape::kChaseLoop) {
+            // Dispatch-free chase loop: both fused bodies and the
+            // terminator compare run as straight-line host code.
+            // Iterates while the branch stays taken and the budget
+            // covers another full run — same exit conditions as the
+            // generic batching loop below, same bit-exact op semantics
+            // as execBlockOp's kAddiLdLine and hash-quad cases.  The
+            // handful of registers the shape touches are materialised
+            // as individual host locals (no register-file copy at
+            // all); everything else in st.regs is untouched by
+            // construction.  Decode-time constants also live in scalar
+            // locals: reads through sb.ops references would reload
+            // every iteration because the compiler cannot prove
+            // emitOne's stores (through st.stage) never alias the ops
+            // vector.
+            const DecodedInstr &a = sb.ops[0];
+            const DecodedInstr &h = sb.ops[1];
+            const DecodedInstr &t = sb.term;
+            const unsigned aRs = a.rs, aRd = a.rd, aRd2 = a.rd2;
+            const std::uint64_t aImm = static_cast<std::uint64_t>(a.imm);
+            const std::int64_t aOff = a.imm2;
+            const unsigned hRt = h.rt, hRd = h.rd;
+            const unsigned hRd2 = h.rd2, hRt2 = h.rt2, hRs2 = h.rs2;
+            const bool rform = h.op == DecodedOp::kHashrPrefetch ||
+                               h.op == DecodedOp::kHashrPrefetchTag ||
+                               h.op == DecodedOp::kHashrPrefetchCb;
+            const std::uint64_t mask = static_cast<std::uint64_t>(h.imm);
+            const unsigned shift =
+                rform ? static_cast<unsigned>(h.imm) : h.rt;
+            const std::int32_t tag =
+                (h.op == DecodedOp::kHashiPrefetchTag ||
+                 h.op == DecodedOp::kHashrPrefetchTag)
+                    ? static_cast<std::int32_t>(h.imm2)
+                    : -1;
+            const KernelId cb =
+                (h.op == DecodedOp::kHashiPrefetchCb ||
+                 h.op == DecodedOp::kHashrPrefetchCb)
+                    ? static_cast<KernelId>(h.imm2)
+                    : kNoKernel;
+            const DecodedOp termOp = t.op;
+            const std::uint32_t fall = sb.fallthrough;
+            const std::uint32_t cyc = sb.cycles;
+            // Formation proved the canonical dataflow, so the whole
+            // loop-carried state lives in host registers: the cursor
+            // (bumped in place, never clobbered), the loop limit, the
+            // rebase addend and the r-form mask (all invariant), and
+            // the link/hash temporaries (consumed within their own
+            // iteration).  r[] is written once, after the loop, in
+            // program-op order — every in-loop store would be dead.
+            std::uint64_t cursor = st.regs[aRs];
+            const std::uint64_t lim = st.regs[t.rt];
+            const std::uint64_t rebase = st.regs[hRt2];
+            const std::uint64_t maskV = rform ? st.regs[hRt] : mask;
+            // st.stage and st.ctx->line reload every iteration if read
+            // through st (the emit stores could alias them for all the
+            // compiler knows) — hoist them, and run the emit counter
+            // in a local synced back at loop exit and around flushes.
+            const std::byte *const lineP = st.ctx->line.data();
+            PrefetchEmit *const stage = st.stage;
+            std::uint32_t emitted = hot.emitted;
+            // hot escapes into dispatchSlow, so its fields round-trip
+            // memory each iteration unless run in locals too.
+            std::uint32_t cycles = hot.cycles;
+            const std::uint32_t maxSteps = hot.maxSteps;
+            std::uint64_t link = 0, masked = 0, shifted = 0, out = 0;
+            for (;;) {
+                cursor += aImm;
+                const unsigned lineOff = static_cast<unsigned>(
+                    (cursor + static_cast<std::uint64_t>(aOff)) &
+                    (kLineBytes - 8));
+                std::memcpy(&link, lineP + lineOff, 8);
+                masked = link & maskV;
+                shifted = masked << shift;
+                out = shifted + rebase;
+                PrefetchEmit &e = stage[emitted & (kStageCap - 1)];
+                e.vaddr = out;
+                e.tag = tag;
+                e.cbKernel = cb;
+                if (((++emitted) & (kStageCap - 1)) == 0) {
+                    hot.emitted = emitted;
+                    flushStage(st, emitted);
+                }
+                cycles += cyc;
+                bool taken;
+                switch (termOp) {
+                  case DecodedOp::kBeq: taken = cursor == lim; break;
+                  case DecodedOp::kBne: taken = cursor != lim; break;
+                  case DecodedOp::kBlt:
+                    taken = static_cast<std::int64_t>(cursor) <
+                            static_cast<std::int64_t>(lim);
+                    break;
+                  default: // kBge; formation admits no other terminator
+                    taken = static_cast<std::int64_t>(cursor) >=
+                            static_cast<std::int64_t>(lim);
+                    break;
+                }
+                if (!taken) {
+                    next = fall;
+                    break;
+                }
+                if (cycles + cyc > maxSteps) {
+                    next = ip; // dispatcher stops or takes the slow path
+                    break;
+                }
+            }
+            hot.emitted = emitted;
+            hot.cycles = cycles;
+            st.regs[aRd] = cursor;
+            st.regs[aRd2] = link;
+            st.regs[hRd] = masked;
+            st.regs[hRd2] = shifted;
+            st.regs[hRs2] = out;
+            return next;
+        }
+        // Materialise the live-in registers in host locals: the
+        // constituent ops read and write r[], and the architectural
+        // file sees one write-back of the defined registers at block
+        // exit — the formation-computed dataflow masks turn two full
+        // register-file copies into a few scalar moves.  A self-looping
+        // block (terminator branching back to its own head) iterates
+        // HERE while the budget covers another full run: guards are
+        // event-invariant and the register file stays local across
+        // iterations, so the whole loop pays one dispatch, one guard
+        // check and one register round trip instead of one per
+        // iteration.
+        std::uint64_t r[kPpuRegs];
+        for (unsigned m = sb.liveIn; m != 0; m &= m - 1) {
+            const unsigned i = static_cast<unsigned>(std::countr_zero(m));
+            r[i] = st.regs[i];
+        }
+        const DecodedInstr *const ops = sb.ops.data();
+        const std::uint32_t nOps =
+            static_cast<std::uint32_t>(sb.ops.size());
+        for (;;) {
+            // Duff-style positional unroll: each block position gets
+            // its own inlined op switch, i.e. its own host indirect
+            // branch — per-position successor history for the branch
+            // predictor, like the outer loop's per-op dispatch labels,
+            // instead of one shared (serially mispredicting) site.
+            const DecodedInstr *o = ops;
+            for (std::uint32_t rem = nOps; rem != 0;) {
+                switch (rem > 8 ? 8 : rem) {
+                  case 8: execBlockOp(*o++, r, st, hot); [[fallthrough]];
+                  case 7: execBlockOp(*o++, r, st, hot); [[fallthrough]];
+                  case 6: execBlockOp(*o++, r, st, hot); [[fallthrough]];
+                  case 5: execBlockOp(*o++, r, st, hot); [[fallthrough]];
+                  case 4: execBlockOp(*o++, r, st, hot); [[fallthrough]];
+                  case 3: execBlockOp(*o++, r, st, hot); [[fallthrough]];
+                  case 2: execBlockOp(*o++, r, st, hot); [[fallthrough]];
+                  default: execBlockOp(*o++, r, st, hot);
+                }
+                rem -= rem > 8 ? 8 : rem;
+            }
+            hot.cycles += sb.cycles; // exact architectural total
+            next = sb.fallthrough;
+            if (sb.hasTerm) {
+                const DecodedInstr &t = sb.term;
+                switch (t.op) {
+                  case DecodedOp::kHalt: next = kCtrlHalt; break;
+                  case DecodedOp::kJmp: next = t.target; break;
+                  case DecodedOp::kBeq:
+                    next = r[t.rs] == r[t.rt] ? t.target : sb.fallthrough;
+                    break;
+                  case DecodedOp::kBne:
+                    next = r[t.rs] != r[t.rt] ? t.target : sb.fallthrough;
+                    break;
+                  case DecodedOp::kBlt:
+                    next = static_cast<std::int64_t>(r[t.rs]) <
+                                   static_cast<std::int64_t>(r[t.rt])
+                               ? t.target
+                               : sb.fallthrough;
+                    break;
+                  case DecodedOp::kBge:
+                    next = static_cast<std::int64_t>(r[t.rs]) >=
+                                   static_cast<std::int64_t>(r[t.rt])
+                               ? t.target
+                               : sb.fallthrough;
+                    break;
+                  default: {
+                    // Fused ALU+branch terminator: apply the ALU half
+                    // to the local file, then branch on the value.
+                    std::uint64_t v;
+                    if (t.op == DecodedOp::kSubBeq ||
+                        t.op == DecodedOp::kSubBne)
+                        v = r[t.rs] - r[t.rt];
+                    else if (t.op == DecodedOp::kAndiBeq ||
+                             t.op == DecodedOp::kAndiBne)
+                        v = r[t.rs] & static_cast<std::uint64_t>(t.imm);
+                    else
+                        v = r[t.rs] + static_cast<std::uint64_t>(t.imm);
+                    r[t.rd] = v;
+                    bool taken;
+                    switch (t.op) {
+                      case DecodedOp::kAddiBeq:
+                      case DecodedOp::kAndiBeq:
+                      case DecodedOp::kSubBeq:
+                        taken = v == r[t.rt2];
+                        break;
+                      case DecodedOp::kAddiBne:
+                      case DecodedOp::kAndiBne:
+                      case DecodedOp::kSubBne:
+                        taken = v != r[t.rt2];
+                        break;
+                      case DecodedOp::kAddiBlt:
+                        taken = static_cast<std::int64_t>(v) <
+                                static_cast<std::int64_t>(r[t.rt2]);
+                        break;
+                      default: // kAddiBge
+                        taken = static_cast<std::int64_t>(v) >=
+                                static_cast<std::int64_t>(r[t.rt2]);
+                        break;
+                    }
+                    next = taken ? t.target : sb.fallthrough;
+                    break;
+                  }
+                }
+            }
+            if (next != ip || hot.cycles + sb.cycles > hot.maxSteps)
+                break;
+        }
+        for (unsigned m = sb.defs; m != 0; m &= m - 1) {
+            const unsigned i = static_cast<unsigned>(std::countr_zero(m));
+            st.regs[i] = r[i];
+        }
+        return next;
+    }
+    // Slow path: the budget cannot cover the run or a guard failed.
+    // Execute the head's original op through the handler table; control
+    // then falls into the interior slots, which kept their original
+    // decoded ops — charging and trapping exactly as the reference.
+    return dispatchSlow(sb.head, ip, st, hot);
+}
+
 // ---- fused macro-ops -------------------------------------------------
 //
 // Every fused body applies its first architectural op unconditionally
@@ -611,6 +1038,13 @@ EPF_DECODED_OPS(EPF_HANDLER, EPF_HANDLER)
 constexpr detail::Handler kHandlers[] = {
     EPF_DECODED_OPS(EPF_HANDLER_ENTRY, EPF_HANDLER_ENTRY)};
 #undef EPF_HANDLER_ENTRY
+
+std::uint32_t
+dispatchSlow(const DecodedInstr &d, std::uint32_t ip, ExecState &st,
+             Hot &hot)
+{
+    return kHandlers[static_cast<unsigned>(d.op)](d, ip, st, hot);
+}
 
 bool
 isCondBranch(Opcode op)
@@ -872,7 +1306,118 @@ tryFuseHash(const Instr &a, const Instr &b, const Instr &c,
 // Decoder
 // ---------------------------------------------------------------------
 
-DecodedKernel::DecodedKernel(const Kernel &k) : src_(k.code)
+namespace
+{
+
+/** How superblock formation treats one decoded slot. */
+enum class SlotKind
+{
+    kBody,  ///< joins a run (possibly behind a block-entry guard)
+    kProof, ///< joins only when the trap-free bitmap proves the pc
+    kTerm,  ///< branch/jmp/halt: may close a run as its terminator
+    kStop,  ///< never joins (kTrap, kBoundary, unknown)
+};
+
+SlotKind
+slotKind(DecodedOp op)
+{
+    switch (op) {
+      case DecodedOp::kNop:
+      case DecodedOp::kLi:
+      case DecodedOp::kMov:
+      case DecodedOp::kAdd:
+      case DecodedOp::kSub:
+      case DecodedOp::kMul:
+      case DecodedOp::kAnd:
+      case DecodedOp::kOr:
+      case DecodedOp::kXor:
+      case DecodedOp::kShl:
+      case DecodedOp::kShr:
+      case DecodedOp::kAddi:
+      case DecodedOp::kMuli:
+      case DecodedOp::kAndi:
+      case DecodedOp::kShli:
+      case DecodedOp::kShri:
+      case DecodedOp::kVaddr:
+      case DecodedOp::kLineBase:
+      case DecodedOp::kPrefetch:
+      case DecodedOp::kPrefetchTag:
+      case DecodedOp::kPrefetchCb:
+      case DecodedOp::kLiPrefetch:
+      case DecodedOp::kLiPrefetchTag:
+      case DecodedOp::kLiPrefetchCb:
+      case DecodedOp::kAddPrefetch:
+      case DecodedOp::kAddPrefetchTag:
+      case DecodedOp::kAddPrefetchCb:
+      case DecodedOp::kAndiShli:
+      case DecodedOp::kAndShli:
+      case DecodedOp::kHashiPrefetch:
+      case DecodedOp::kHashiPrefetchTag:
+      case DecodedOp::kHashiPrefetchCb:
+      case DecodedOp::kHashrPrefetch:
+      case DecodedOp::kHashrPrefetchTag:
+      case DecodedOp::kHashrPrefetchCb:
+      // Conditionally-trapping ops whose only trap condition is an
+      // event property the block-entry guard checks:
+      case DecodedOp::kLdLine:
+      case DecodedOp::kLdLine32:
+      case DecodedOp::kAddiLdLine:
+      case DecodedOp::kGread:
+      case DecodedOp::kLookahead:
+        return SlotKind::kBody;
+      case DecodedOp::kDiv:
+      case DecodedOp::kDivi:
+        return SlotKind::kProof;
+      case DecodedOp::kHalt:
+      case DecodedOp::kJmp:
+      case DecodedOp::kBeq:
+      case DecodedOp::kBne:
+      case DecodedOp::kBlt:
+      case DecodedOp::kBge:
+      case DecodedOp::kAddiBeq:
+      case DecodedOp::kAddiBne:
+      case DecodedOp::kAddiBlt:
+      case DecodedOp::kAddiBge:
+      case DecodedOp::kAndiBeq:
+      case DecodedOp::kAndiBne:
+      case DecodedOp::kSubBeq:
+      case DecodedOp::kSubBne:
+        return SlotKind::kTerm;
+      default:
+        return SlotKind::kStop;
+    }
+}
+
+/** Prefetches one decoded slot emits when it executes fully. */
+std::uint32_t
+slotEmits(DecodedOp op)
+{
+    switch (op) {
+      case DecodedOp::kPrefetch:
+      case DecodedOp::kPrefetchTag:
+      case DecodedOp::kPrefetchCb:
+      case DecodedOp::kLiPrefetch:
+      case DecodedOp::kLiPrefetchTag:
+      case DecodedOp::kLiPrefetchCb:
+      case DecodedOp::kAddPrefetch:
+      case DecodedOp::kAddPrefetchTag:
+      case DecodedOp::kAddPrefetchCb:
+      case DecodedOp::kHashiPrefetch:
+      case DecodedOp::kHashiPrefetchTag:
+      case DecodedOp::kHashiPrefetchCb:
+      case DecodedOp::kHashrPrefetch:
+      case DecodedOp::kHashrPrefetchTag:
+      case DecodedOp::kHashrPrefetchCb:
+        return 1;
+      default:
+        return 0;
+    }
+}
+
+} // namespace
+
+DecodedKernel::DecodedKernel(const Kernel &k, bool superblocks)
+    : src_(k.code), superblocksEnabled_(superblocks)
 {
     const std::size_t size = src_.size();
 
@@ -922,10 +1467,14 @@ DecodedKernel::DecodedKernel(const Kernel &k) : src_(k.code)
     std::vector<Patch> patches;
 
     prog_.reserve(size + 1);
+    /** First arch pc of each decoded slot (for the region oracle). */
+    std::vector<std::uint32_t> slotArch;
+    slotArch.reserve(size + 1);
     std::size_t i = 0;
     while (i < size) {
         const auto slot = static_cast<std::uint32_t>(prog_.size());
         origToDecoded[i] = slot;
+        slotArch.push_back(static_cast<std::uint32_t>(i));
         DecodedInstr d;
         std::size_t consumed = 1;
         if (i < df.alwaysTrapsPc.size() && df.alwaysTrapsPc[i]) {
@@ -980,6 +1529,276 @@ DecodedKernel::DecodedKernel(const Kernel &k) : src_(k.code)
              p.origTarget < static_cast<std::int64_t>(size))
                 ? origToDecoded[static_cast<std::size_t>(p.origTarget)]
                 : n;
+    }
+
+    // ---- superblock formation ---------------------------------------
+    // Identify maximal straight-line runs of decoded slots between CFG
+    // leaders in reachable blocks, and rewrite each run's HEAD slot to
+    // kSuperblock (interior slots keep their ops for the slow path and
+    // branch targets keep their decoded indices — only heads are
+    // leaders or follow an excluded slot, never run interiors).  Runs
+    // must run after branch-target patching so the terminator copies
+    // carry resolved absolute targets.
+    if (!superblocks || size == 0)
+        return;
+    const analysis::Cfg cfg(src_, df.alwaysTrapsPc);
+    const std::vector<analysis::BlockWeight> weights =
+        analysis::blockWeights(cfg, src_);
+
+    // Every arch pc of the slot proven trap-free by the region oracle?
+    auto slotProven = [&](std::uint32_t s) {
+        const std::uint32_t first = slotArch[s];
+        for (std::uint32_t a = 0; a < prog_[s].archCycles; ++a)
+            if (!trapFreePc_[first + a])
+                return false;
+        return true;
+    };
+    auto joins = [&](std::uint32_t s) {
+        const SlotKind kind = slotKind(prog_[s].op);
+        return kind == SlotKind::kBody ||
+               (kind == SlotKind::kProof && slotProven(s));
+    };
+
+    for (std::uint32_t b = 0; b < cfg.size(); ++b) {
+        const analysis::Block &blk = cfg.blocks()[b];
+        if (!blk.reachable)
+            continue;
+        // The block's decoded slot range (fused slots never straddle
+        // leaders, so arch->slot maps are exact at both ends).
+        const std::int64_t s0 = origToDecoded[blk.first];
+        const std::int64_t s1 = origToDecoded[blk.last];
+        const bool endsInTerm = slotKind(prog_[s1].op) == SlotKind::kTerm;
+        const std::int64_t bodyEnd = endsInTerm ? s1 - 1 : s1;
+
+        std::int64_t s = s0;
+        while (s <= bodyEnd) {
+            if (!joins(static_cast<std::uint32_t>(s))) {
+                ++s;
+                continue;
+            }
+            std::int64_t e = s;
+            while (e + 1 <= bodyEnd &&
+                   joins(static_cast<std::uint32_t>(e + 1)))
+                ++e;
+            const bool withTerm = endsInTerm && e == s1 - 1;
+            const std::int64_t nSlots = e - s + 1 + (withTerm ? 1 : 0);
+            if (nSlots < 2) { // a single slot gains nothing
+                s = e + 1;
+                continue;
+            }
+
+            SuperBlock sb;
+            sb.head = prog_[s];
+            // Register dataflow summary: a read only becomes live-in
+            // while its register has no preceding write in the run.
+            static_assert(kPpuRegs <= 16, "masks are one 16-bit word");
+            auto read = [&sb](unsigned reg) {
+                if (!((sb.defs >> reg) & 1u))
+                    sb.liveIn = static_cast<std::uint16_t>(sb.liveIn |
+                                                           (1u << reg));
+            };
+            auto write = [&sb](unsigned reg) {
+                sb.defs =
+                    static_cast<std::uint16_t>(sb.defs | (1u << reg));
+            };
+            auto classify = [&](const DecodedInstr &o) {
+                switch (o.op) {
+                  case DecodedOp::kNop:
+                    break;
+                  case DecodedOp::kLi:
+                  case DecodedOp::kVaddr:
+                  case DecodedOp::kLineBase:
+                  case DecodedOp::kGread:
+                  case DecodedOp::kLookahead:
+                  case DecodedOp::kLiPrefetch:
+                  case DecodedOp::kLiPrefetchTag:
+                  case DecodedOp::kLiPrefetchCb:
+                    write(o.rd);
+                    break;
+                  case DecodedOp::kMov:
+                  case DecodedOp::kAddi:
+                  case DecodedOp::kMuli:
+                  case DecodedOp::kDivi:
+                  case DecodedOp::kAndi:
+                  case DecodedOp::kShli:
+                  case DecodedOp::kShri:
+                  case DecodedOp::kLdLine:
+                  case DecodedOp::kLdLine32:
+                    read(o.rs);
+                    write(o.rd);
+                    break;
+                  case DecodedOp::kAdd:
+                  case DecodedOp::kSub:
+                  case DecodedOp::kMul:
+                  case DecodedOp::kDiv:
+                  case DecodedOp::kAnd:
+                  case DecodedOp::kOr:
+                  case DecodedOp::kXor:
+                  case DecodedOp::kShl:
+                  case DecodedOp::kShr:
+                  case DecodedOp::kAddPrefetch:
+                  case DecodedOp::kAddPrefetchTag:
+                  case DecodedOp::kAddPrefetchCb:
+                    read(o.rs);
+                    read(o.rt);
+                    write(o.rd);
+                    break;
+                  case DecodedOp::kPrefetch:
+                  case DecodedOp::kPrefetchTag:
+                  case DecodedOp::kPrefetchCb:
+                    read(o.rs);
+                    break;
+                  case DecodedOp::kAddiLdLine:
+                  case DecodedOp::kAndiShli:
+                    read(o.rs);
+                    write(o.rd);
+                    write(o.rd2);
+                    break;
+                  case DecodedOp::kAndShli:
+                    read(o.rs);
+                    read(o.rt);
+                    write(o.rd);
+                    write(o.rd2);
+                    break;
+                  case DecodedOp::kHashiPrefetch:
+                  case DecodedOp::kHashiPrefetchTag:
+                  case DecodedOp::kHashiPrefetchCb:
+                    // o.rt holds the shift amount, not a register.
+                    read(o.rs);
+                    read(o.rt2);
+                    write(o.rd);
+                    write(o.rd2);
+                    write(o.rs2);
+                    break;
+                  case DecodedOp::kHashrPrefetch:
+                  case DecodedOp::kHashrPrefetchTag:
+                  case DecodedOp::kHashrPrefetchCb:
+                    read(o.rs);
+                    read(o.rt);
+                    read(o.rt2);
+                    write(o.rd);
+                    write(o.rd2);
+                    write(o.rs2);
+                    break;
+                  default: // terminators; handled below
+                    break;
+                }
+            };
+            for (std::int64_t j = s; j <= e; ++j) {
+                const DecodedInstr &o = prog_[j];
+                sb.ops.push_back(o);
+                sb.cycles += o.archCycles;
+                sb.emits += slotEmits(o.op);
+                classify(o);
+                switch (o.op) {
+                  case DecodedOp::kLdLine:
+                  case DecodedOp::kLdLine32:
+                  case DecodedOp::kAddiLdLine:
+                    sb.needsLine = true;
+                    break;
+                  case DecodedOp::kGread:
+                    sb.needsGlobals = true;
+                    break;
+                  case DecodedOp::kLookahead:
+                    sb.lookaheadMax = std::max(sb.lookaheadMax, o.imm);
+                    break;
+                  default:
+                    break;
+                }
+            }
+            if (withTerm) {
+                sb.term = prog_[s1];
+                sb.hasTerm = true;
+                sb.cycles += sb.term.archCycles;
+                switch (sb.term.op) {
+                  case DecodedOp::kHalt:
+                  case DecodedOp::kJmp:
+                    break;
+                  case DecodedOp::kBeq:
+                  case DecodedOp::kBne:
+                  case DecodedOp::kBlt:
+                  case DecodedOp::kBge:
+                    read(sb.term.rs);
+                    read(sb.term.rt);
+                    break;
+                  case DecodedOp::kSubBeq:
+                  case DecodedOp::kSubBne:
+                    read(sb.term.rs);
+                    read(sb.term.rt);
+                    read(sb.term.rt2);
+                    write(sb.term.rd);
+                    break;
+                  default: // kAddiB*/kAndiB*: ALU half reads rs only
+                    read(sb.term.rs);
+                    read(sb.term.rt2);
+                    write(sb.term.rd);
+                    break;
+                }
+            }
+            sb.fallthrough =
+                static_cast<std::uint32_t>(e + 1 + (withTerm ? 1 : 0));
+            // Shape recognition (block-level fusion): the chase-loop
+            // idiom — bump+load a link, hash+prefetch it, branch back
+            // to this block's own head — gets a dedicated dispatch-free
+            // handler loop that keeps the whole loop-carried state in
+            // host registers.  That requires proving, here at decode
+            // time, that the canonical dataflow holds: the cursor is
+            // bumped in place and never clobbered, the hash consumes
+            // the loaded link, and every other operand (loop limit,
+            // rebase addend, r-form mask) is invariant across the
+            // block's writes.  Anything looser still executes as a
+            // generic superblock.
+            if (sb.hasTerm && sb.ops.size() == 2 &&
+                sb.ops[0].op == DecodedOp::kAddiLdLine &&
+                (sb.ops[1].op == DecodedOp::kHashiPrefetch ||
+                 sb.ops[1].op == DecodedOp::kHashiPrefetchTag ||
+                 sb.ops[1].op == DecodedOp::kHashiPrefetchCb ||
+                 sb.ops[1].op == DecodedOp::kHashrPrefetch ||
+                 sb.ops[1].op == DecodedOp::kHashrPrefetchTag ||
+                 sb.ops[1].op == DecodedOp::kHashrPrefetchCb) &&
+                (sb.term.op == DecodedOp::kBeq ||
+                 sb.term.op == DecodedOp::kBne ||
+                 sb.term.op == DecodedOp::kBlt ||
+                 sb.term.op == DecodedOp::kBge) &&
+                sb.term.target == static_cast<std::uint32_t>(s)) {
+                const DecodedInstr &a = sb.ops[0];
+                const DecodedInstr &h = sb.ops[1];
+                const DecodedInstr &t = sb.term;
+                const bool rform =
+                    h.op == DecodedOp::kHashrPrefetch ||
+                    h.op == DecodedOp::kHashrPrefetchTag ||
+                    h.op == DecodedOp::kHashrPrefetchCb;
+                auto written = [&](unsigned reg) {
+                    return reg == a.rd || reg == a.rd2 || reg == h.rd ||
+                           reg == h.rd2 || reg == h.rs2;
+                };
+                const bool cursorStable = a.rd == a.rs &&
+                                          a.rd2 != a.rd && h.rd != a.rd &&
+                                          h.rd2 != a.rd && h.rs2 != a.rd;
+                if (cursorStable && h.rs == a.rd2 && t.rs == a.rd &&
+                    !written(t.rt) && !written(h.rt2) &&
+                    (!rform || !written(h.rt)))
+                    sb.shape = SuperBlock::Shape::kChaseLoop;
+            }
+            // A run covering its whole basic block must agree with the
+            // analyzer's exported block weight — the cost-bounds pass
+            // and this bulk charge are the same accounting.
+            if (s == s0 && (withTerm || e == s1)) {
+                assert(sb.cycles == weights[b].cycles);
+                assert(sb.emits == weights[b].emits);
+                sb.cycles = weights[b].cycles;
+                sb.emits = weights[b].emits;
+            }
+
+            DecodedInstr head;
+            head.op = DecodedOp::kSuperblock;
+            head.target = static_cast<std::uint32_t>(blocks_.size());
+            head.archCycles = static_cast<std::uint8_t>(
+                sb.cycles < 255 ? sb.cycles : 255); // informational
+            prog_[s] = head;
+            blocks_.push_back(std::move(sb));
+            s = e + 1 + (withTerm ? 1 : 0);
+        }
     }
 }
 
@@ -1097,6 +1916,7 @@ DecodedKernel::run(const DecodedKernel &dk, const EventContext &ctx,
     st.ctx = &ctx;
     st.emitVec = nullptr;
     st.emitFn = &emit;
+    st.blocks = dk.blocks_.data();
     return runState(dk.prog_.data(), st, max_steps, regs_out);
 }
 
@@ -1110,6 +1930,7 @@ DecodedKernel::run(const DecodedKernel &dk, const EventContext &ctx,
     st.ctx = &ctx;
     st.emitVec = sink;
     st.emitFn = &kNoFn;
+    st.blocks = dk.blocks_.data();
     return runState(dk.prog_.data(), st, max_steps, regs_out);
 }
 
@@ -1178,20 +1999,24 @@ sameCode(const std::vector<Instr> &a, const std::vector<Instr> &b)
 } // namespace
 
 std::shared_ptr<const DecodedKernel>
-DecodeCache::decode(const Kernel &k)
+DecodeCache::decode(const Kernel &k, bool superblocks)
 {
     InternTable &t = internTable();
-    const std::uint64_t h = codeHash(k.code);
+    // The superblock flag is part of the intern identity: the same code
+    // decodes to different programs with formation on and off.
+    const std::uint64_t h =
+        codeHash(k.code) ^ (superblocks ? 0x9E3779B97F4A7C15ULL : 0);
     std::lock_guard<std::mutex> lock(t.mu);
     auto &bucket = t.byHash[h];
     for (const auto &dk : bucket) {
-        if (sameCode(dk->source(), k.code)) {
+        if (dk->superblocksEnabled() == superblocks &&
+            sameCode(dk->source(), k.code)) {
             ++t.hits;
             return dk;
         }
     }
     ++t.misses;
-    auto dk = std::make_shared<const DecodedKernel>(k);
+    auto dk = std::make_shared<const DecodedKernel>(k, superblocks);
     bucket.push_back(dk);
     ++t.count;
     return dk;

@@ -17,10 +17,16 @@
  *    resolved to absolute decoded indices),
  *  - statically-provable traps hoisted to a dedicated kTrap op
  *    (divide by a zero immediate, out-of-range global-register or
- *    negative lookahead indices), and
+ *    negative lookahead indices),
  *  - fused macro-ops for the dominant traversal idioms (constant /
  *    pointer-arithmetic feeding a prefetch, address-generation feeding
- *    a line load, hash mask+shift sequences, compare+branch pairs).
+ *    a line load, hash mask+shift sequences, compare+branch pairs), and
+ *  - superblocks: maximal straight-line runs of decoded slots inside a
+ *    reachable basic block, executed as ONE op — registers materialise
+ *    in host locals and write back only at block exit, cycles bulk-
+ *    charge as the block's exact architectural total (the analyzer's
+ *    per-block weights), and a block-entry guard routes any event the
+ *    run is not proven safe for to an exact op-by-op slow path.
  *
  * Timing purity: a fused macro-op still charges the architectural
  * cycle count of the original un-fused sequence, checks the step-limit
@@ -108,6 +114,15 @@ enum class DecodedOp : std::uint8_t
     kTrap,
     /** Synthetic slot past the end: fall-off or wild branch target. */
     kBoundary,
+    /**
+     * A formed superblock head: the whole straight-line run executes as
+     * one op (target = index into the DecodedKernel's superblock
+     * table).  Only a run's head slot is rewritten — interior slots
+     * keep their original decoded ops, which is what makes the
+     * op-by-op slow path exact when the step budget or a block-entry
+     * guard cannot cover the run.
+     */
+    kSuperblock,
     // ---- fused macro-ops --------------------------------------------
     // Each covers 2-4 architectural instructions whose operands chain
     // (every consumer reads the previous producer's rd, verified at
@@ -145,6 +160,7 @@ enum class DecodedOp : std::uint8_t
 };
 
 struct DecodedInstr;
+struct SuperBlock;
 
 namespace detail
 {
@@ -172,6 +188,9 @@ struct ExecState
     PrefetchEmit *stage;
     /** Emits already flushed out of the staging buffer. */
     std::uint32_t flushed;
+    /** The program's superblock table (kSuperblock's d.target indexes
+     *  it); may be null only when the program contains no kSuperblock. */
+    const SuperBlock *blocks;
 };
 
 /** The dispatch loop's register-resident counters. */
@@ -218,6 +237,85 @@ struct DecodedInstr
 static_assert(sizeof(DecodedInstr) == 32);
 
 /**
+ * One formed superblock: a maximal straight-line run of decoded slots
+ * inside a reachable basic block (between CFG leaders), compiled into
+ * a single op.  Formation consumes the decode-time region oracle
+ * (DecodedKernel::trapFreeMap()) plus analysis::Cfg leaders/edges:
+ *
+ *  - always-safe ops (ALU, li/mov, vaddr/lineBase, prefetch emits and
+ *    their fused forms) join unconditionally;
+ *  - conditionally-trapping ops join behind a block-entry *guard*
+ *    (needsLine for ldline forms, needsGlobals for in-range gread,
+ *    lookaheadMax for lookahead reads) — their only trap condition is
+ *    the guarded event property, so under the guard they cannot trap;
+ *  - div/divi join only when the trap-free bitmap proves the exact
+ *    arch pc (value-refined divisor facts), everything else ends the
+ *    run.  A trailing branch/jmp/halt joins as the terminator.
+ *
+ * Execution contract (see xSuperblock in predecode.cpp): when the
+ * remaining step budget covers the whole run and every guard holds,
+ * registers materialise into a host-local file, the constituent ops
+ * execute checkless (emits staged in the shared stack buffer), the
+ * register file writes back once at block exit, and cycles bulk-charge
+ * the exact architectural total.  Otherwise the head's original
+ * decoded op (preserved here) executes through the normal handler
+ * table and control falls into the untouched interior slots — exact
+ * op-by-op reference behaviour, generalising the fused-macro-op
+ * slow-path pattern.
+ */
+struct SuperBlock
+{
+    /**
+     * Execution shape, the block-level analogue of macro-op fusion:
+     * formation recognises dominant block idioms and tags them so the
+     * handler can run a dedicated straight-line loop with no per-op
+     * dispatch at all.  kChaseLoop is the pointer-chase shape every
+     * manual PPF kernel loops on — a fused address-bump+line-load
+     * feeding a fused hash+prefetch quad, closed by a plain
+     * compare-branch back to the block's own head.
+     */
+    enum class Shape : std::uint8_t
+    {
+        kGeneric,  ///< run ops through the positional dispatch loop
+        kChaseLoop ///< [kAddiLdLine, kHash*Prefetch*] + self-loop branch
+    };
+    Shape shape = Shape::kGeneric;
+    /** The head slot's original decoded op (the slow path executes it
+     *  and falls through into the interior slots). */
+    DecodedInstr head;
+    /** Every constituent decoded slot in run order, head included,
+     *  terminator excluded. */
+    std::vector<DecodedInstr> ops;
+    /** The terminating branch/jmp/halt slot, when hasTerm. */
+    DecodedInstr term;
+    bool hasTerm = false;
+    /** Guard: some op reads observed line data (ldline forms). */
+    bool needsLine = false;
+    /** Guard: some op reads an (in-range) global register. */
+    bool needsGlobals = false;
+    /** Guard: largest lookahead index read, or -1 when none. */
+    std::int64_t lookaheadMax = -1;
+    /**
+     * Register dataflow summary, one bit per architectural register.
+     * liveIn holds registers read before any write (terminator
+     * included); defs holds every register the run writes.  The fast
+     * path materialises only liveIn registers into host locals and
+     * writes only defs back — for typical blocks that is a handful of
+     * scalar moves instead of two full register-file copies.
+     */
+    std::uint16_t liveIn = 0;
+    std::uint16_t defs = 0;
+    /** Decoded index of the slot after the run (not-taken exit). */
+    std::uint32_t fallthrough = 0;
+    /** Exact architectural cycles of the whole run, terminator
+     *  included — equals the analyzer's block weight when the run
+     *  covers a whole basic block. */
+    std::uint32_t cycles = 0;
+    /** Exact prefetch emissions of the whole run. */
+    std::uint32_t emits = 0;
+};
+
+/**
  * A kernel compiled to its decoded program.  Immutable after
  * construction, so instances are safe to share read-only across
  * threads and across per-core prefetcher instances.
@@ -225,7 +323,14 @@ static_assert(sizeof(DecodedInstr) == 32);
 class DecodedKernel
 {
   public:
-    explicit DecodedKernel(const Kernel &k);
+    /**
+     * Compile @p k.  @p superblocks selects whether straight-line runs
+     * additionally fold into superblock ops (the default, and what the
+     * PPF runs); false keeps the PR 5 fused-macro-op program — the
+     * decoded baseline the benches and parity suites compare against.
+     * Semantics are bit-identical either way.
+     */
+    explicit DecodedKernel(const Kernel &k, bool superblocks = true);
 
     /**
      * Execute the decoded program.  Semantics (exit reason, cycle
@@ -274,6 +379,10 @@ class DecodedKernel
     std::size_t archLength() const { return src_.size(); }
     /** Number of fused macro-ops (pairs and quads) in the program. */
     unsigned fusedOps() const { return fusedPairs_; }
+    /** The formed superblocks (empty when disabled at decode). */
+    const std::vector<SuperBlock> &superblocks() const { return blocks_; }
+    /** Whether superblock formation ran (part of the cache identity). */
+    bool superblocksEnabled() const { return superblocksEnabled_; }
     /** The source code this program was decoded from. */
     const std::vector<Instr> &source() const { return src_; }
     /** Introspection for tests: decoded op at @p idx. */
@@ -286,8 +395,11 @@ class DecodedKernel
     std::vector<Instr> src_;
     /** Per-arch-pc refined cannot-trap bitmap (see provenTrapFree). */
     std::vector<std::uint8_t> trapFreePc_;
+    /** Superblock descriptors (kSuperblock heads index into this). */
+    std::vector<SuperBlock> blocks_;
     /** Fused macro-ops emitted (pairs and quads). */
     unsigned fusedPairs_ = 0;
+    bool superblocksEnabled_ = true;
 };
 
 /**
@@ -301,8 +413,15 @@ class DecodedKernel
 class DecodeCache
 {
   public:
-    /** Decode @p k, or return the shared already-decoded program. */
-    static std::shared_ptr<const DecodedKernel> decode(const Kernel &k);
+    /**
+     * Decode @p k, or return the shared already-decoded program.  The
+     * intern identity is (code content, superblocks): the same code
+     * decoded with and without superblocks yields two distinct entries
+     * — otherwise a parity suite pinning one mode could be served the
+     * other's program.
+     */
+    static std::shared_ptr<const DecodedKernel>
+    decode(const Kernel &k, bool superblocks = true);
 
     /** Distinct decoded programs currently interned. */
     static std::size_t internedKernels();

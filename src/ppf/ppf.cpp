@@ -440,7 +440,7 @@ ProgrammablePrefetcher::decodedFor(KernelId id)
         decoded_.resize(kernels_.size());
     auto &slot = decoded_[static_cast<std::size_t>(id)];
     if (!slot)
-        slot = DecodeCache::decode(kernels_[id]);
+        slot = DecodeCache::decode(kernels_[id], cfg_.superblocks);
     return slot.get();
 }
 

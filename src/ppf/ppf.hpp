@@ -73,6 +73,15 @@ struct PpfConfig
      * simplicity (kept as the oracle, and for A/B debugging).
      */
     bool predecode = true;
+    /**
+     * Compile proven-trap-free straight-line runs into single decoded
+     * superblock ops (predecode.hpp).  Only meaningful when predecode
+     * is on; architectural behaviour is identical either way (block
+     * cycles are charged as the exact per-block architectural total,
+     * with an op-by-op fallback when the step budget cannot cover the
+     * block), so like predecode this only trades host speed.
+     */
+    bool superblocks = true;
 };
 
 /** The programmable prefetcher. */

@@ -317,6 +317,59 @@ TEST_F(CoreTest, PfConfigKernelMutationMidTraceTakesEffect)
     EXPECT_EQ(emitted[1], 0x2000u);
 }
 
+TEST_F(CoreTest, PfConfigMutationFromTrapFreeToTrappingTakesEffect)
+{
+    // Regression for stale trap-free proofs: the first kernel is proven
+    // trap-free, so the decoded program folds it into a superblock that
+    // skips per-op trap checks.  A mid-trace PfConfig then patches an
+    // interior instruction into an unconditional trap (divi #0).  The
+    // version() bump must force a full re-decode — superblock bitmap
+    // included — so the next event traps instead of executing the old
+    // proven-safe block and emitting from stale code.
+    ProgrammablePrefetcher ppf(*eq_, *gmem_, PpfConfig{});
+    mem_->setListener(&ppf);
+
+    std::vector<Addr> emitted;
+    auto drain = [&] {
+        while (ppf.hasRequest())
+            emitted.push_back(ppf.popRequest().vaddr);
+    };
+
+    KernelId k = kNoKernel;
+    auto tr = [&]() -> Generator<MicroOp> {
+        co_yield OpFactory::pfConfig(4, [&] {
+            KernelBuilder b("safe");
+            b.li(1, 0x1000).addi(1, 1, 0x40).prefetch(1).halt();
+            k = ppf.kernels().add(b.build());
+            FilterEntry fe;
+            fe.name = "buf";
+            fe.base = base_;
+            fe.limit = base_ + 4096;
+            fe.onLoad = k;
+            ppf.addFilter(fe);
+        });
+        ValueId v1;
+        co_yield OpFactory{}.load(at(0), 1, v1);
+        co_yield OpFactory::workDep(64, v1);
+        co_yield OpFactory::pfConfig(4, [&] {
+            drain();
+            // addi -> divi #0: now traps on every execution.
+            ppf.kernels().mutableKernel(k).code[1] =
+                Instr{Opcode::kDivi, 1, 1, 0, 0};
+        });
+        ValueId v2;
+        co_yield OpFactory{}.load(at(1), 1, v2);
+        co_yield OpFactory::workDep(64, v2);
+    };
+    run(tr());
+    drain();
+
+    ASSERT_EQ(ppf.stats().eventsRun, 2u);
+    EXPECT_EQ(ppf.stats().traps, 1u);
+    ASSERT_EQ(emitted.size(), 1u); // only the pre-patch event emitted
+    EXPECT_EQ(emitted[0], 0x1040u);
+}
+
 TEST_F(CoreTest, ValueDependenceThroughWork)
 {
     // load -> work(value) -> dependent load must serialise.

@@ -119,11 +119,12 @@ execute(const Kernel &k, const EventContext &ctx)
 }
 
 /**
- * Differential check: the pre-decoded interpreter must match the
- * reference switch interpreter bit-for-bit on @p code — exit reason,
- * cycles, emit sequence and the final register file — at the full
- * fuzz budget and at tiny budgets chosen to truncate execution inside
- * fused macro-op pairs.
+ * Differential check: the pre-decoded interpreter — in both modes,
+ * superblocks on (the PPF default) and off (the PR 5 fused-macro-op
+ * baseline) — must match the reference switch interpreter bit-for-bit
+ * on @p code: exit reason, cycles, emit sequence and the final
+ * register file, at the full fuzz budget and at tiny budgets chosen to
+ * truncate execution inside fused macro-ops and superblocks.
  */
 void
 checkDecodedMatchesReference(const std::vector<Instr> &code,
@@ -131,37 +132,45 @@ checkDecodedMatchesReference(const std::vector<Instr> &code,
                              const std::string &what)
 {
     const Kernel k{"fuzz", code};
-    const DecodedKernel dk(k);
+    const DecodedKernel dkSb(k, /*superblocks=*/true);
+    const DecodedKernel dkPlain(k, /*superblocks=*/false);
     for (unsigned max_steps : {kFuzzSteps, 7u, 2u, 1u}) {
-        std::vector<PrefetchEmit> refEmits, decEmits;
-        std::uint64_t refRegs[kPpuRegs], decRegs[kPpuRegs];
+        std::vector<PrefetchEmit> refEmits;
+        std::uint64_t refRegs[kPpuRegs];
         const ExecResult ref = Interpreter::run(
             k, ctx,
             [&](const PrefetchEmit &e) { refEmits.push_back(e); },
             max_steps, refRegs);
-        const ExecResult dec = DecodedKernel::run(
-            dk, ctx,
-            [&](const PrefetchEmit &e) { decEmits.push_back(e); },
-            max_steps, decRegs);
 
-        const std::string where =
-            what + " @max_steps=" + std::to_string(max_steps);
-        ASSERT_EQ(ref.exit, dec.exit)
-            << where << ": exit reason diverged\n" << disassemble(k);
-        ASSERT_EQ(ref.cycles, dec.cycles)
-            << where << ": cycle count diverged\n" << disassemble(k);
-        ASSERT_EQ(ref.emitted, dec.emitted)
-            << where << ": emit count diverged\n" << disassemble(k);
-        ASSERT_EQ(refEmits.size(), decEmits.size()) << where;
-        for (std::size_t i = 0; i < refEmits.size(); ++i) {
-            ASSERT_TRUE(refEmits[i].vaddr == decEmits[i].vaddr &&
-                        refEmits[i].tag == decEmits[i].tag &&
-                        refEmits[i].cbKernel == decEmits[i].cbKernel)
-                << where << ": emit " << i << " diverged\n"
-                << disassemble(k);
+        for (const DecodedKernel *dk : {&dkSb, &dkPlain}) {
+            std::vector<PrefetchEmit> decEmits;
+            std::uint64_t decRegs[kPpuRegs];
+            const ExecResult dec = DecodedKernel::run(
+                *dk, ctx,
+                [&](const PrefetchEmit &e) { decEmits.push_back(e); },
+                max_steps, decRegs);
+
+            const std::string where =
+                what + " @max_steps=" + std::to_string(max_steps) +
+                (dk->superblocksEnabled() ? " [superblocks]"
+                                          : " [decoded]");
+            ASSERT_EQ(ref.exit, dec.exit)
+                << where << ": exit reason diverged\n" << disassemble(k);
+            ASSERT_EQ(ref.cycles, dec.cycles)
+                << where << ": cycle count diverged\n" << disassemble(k);
+            ASSERT_EQ(ref.emitted, dec.emitted)
+                << where << ": emit count diverged\n" << disassemble(k);
+            ASSERT_EQ(refEmits.size(), decEmits.size()) << where;
+            for (std::size_t i = 0; i < refEmits.size(); ++i) {
+                ASSERT_TRUE(refEmits[i].vaddr == decEmits[i].vaddr &&
+                            refEmits[i].tag == decEmits[i].tag &&
+                            refEmits[i].cbKernel == decEmits[i].cbKernel)
+                    << where << ": emit " << i << " diverged\n"
+                    << disassemble(k);
+            }
+            ASSERT_EQ(0, std::memcmp(refRegs, decRegs, sizeof(refRegs)))
+                << where << ": register file diverged\n" << disassemble(k);
         }
-        ASSERT_EQ(0, std::memcmp(refRegs, decRegs, sizeof(refRegs)))
-            << where << ": register file diverged\n" << disassemble(k);
     }
 }
 

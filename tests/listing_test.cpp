@@ -9,8 +9,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <sstream>
 #include <streambuf>
+
+#ifdef EPF_PPULINT_BIN
+#include <sys/wait.h>
+#endif
 
 #include "isa/disasm.hpp"
 #include "isa/listing.hpp"
@@ -108,6 +115,52 @@ TEST(ListingTest, MidStreamReadFailureIsAnErrorNotATruncatedParse)
     ASSERT_FALSE(p.ok());
     EXPECT_NE(p.error.find("I/O error"), std::string::npos) << p.error;
 }
+
+#ifdef EPF_PPULINT_BIN
+/**
+ * CLI regression for the exit-code / report interplay: --werror must
+ * turn a warnings-only lint into exit status 1 WITHOUT curtailing the
+ * --json report — the full diagnostic list has to land on disk before
+ * the nonzero exit.
+ */
+TEST(PpulintCliTest, WerrorJsonExitsNonzeroAndWritesFullReport)
+{
+    const std::string dir = ::testing::TempDir();
+    const std::string listing = dir + "/warnonly.s";
+    const std::string json = dir + "/ppulint_report.json";
+    {
+        // add reads r2/r3 before any definition: two uninit-read
+        // warnings, zero errors.
+        std::ofstream out(listing);
+        out << "warnonly:\n  add r1, r2, r3\n  prefetch r1\n  halt\n";
+        ASSERT_TRUE(out.good());
+    }
+    std::remove(json.c_str());
+
+    const auto runLint = [&](const std::string &flags) {
+        const std::string cmd = std::string(EPF_PPULINT_BIN) + " " + flags +
+                                " " + listing + " > /dev/null 2>&1";
+        const int rc = std::system(cmd.c_str());
+        return WEXITSTATUS(rc);
+    };
+
+    // Warnings alone are not fatal by default.
+    EXPECT_EQ(runLint(""), 0);
+    // With --werror they are, even when --json is also requested.
+    EXPECT_EQ(runLint("--werror --json " + json), 1);
+
+    std::ifstream is(json);
+    ASSERT_TRUE(is) << "nonzero exit suppressed the JSON report";
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    const std::string report = ss.str();
+    EXPECT_NE(report.find("\"errors\": 0"), std::string::npos) << report;
+    EXPECT_EQ(report.find("\"warnings\": 0,"), std::string::npos) << report;
+    EXPECT_NE(report.find("\"diags\": ["), std::string::npos) << report;
+    EXPECT_NE(report.find("\"severity\": \"warning\""), std::string::npos)
+        << report;
+}
+#endif // EPF_PPULINT_BIN
 
 } // namespace
 } // namespace epf

@@ -40,31 +40,42 @@ plainCtx()
     return ctx;
 }
 
-/** Execute both interpreters and require bit-identical observables. */
+/**
+ * Execute the reference interpreter and the decoded interpreter in both
+ * modes (superblocks on and off) and require bit-identical observables.
+ */
 void
 expectParity(const Kernel &k, const EventContext &ctx, unsigned max_steps,
              const char *what)
 {
-    std::vector<PrefetchEmit> refEmits, decEmits;
-    std::uint64_t refRegs[kPpuRegs], decRegs[kPpuRegs];
+    std::vector<PrefetchEmit> refEmits;
+    std::uint64_t refRegs[kPpuRegs];
     const ExecResult ref = Interpreter::run(
         k, ctx, [&](const PrefetchEmit &e) { refEmits.push_back(e); },
         max_steps, refRegs);
-    const DecodedKernel dk(k);
-    const ExecResult dec = DecodedKernel::run(
-        dk, ctx, [&](const PrefetchEmit &e) { decEmits.push_back(e); },
-        max_steps, decRegs);
 
-    ASSERT_EQ(ref.exit, dec.exit) << what;
-    ASSERT_EQ(ref.cycles, dec.cycles) << what;
-    ASSERT_EQ(ref.emitted, dec.emitted) << what;
-    ASSERT_EQ(refEmits.size(), decEmits.size()) << what;
-    for (std::size_t i = 0; i < refEmits.size(); ++i) {
-        EXPECT_EQ(refEmits[i].vaddr, decEmits[i].vaddr) << what;
-        EXPECT_EQ(refEmits[i].tag, decEmits[i].tag) << what;
-        EXPECT_EQ(refEmits[i].cbKernel, decEmits[i].cbKernel) << what;
+    for (const bool superblocks : {true, false}) {
+        std::vector<PrefetchEmit> decEmits;
+        std::uint64_t decRegs[kPpuRegs];
+        const DecodedKernel dk(k, superblocks);
+        const ExecResult dec = DecodedKernel::run(
+            dk, ctx, [&](const PrefetchEmit &e) { decEmits.push_back(e); },
+            max_steps, decRegs);
+
+        const char *mode = superblocks ? " [superblocks]" : " [decoded]";
+        ASSERT_EQ(ref.exit, dec.exit) << what << mode;
+        ASSERT_EQ(ref.cycles, dec.cycles) << what << mode;
+        ASSERT_EQ(ref.emitted, dec.emitted) << what << mode;
+        ASSERT_EQ(refEmits.size(), decEmits.size()) << what << mode;
+        for (std::size_t i = 0; i < refEmits.size(); ++i) {
+            EXPECT_EQ(refEmits[i].vaddr, decEmits[i].vaddr) << what << mode;
+            EXPECT_EQ(refEmits[i].tag, decEmits[i].tag) << what << mode;
+            EXPECT_EQ(refEmits[i].cbKernel, decEmits[i].cbKernel)
+                << what << mode;
+        }
+        EXPECT_EQ(0, std::memcmp(refRegs, decRegs, sizeof(refRegs)))
+            << what << mode;
     }
-    EXPECT_EQ(0, std::memcmp(refRegs, decRegs, sizeof(refRegs))) << what;
 }
 
 // ---------------------------------------------------------------------
@@ -89,7 +100,7 @@ TEST(PredecodeTest, FusesDominantIdioms)
     b.bne(4, 5, loop);     // ...the loop branch
     b.halt();
     const Kernel k = b.build();
-    const DecodedKernel dk(k);
+    const DecodedKernel dk(k, /*superblocks=*/false);
 
     EXPECT_EQ(dk.archLength(), 9u);
     EXPECT_EQ(dk.fusedOps(), 3u);
@@ -101,6 +112,18 @@ TEST(PredecodeTest, FusesDominantIdioms)
     EXPECT_EQ(dk.at(2).op, DecodedOp::kAddiBne);
     EXPECT_EQ(dk.at(2).target, 1u); // decoded index of the loop head
     EXPECT_EQ(dk.at(3).op, DecodedOp::kHalt);
+
+    // With superblock formation on, the loop body (quad + fused
+    // addi/bne terminator) collapses into a single superblock op at
+    // the loop head; the entry block is a lone slot and stays as-is.
+    const DecodedKernel dksb(k);
+    EXPECT_EQ(dksb.at(0).op, DecodedOp::kLiPrefetch);
+    EXPECT_EQ(dksb.at(1).op, DecodedOp::kSuperblock);
+    ASSERT_EQ(dksb.superblocks().size(), 1u);
+    EXPECT_EQ(dksb.superblocks()[0].cycles, 6u); // quad 4 + addi/bne 2
+    EXPECT_EQ(dksb.superblocks()[0].emits, 1u);
+    EXPECT_TRUE(dksb.superblocks()[0].hasTerm);
+    EXPECT_EQ(dksb.at(2).op, DecodedOp::kAddiBne); // interior untouched
 
     expectParity(k, plainCtx(), kMaxKernelSteps, "fused idioms");
     // Truncation at every point inside the quad stays exact.
@@ -293,8 +316,11 @@ TEST(PredecodeTest, OutOfEnumOpcodeIsAChargedNop)
     Kernel k{"weird", {Instr{static_cast<Opcode>(200), 1, 2, 3, 7},
                        Instr{Opcode::kLi, 1, 0, 0, 5},
                        Instr{Opcode::kHalt, 0, 0, 0, 0}}};
-    const DecodedKernel dk(k);
+    const DecodedKernel dk(k, /*superblocks=*/false);
     EXPECT_EQ(dk.at(0).op, DecodedOp::kNop);
+    // The charged nop is trap-free, so under superblock formation the
+    // whole kernel (nop + li + halt terminator) fuses into one block.
+    EXPECT_EQ(DecodedKernel(k).at(0).op, DecodedOp::kSuperblock);
     expectParity(k, plainCtx(), kMaxKernelSteps, "out-of-enum opcode");
 }
 
@@ -306,6 +332,216 @@ TEST(PredecodeTest, EmptyKernelTrapsWithZeroCycles)
         DecodedKernel::run(DecodedKernel(k), plainCtx(), nullptr);
     EXPECT_EQ(dec.exit, ExitReason::kTrapped);
     EXPECT_EQ(dec.cycles, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Superblocks: formation shape and budget-exact execution
+// ---------------------------------------------------------------------
+
+TEST(SuperblockTest, StraightLineKernelFormsOneBlockBudgetSweep)
+{
+    // vaddr + hash quad + addi/prefetch pair + halt: one basic block,
+    // one superblock covering everything including the terminator.
+    KernelBuilder b("line");
+    b.vaddr(1);
+    b.andi(2, 1, 0xFF).shli(2, 2, 3).add(3, 2, 1).prefetch(3);
+    b.addi(4, 4, 8).prefetch(4);
+    b.halt();
+    const Kernel k = b.build();
+
+    const DecodedKernel dk(k);
+    EXPECT_EQ(dk.at(0).op, DecodedOp::kSuperblock);
+    ASSERT_EQ(dk.superblocks().size(), 1u);
+    const SuperBlock &sb = dk.superblocks()[0];
+    EXPECT_EQ(sb.cycles, 8u); // all 8 arch instructions, halt included
+    EXPECT_EQ(sb.emits, 2u);
+    EXPECT_TRUE(sb.hasTerm);
+    EXPECT_FALSE(sb.needsLine);
+    EXPECT_FALSE(sb.needsGlobals);
+
+    // Every budget 1..block-length truncates exactly like the
+    // reference (the bulk-charge fast path must not fire early).
+    for (unsigned steps = 1; steps <= 9; ++steps)
+        expectParity(k, plainCtx(), steps, "straight-line budget sweep");
+}
+
+TEST(SuperblockTest, LoopBudgetSweepEveryCycle)
+{
+    // The loop body superblocks; sweep every budget across several
+    // full iterations so truncation lands at every offset inside the
+    // block, including exactly on block boundaries.
+    KernelBuilder b("loop");
+    auto loop = b.newLabel();
+    b.li(1, 0).li(2, 0).li(4, 4);
+    b.bind(loop);
+    b.andi(3, 1, 0x3F).shli(3, 3, 2).add(3, 3, 1).prefetch(3);
+    b.addi(1, 1, 40);
+    b.addi(2, 2, 1).bne(2, 4, loop); // 4 iterations
+    b.halt();
+    const Kernel k = b.build();
+
+    const ExecResult full =
+        Interpreter::run(k, plainCtx(), nullptr, kMaxKernelSteps);
+    ASSERT_EQ(full.exit, ExitReason::kHalted);
+    for (unsigned steps = 1; steps <= full.cycles + 1; ++steps)
+        expectParity(k, plainCtx(), steps, "loop budget sweep");
+}
+
+TEST(SuperblockTest, GuardedLdLineFallsBackWithoutLine)
+{
+    // ldline is never proven trap-free under the decode-time context,
+    // so it joins a superblock only behind the needs-line entry guard;
+    // without line data the block takes the op-by-op slow path and
+    // traps exactly where the reference does.
+    KernelBuilder b("chase");
+    b.vaddr(1).andi(1, 1, ~0x3Fll).ldLine(2, 1, 0).addi(2, 2, 0x40)
+        .prefetch(2).halt();
+    const Kernel k = b.build();
+
+    const DecodedKernel dk(k);
+    ASSERT_EQ(dk.superblocks().size(), 1u);
+    EXPECT_TRUE(dk.superblocks()[0].needsLine);
+
+    const std::uint64_t line[8] = {0x1000, 0x2000, 0x3000, 0x4000,
+                                   0x5000, 0x6000, 0x7000, 0x8000};
+    EventContext with = plainCtx();
+    with.hasLine = true;
+    std::memcpy(with.line.data(), line, sizeof(line));
+    EventContext without = plainCtx();
+    without.hasLine = false;
+    for (unsigned steps = 1; steps <= 7; ++steps) {
+        expectParity(k, with, steps, "ldline guarded fast path");
+        expectParity(k, without, steps, "ldline guard fallback");
+    }
+}
+
+TEST(SuperblockTest, LookaheadGuardChecksInstalledEntries)
+{
+    // lookahead #2 needs at least 3 installed entries: the block's
+    // guard compares against ctx.lookaheadEntries at entry, and the
+    // slow path reproduces the reference trap when too few.
+    KernelBuilder b("la");
+    b.li(1, 0x100).lookahead(2, 2).add(1, 1, 2).prefetch(1).halt();
+    const Kernel k = b.build();
+
+    const DecodedKernel dk(k);
+    ASSERT_EQ(dk.superblocks().size(), 1u);
+    EXPECT_EQ(dk.superblocks()[0].lookaheadMax, 2);
+
+    EventContext enough = plainCtx(); // 4 entries installed
+    EventContext few = plainCtx();
+    few.lookaheadEntries = 1;
+    EventContext none = plainCtx();
+    none.lookahead = nullptr;
+    none.lookaheadEntries = 0;
+    for (unsigned steps = 1; steps <= 6; ++steps) {
+        expectParity(k, enough, steps, "lookahead in range");
+        expectParity(k, few, steps, "lookahead out of range");
+        expectParity(k, none, steps, "lookahead absent");
+    }
+}
+
+TEST(SuperblockTest, ProvenDiviJoinsUnprovenSplits)
+{
+    // divi #3 can never trap: the dataflow proof admits it into the
+    // block.  divi #-1 can overflow on INT64_MIN, which the decode
+    // context cannot exclude for an event-dependent value: the run
+    // splits around it and no full-coverage superblock forms.
+    {
+        KernelBuilder b("dok");
+        b.vaddr(1).divi(2, 1, 3).addi(2, 2, 1).prefetch(2).halt();
+        const DecodedKernel dk(b.build());
+        ASSERT_EQ(dk.superblocks().size(), 1u);
+        EXPECT_EQ(dk.superblocks()[0].cycles, 5u);
+        expectParity(b.build(), plainCtx(), kMaxKernelSteps,
+                     "proven divi joins");
+    }
+    {
+        KernelBuilder b("dbad");
+        b.vaddr(1).divi(2, 1, -1).addi(2, 2, 1).prefetch(2).halt();
+        const DecodedKernel dk(b.build());
+        EXPECT_NE(dk.at(1).op, DecodedOp::kSuperblock);
+        for (const SuperBlock &sb : dk.superblocks())
+            EXPECT_LT(sb.cycles, 5u); // never spans the unproven divi
+        expectParity(b.build(), plainCtx(), kMaxKernelSteps,
+                     "unproven divi splits");
+    }
+}
+
+TEST(SuperblockTest, SingleSlotRunsDoNotForm)
+{
+    // A lone slot gains nothing from block dispatch: formation
+    // requires at least two joined slots.
+    KernelBuilder b("lone");
+    b.li(1, 0x40).prefetch(1).halt(); // li+prefetch fuses: 2 slots total
+    const DecodedKernel dk(b.build());
+    // The pair + halt is 2 slots, which does form...
+    ASSERT_EQ(dk.superblocks().size(), 1u);
+
+    KernelBuilder b2("lone2");
+    auto next = b2.newLabel();
+    b2.jmp(next).bind(next).halt(); // two 1-slot blocks: nothing forms
+    const DecodedKernel dk2(b2.build());
+    EXPECT_TRUE(dk2.superblocks().empty());
+    expectParity(b2.build(), plainCtx(), kMaxKernelSteps, "one-slot runs");
+}
+
+TEST(SuperblockTest, ChaseLoopShapeDataflowMasksAndBudgetSweep)
+{
+    // The canonical chase loop — fused bump+load feeding a hash quad,
+    // plain compare-branch back to its own head — is tagged kChaseLoop
+    // and carries exact dataflow masks: formation proved the cursor is
+    // bumped in place and the limit/rebase operands are invariant, so
+    // the handler keeps the whole loop-carried state in host registers.
+    KernelBuilder b("chase_loop");
+    auto loop = b.newLabel();
+    b.vaddr(1).li(3, 0).li(4, 64);
+    b.bind(loop);
+    b.addi(3, 3, 8).ldLine(2, 3, -8).andi(2, 2, 0x1FF).shli(2, 2, 6)
+        .add(2, 2, 1).prefetch(2).bne(3, 4, loop);
+    b.halt();
+    const Kernel k = b.build();
+
+    const DecodedKernel dk(k);
+    ASSERT_EQ(dk.superblocks().size(), 2u);
+    const SuperBlock &entry = dk.superblocks()[0];
+    const SuperBlock &chase = dk.superblocks()[1];
+    EXPECT_EQ(entry.shape, SuperBlock::Shape::kGeneric);
+    EXPECT_EQ(entry.liveIn, 0u); // vaddr/li/li read nothing
+    EXPECT_EQ(entry.defs, (1u << 1) | (1u << 3) | (1u << 4));
+    EXPECT_EQ(chase.shape, SuperBlock::Shape::kChaseLoop);
+    // Cursor r3, rebase r1 and limit r4 are live-in; the link r2 is
+    // written (by the line load) before the hash quad reads it.
+    EXPECT_EQ(chase.liveIn, (1u << 1) | (1u << 3) | (1u << 4));
+    EXPECT_EQ(chase.defs, (1u << 2) | (1u << 3));
+
+    // Clobbering the loop limit breaks the invariance proof: the same
+    // ops with the branch comparing against the hash result must stay
+    // a generic superblock.
+    KernelBuilder b2("chase_clobbered");
+    auto loop2 = b2.newLabel();
+    b2.vaddr(1).li(3, 0).li(4, 64);
+    b2.bind(loop2);
+    b2.addi(3, 3, 8).ldLine(2, 3, -8).andi(2, 2, 0x1FF).shli(2, 2, 6)
+        .add(2, 2, 1).prefetch(2).bne(3, 2, loop2);
+    b2.halt();
+    const DecodedKernel dk2(b2.build());
+    ASSERT_EQ(dk2.superblocks().size(), 2u);
+    EXPECT_EQ(dk2.superblocks()[1].shape, SuperBlock::Shape::kGeneric);
+
+    // Budget sweep with line data installed: the register-resident
+    // loop must truncate exactly like the reference at every budget.
+    const std::uint64_t line[8] = {0x11,  0x2222, 0x333,  0x44,
+                                   0x555, 0x66,   0x7777, 0x88};
+    EventContext ctx = plainCtx();
+    ctx.hasLine = true;
+    std::memcpy(ctx.line.data(), line, sizeof(line));
+    const ExecResult full =
+        Interpreter::run(k, ctx, nullptr, kMaxKernelSteps);
+    ASSERT_EQ(full.exit, ExitReason::kHalted);
+    for (unsigned steps = 1; steps <= full.cycles + 1; ++steps)
+        expectParity(k, ctx, steps, "chase loop budget sweep");
+    expectParity(b2.build(), ctx, kMaxKernelSteps, "clobbered limit");
 }
 
 // ---------------------------------------------------------------------
@@ -330,6 +566,22 @@ TEST(DecodeCacheTest, IdenticalCodeSharesOneProgram)
     auto p3 = DecodeCache::decode(b3.build());
     EXPECT_NE(p1.get(), p3.get());
     EXPECT_EQ(DecodeCache::internedKernels(), before + 2);
+}
+
+TEST(DecodeCacheTest, SuperblockFlagIsPartOfTheIdentity)
+{
+    // The same code decodes to different programs with formation on
+    // and off: the flag must join the intern key or one mode would be
+    // served the other's program.
+    KernelBuilder b("sbid");
+    b.vaddr(1).addi(1, 1, 64).prefetch(1).halt();
+    auto on = DecodeCache::decode(b.build(), true);
+    auto off = DecodeCache::decode(b.build(), false);
+    EXPECT_NE(on.get(), off.get());
+    EXPECT_TRUE(on->superblocksEnabled());
+    EXPECT_FALSE(off->superblocksEnabled());
+    EXPECT_EQ(DecodeCache::decode(b.build(), true).get(), on.get());
+    EXPECT_EQ(DecodeCache::decode(b.build(), false).get(), off.get());
 }
 
 // ---------------------------------------------------------------------
