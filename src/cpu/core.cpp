@@ -13,8 +13,11 @@ Core::Core(EventQueue &eq, const CoreParams &params, CorePort &mem,
     valueReady_.reserve(1 << 20);
     // Every ROB entry costs at least one instruction, so occupancy never
     // exceeds robEntries — reserving that up front keeps the pooled
-    // RobEntry pointers stable (the ring never reallocates).
+    // RobEntry pointers stable (the ring never reallocates, and
+    // forbidGrowth turns any violation into a debug assert instead of
+    // silent invalidation).
     rob_.reserve(p_.robEntries + 1);
+    rob_.forbidGrowth();
 }
 
 void
@@ -33,6 +36,8 @@ Core::run(Generator<MicroOp> trace, std::function<void()> on_done)
     lqUsed_ = 0;
     sqUsed_ = 0;
     workRemaining_ = 0;
+    pendingExec_ = 0;
+    pendingIssue_ = 0;
     running_ = true;
     sleeping_ = false;
     branchPending_ = false;
@@ -150,24 +155,33 @@ Core::commit()
 bool
 Core::completeWork()
 {
+    if (pendingExec_ == 0)
+        return false;
+    unsigned remaining = pendingExec_;
     bool any = false;
     for (RobEntry *ep : rob_) {
+        if (remaining == 0)
+            break; // every candidate has been visited
         RobEntry &e = *ep;
         if (e.complete)
             continue;
         switch (e.op.kind) {
           case MicroOp::Kind::Work:
           case MicroOp::Kind::PfConfig:
+            --remaining;
             if (depsReady(e.op)) {
                 e.complete = true;
+                --pendingExec_;
                 // Results forward to consumers at execute, not commit.
                 markValueReady(e.op.produces);
                 any = true;
             }
             break;
           case MicroOp::Kind::BranchMiss:
+            --remaining;
             if (depsReady(e.op)) {
                 e.complete = true;
+                --pendingExec_;
                 // The branch resolved: begin the front-end refill.
                 assert(branchPending_);
                 branchPending_ = false;
@@ -185,20 +199,27 @@ Core::completeWork()
 bool
 Core::issueMemOps()
 {
+    if (pendingIssue_ == 0)
+        return false;
     unsigned load_ports = p_.lsuPorts;
+    unsigned remaining = pendingIssue_;
     bool any = false;
     for (RobEntry *ep : rob_) {
+        if (remaining == 0)
+            break; // every candidate has been visited
         RobEntry &e = *ep;
         if (e.issued || e.complete)
             continue;
         switch (e.op.kind) {
           case MicroOp::Kind::Load: {
+            --remaining;
             if (load_ports == 0)
                 continue;
             if (!depsReady(e.op) || lqUsed_ >= p_.lqEntries)
                 continue;
             ++lqUsed_;
             e.issued = true;
+            --pendingIssue_;
             --load_ports;
             any = true;
             RobEntry *entry = ep;
@@ -213,11 +234,13 @@ Core::issueMemOps()
             break;
           }
           case MicroOp::Kind::Store: {
+            --remaining;
             if (!depsReady(e.op) || sqUsed_ >= p_.sqEntries)
                 continue;
             ++sqUsed_;
             e.issued = true;
             e.complete = true; // stores retire without waiting for data
+            --pendingIssue_;
             any = true;
             mem_.store(e.op.vaddr, nsStream(e.op.streamId), [this] {
                 assert(sqUsed_ > 0);
@@ -227,10 +250,12 @@ Core::issueMemOps()
             break;
           }
           case MicroOp::Kind::SwPrefetch: {
+            --remaining;
             if (!depsReady(e.op))
                 continue;
             e.issued = true;
             e.complete = true;
+            --pendingIssue_;
             any = true;
             mem_.swPrefetch(e.op.vaddr);
             break;
@@ -296,6 +321,8 @@ Core::dispatch()
             // Dependence-free work completes at dispatch but still
             // occupies its share of the window until it commits.
             e.complete = e.op.deps[0] == 0 && e.op.deps[1] == 0;
+            if (!e.complete)
+                ++pendingExec_;
             workRemaining_ = op.instrs;
             robInstrs_ += need;
             traceValid_ = false;
@@ -311,6 +338,7 @@ Core::dispatch()
                 ++stats_.loads;
             else
                 ++stats_.stores;
+            ++pendingIssue_;
             robInstrs_ += 1;
             traceValid_ = false;
             budget -= 1;
@@ -322,6 +350,7 @@ Core::dispatch()
             e.op.instrs = 1;
             stats_.instrs += 1;
             ++stats_.swPrefetches;
+            ++pendingIssue_;
             robInstrs_ += 1;
             traceValid_ = false;
             budget -= 1;
@@ -333,6 +362,7 @@ Core::dispatch()
             e.op.instrs = 1;
             stats_.instrs += 1;
             ++stats_.branchMisses;
+            ++pendingExec_;
             robInstrs_ += 1;
             // Resolution may already be possible (dep ready): leave the
             // completion to completeWork on this or a later cycle.

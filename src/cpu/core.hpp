@@ -171,6 +171,19 @@ class Core
     /** Instruction-dispatch budget carried across cycles for wide Work ops. */
     std::uint32_t workRemaining_ = 0;
 
+    /**
+     * Host-side scan bounds (no timing effect).  completeWork() can only
+     * act on incomplete Work/BranchMiss entries and issueMemOps() on
+     * unissued Load/Store/SwPrefetch entries; these count exactly those
+     * candidates, maintained at dispatch and at the point an entry stops
+     * being a candidate.  Each scan visits the same entries in the same
+     * order and makes identical decisions — it merely skips entirely at
+     * zero and stops once every candidate has been visited, instead of
+     * walking the full ROB every cycle.
+     */
+    unsigned pendingExec_ = 0;
+    unsigned pendingIssue_ = 0;
+
     std::vector<bool> valueReady_;
     std::uint64_t seq_ = 0;
     bool running_ = false;

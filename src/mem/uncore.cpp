@@ -50,6 +50,7 @@ Uncore::Uncore(EventQueue &eq, GuestMemory &mem, const MemParams &params,
     banks_.resize(banks);
     for (unsigned b = 0; b < banks; ++b) {
         CacheParams bp = p_.l2;
+        bp.batchedDelivery = p_.batchedDelivery;
         bp.sizeBytes = p_.l2.sizeBytes / banks;
         bp.mshrs = p_.l2.mshrs / banks > 0 ? p_.l2.mshrs / banks : 1;
         if (banks > 1)
@@ -112,6 +113,15 @@ Uncore::portRead(unsigned port, const LineRequest &req, DoneFn done)
         return;
     }
     bank.queues[port].push_back(Pending{req, std::move(done)});
+    if (p_.batchedDelivery) {
+        // An idle bank's next grant slot is the current tick; the
+        // shared wake event drains every due bank at once.
+        if (bank.nextGrantAt == kTickMax) {
+            bank.nextGrantAt = eq_.now();
+            armArb(eq_.now());
+        }
+        return;
+    }
     if (!bank.granting) {
         bank.granting = true;
         // An idle arbiter grants in the current tick; contention is
@@ -128,18 +138,23 @@ Uncore::portWrite(unsigned port, const LineRequest &req)
     banks_[bankOf(req.paddr)].cache->writeLine(req);
 }
 
-void
-Uncore::grant(unsigned bank_idx)
+bool
+Uncore::bankHasWork(const Bank &bank) const
 {
-    Bank &bank = banks_[bank_idx];
+    for (const auto &q : bank.queues) {
+        if (!q.empty())
+            return true;
+    }
+    return false;
+}
 
+bool
+Uncore::grantOne(Bank &bank)
+{
     unsigned waiting = 0;
     for (const auto &q : bank.queues)
         waiting += q.empty() ? 0 : 1;
-    if (waiting == 0) {
-        bank.granting = false;
-        return;
-    }
+    assert(waiting > 0);
     if (waiting > 1)
         ++stats_.arbConflicts;
 
@@ -153,19 +168,64 @@ Uncore::grant(unsigned bank_idx)
 
     bank.cache->readLine(pe.req, std::move(pe.done));
 
+    return bankHasWork(bank);
+}
+
+void
+Uncore::grant(unsigned bank_idx)
+{
+    Bank &bank = banks_[bank_idx];
+    if (!bankHasWork(bank)) {
+        bank.granting = false;
+        return;
+    }
+
     // Pace only while work is actually queued: the next grant slot is
     // one l2ArbPeriod out.  When the queues drain, the arbiter goes
     // idle and the next arriving request is granted in its own tick —
     // an uncontended port sees the same latency as the single-port
     // bypass.
-    bool pending = false;
-    for (const auto &q : bank.queues)
-        pending |= !q.empty();
-    if (pending) {
+    if (grantOne(bank)) {
         eq_.scheduleIn(p_.l2ArbPeriod, [this, bank_idx] { grant(bank_idx); });
     } else {
         bank.granting = false;
     }
+}
+
+void
+Uncore::armArb(Tick when)
+{
+    if (arbWakeAt_ <= when)
+        return; // an earlier (or equal) wake event is already live
+    arbWakeAt_ = when;
+    const std::uint64_t gen = ++arbGen_;
+    eq_.schedule(when, [this, gen] {
+        if (gen != arbGen_)
+            return; // superseded by an earlier re-arm
+        arbWakeAt_ = kTickMax;
+        arbDrain();
+    });
+}
+
+void
+Uncore::arbDrain()
+{
+    // One pass grants every bank whose slot is due this tick — the
+    // same per-bank grant ticks and round-robin picks as the legacy
+    // per-bank events, minus the per-bank event traffic.  arbDrain
+    // always re-arms from full bank state, so orphaned (superseded)
+    // wake events lose nothing.
+    const Tick now = eq_.now();
+    Tick next = kTickMax;
+    for (Bank &bank : banks_) {
+        if (bank.nextGrantAt <= now) {
+            bank.nextGrantAt =
+                grantOne(bank) ? now + p_.l2ArbPeriod : kTickMax;
+        }
+        next = next < bank.nextGrantAt ? next : bank.nextGrantAt;
+    }
+    if (next != kTickMax)
+        armArb(next);
 }
 
 void

@@ -123,8 +123,13 @@ ProgrammablePrefetcher::notifyDemand(Addr vaddr, bool is_load, bool hit,
             obs.timedStart = now;
             obs.timedOrigin = static_cast<std::int16_t>(idx);
         }
-        enqueueObservation(std::move(obs));
+        if (cfg_.batchedObservations)
+            obsScratch_.push_back(std::move(obs));
+        else
+            enqueueObservation(std::move(obs));
     });
+    if (cfg_.batchedObservations)
+        flushObservationScratch();
 }
 
 void
@@ -204,17 +209,22 @@ ProgrammablePrefetcher::routeFill(const LineRequest &req)
             ++stats_.obsNoData;
             return;
         }
-        enqueueObservation(std::move(obs));
+        if (cfg_.batchedObservations)
+            obsScratch_.push_back(std::move(obs));
+        else
+            enqueueObservation(std::move(obs));
     };
 
     if (k != kNoKernel) {
         makeObs(k);
-        return;
+    } else {
+        filters_.match(req.vaddr, [&](int, const FilterEntry &e) {
+            if (e.onPrefetch != kNoKernel)
+                makeObs(e.onPrefetch);
+        });
     }
-    filters_.match(req.vaddr, [&](int, const FilterEntry &e) {
-        if (e.onPrefetch != kNoKernel)
-            makeObs(e.onPrefetch);
-    });
+    if (cfg_.batchedObservations)
+        flushObservationScratch();
 }
 
 void
@@ -245,6 +255,30 @@ ProgrammablePrefetcher::enqueueObservation(Observation obs)
     }
     obsQueue_.push_back(std::move(obs));
     trySchedule();
+}
+
+void
+ProgrammablePrefetcher::flushObservationScratch()
+{
+    if (obsScratch_.empty())
+        return;
+    if (obsQueue_.size() + obsScratch_.size() <= cfg_.obsQueueCapacity) {
+        // The whole batch fits: no drop is possible, so pushing it all
+        // and draining once is observably identical to per-push
+        // delivery (the queue is FIFO and the scheduler pops from the
+        // front, so assignment order cannot change).
+        stats_.observations += obsScratch_.size();
+        for (Observation &obs : obsScratch_)
+            obsQueue_.push_back(std::move(obs));
+        obsScratch_.clear();
+        trySchedule();
+        return;
+    }
+    // The batch could overflow the queue: take the per-push path so
+    // the drop sequence matches per-match delivery exactly.
+    for (Observation &obs : obsScratch_)
+        enqueueObservation(std::move(obs));
+    obsScratch_.clear();
 }
 
 int

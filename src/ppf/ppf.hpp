@@ -82,6 +82,18 @@ struct PpfConfig
      * block), so like predecode this only trades host speed.
      */
     bool superblocks = true;
+    /**
+     * Deliver all of a snoop's (or fill's) filter matches to the
+     * observation queue in one batch with a single scheduler pass,
+     * instead of one enqueue + scheduler pass per match.  Identical to
+     * per-match delivery whenever the whole batch fits the queue (the
+     * queue is FIFO and the scheduler drains from the front, so
+     * interleaving pushes with drains cannot change assignment order);
+     * when the batch could overflow, the per-match path is taken so
+     * drop order matches exactly.  Off reproduces per-match delivery
+     * for the A/B parity suite.
+     */
+    bool batchedObservations = true;
 };
 
 /** The programmable prefetcher. */
@@ -212,6 +224,9 @@ class ProgrammablePrefetcher : public MemoryListener, public PrefetchSource
     };
 
     void enqueueObservation(Observation obs);
+    /** Deliver everything in obsScratch_ (one scheduler pass when the
+     *  batch provably cannot drop; per-push fallback otherwise). */
+    void flushObservationScratch();
     void trySchedule();
     int pickFreePpu();
     /** Begin executing @p obs on @p ppu at the next PPU clock edge. */
@@ -267,6 +282,8 @@ class ProgrammablePrefetcher : public MemoryListener, public PrefetchSource
 
     /** Lookahead snapshot handed to kernels (capacity reused). */
     std::vector<std::uint64_t> lookaheadScratch_;
+    /** Matched observations of one snoop/fill (capacity reused). */
+    std::vector<Observation> obsScratch_;
     /** Emit buffers in flight between execute and finish (pooled). */
     ObjectPool<std::vector<PrefetchEmit>> emitBuffers_;
 

@@ -1,5 +1,6 @@
 #include "sim/event_queue.hpp"
 
+#include <bit>
 #include <cassert>
 #include <utility>
 
@@ -10,7 +11,7 @@ namespace
 {
 /** Warm-start capacities: sized so typical runs never grow mid-sim. */
 constexpr std::size_t kInitialSlots = 1024;
-constexpr std::size_t kInitialRing = 64;
+constexpr std::size_t kInitialRing = 256;
 } // namespace
 
 EventQueue::EventQueue()
@@ -19,6 +20,7 @@ EventQueue::EventQueue()
     slots_.reserve(kInitialSlots);
     freeSlots_.reserve(kInitialSlots);
     current_.reserve(kInitialRing);
+    wheel_.resize(kWheelTicks);
 }
 
 std::uint32_t
@@ -47,7 +49,58 @@ EventQueue::schedule(Tick when, Callback fn)
         ++seq_;
         return;
     }
+    if (when - now_ < kWheelTicks) {
+        // Near future: append to the tick's wheel bucket.  Appends are
+        // in seq order by construction, and the horizon guarantees the
+        // bucket holds no other tick's events.
+        const std::size_t b =
+            static_cast<std::size_t>(when & (kWheelTicks - 1));
+        std::vector<Key> &bucket = wheel_[b];
+        assert(bucket.empty() || bucket.back().when == when);
+        bucket.push_back(Key{when, seq_++, takeSlot(std::move(fn))});
+        wheelBits_[b >> 6] |= 1ULL << (b & 63);
+        ++wheelCount_;
+        return;
+    }
     heapPush(Key{when, seq_++, takeSlot(std::move(fn))});
+}
+
+EventQueue::Batch
+EventQueue::takeBatch()
+{
+    if (batchPool_.empty())
+        return Batch{};
+    Batch b = std::move(batchPool_.back());
+    batchPool_.pop_back();
+    return b;
+}
+
+void
+EventQueue::scheduleBatch(Tick delay, Batch b)
+{
+    if (b.empty()) {
+        batchPool_.push_back(std::move(b));
+        return;
+    }
+    if (b.size() == 1) {
+        Callback fn = std::move(b.front());
+        b.clear();
+        batchPool_.push_back(std::move(b));
+        scheduleIn(delay, std::move(fn));
+        return;
+    }
+    // One slot carries the whole vector; members run consecutively and
+    // each counts as an executed event (the carrier's own increment in
+    // the drain covers the first member).
+    scheduleIn(delay, [this, b = std::move(b)]() mutable {
+        executed_ += b.size() - 1;
+        for (Callback &fn : b) {
+            Callback f = std::move(fn);
+            f();
+        }
+        b.clear();
+        batchPool_.push_back(std::move(b));
+    });
 }
 
 void
@@ -98,49 +151,115 @@ EventQueue::heapPopTop()
     return top;
 }
 
-bool
-EventQueue::runOne()
+Tick
+EventQueue::nextWheelTick() const
 {
-    std::uint32_t s;
-    if (!current_.empty()) {
-        s = current_.front();
-        current_.pop_front();
-    } else {
-        if (heap_.empty())
-            return false;
-        // Advance to the next tick.  If more events share it, drain them
-        // all into the FIFO ring (pops come out in seq order); from here
-        // until the ring empties, schedule() appends same-tick events in
-        // O(1).  A lone event skips the ring entirely.
-        const Tick t = heap_[0].when;
-        assert(t >= now_);
-        now_ = t;
-        s = heapPopTop().slot;
-        while (!heap_.empty() && heap_[0].when == t)
-            current_.push_back(heapPopTop().slot);
+    if (wheelCount_ == 0)
+        return kTickMax;
+    // Scan the occupancy bitmap from the bucket of now_+1, wrapping.
+    // Bucket indices met in scan order correspond to strictly
+    // increasing ticks in (now_, now_ + kWheelTicks), so the first set
+    // bit is the nearest occupied tick.
+    const std::size_t start =
+        static_cast<std::size_t>((now_ + 1) & (kWheelTicks - 1));
+    std::size_t w = start >> 6;
+    std::uint64_t word = wheelBits_[w] & (~0ULL << (start & 63));
+    for (std::size_t i = 0; i <= kWheelWords; ++i) {
+        if (word != 0) {
+            const std::size_t b =
+                (w << 6) | static_cast<std::size_t>(std::countr_zero(word));
+            return now_ + 1 + ((b - start) & (kWheelTicks - 1));
+        }
+        w = (w + 1) & (kWheelWords - 1);
+        word = wheelBits_[w];
     }
+    assert(false && "wheelCount_ > 0 but no bucket bit set");
+    return kTickMax;
+}
 
+bool
+EventQueue::advance()
+{
+    const Tick ht = heap_.empty() ? kTickMax : heap_[0].when;
+    const Tick wt = nextWheelTick();
+    if (ht == kTickMax && wt == kTickMax)
+        return false;
+    const Tick t = ht < wt ? ht : wt;
+    assert(t > now_);
+    now_ = t;
+
+    if (wt == t) {
+        const std::size_t b = static_cast<std::size_t>(t & (kWheelTicks - 1));
+        std::vector<Key> &bucket = wheel_[b];
+        wheelBits_[b >> 6] &= ~(1ULL << (b & 63));
+        wheelCount_ -= bucket.size();
+        if (ht == t) {
+            // Both sources hold events at t.  Every heap key at t was
+            // scheduled at least kWheelTicks early — before any wheel
+            // key for t could have been created — so all heap seqs
+            // precede all bucket seqs: drain heap first.
+            do {
+                current_.push_back(heapPopTop().slot);
+            } while (!heap_.empty() && heap_[0].when == t);
+        }
+        for (const Key &k : bucket)
+            current_.push_back(k.slot);
+        bucket.clear();
+    } else {
+        do {
+            current_.push_back(heapPopTop().slot);
+        } while (!heap_.empty() && heap_[0].when == t);
+    }
+    return true;
+}
+
+void
+EventQueue::execFront()
+{
+    const std::uint32_t s = current_.front();
+    current_.pop_front();
     // Move the callback out before invoking: the callback may schedule,
     // which can grow or reuse the slot pool.
     Callback fn = std::move(slots_[s]);
     freeSlots_.push_back(s);
     ++executed_;
     fn();
+}
+
+bool
+EventQueue::runOne()
+{
+    if (current_.empty() && !advance())
+        return false;
+    execFront();
     return true;
 }
 
 void
 EventQueue::run(std::uint64_t limit)
 {
-    while (limit-- > 0 && runOne()) {
+    // Batch drain: one time-advance per tick, then the whole FIFO ring
+    // in a tight loop (callbacks appending same-tick events extend the
+    // same pass).
+    while (limit > 0) {
+        if (current_.empty() && !advance())
+            return;
+        do {
+            execFront();
+        } while (--limit > 0 && !current_.empty());
     }
 }
 
 void
 EventQueue::runUntil(Tick until)
 {
-    while (nextEventTick() <= until)
-        runOne();
+    while (nextEventTick() <= until) {
+        if (current_.empty())
+            (void)advance();
+        do {
+            execFront();
+        } while (!current_.empty());
+    }
     if (now_ < until)
         now_ = until;
 }

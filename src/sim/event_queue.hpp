@@ -7,19 +7,41 @@
  * queue.  Events scheduled for the same tick execute in insertion order,
  * which keeps runs bit-for-bit reproducible.
  *
- * Engine internals (hot path, see bench/micro_components.cpp):
+ * Engine internals (hot path, see bench/micro_components.cpp and
+ * tools/bench_events.cpp):
  *
  *  - Callbacks are @ref SmallFunction, not std::function: closures up to
  *    48 bytes live inline in the slot pool, larger ones come from a
  *    thread-local slab, so scheduling never calls malloc in steady state.
- *  - The time order lives in an implicit 4-ary heap of 24-byte keys
- *    {when, seq, slot}; sifts move keys only, never callbacks.  Callbacks
- *    sit in an indexed slot pool and move exactly twice: in at schedule,
- *    out at execution.
+ *  - Short-delay events — the bulk of the traffic: core ticks, cache hit
+ *    latencies, arbitration slots, PPU dispatch — go into a calendar
+ *    wheel of per-tick FIFO buckets covering the next kWheelTicks ticks,
+ *    bypassing the heap entirely.  A bitmap scan finds the next occupied
+ *    bucket in a handful of word operations.
+ *  - Only far-future events (DRAM row conflicts, slow PPU clocks) use
+ *    the implicit 4-ary heap of 24-byte keys {when, seq, slot}; sifts
+ *    move keys only, never callbacks.  Callbacks sit in an indexed slot
+ *    pool and move exactly twice: in at schedule, out at execution.
  *  - When time advances to a tick, every key at that tick is drained into
  *    a FIFO ring first; follow-on events scheduled *at the current tick*
  *    (the hierarchy's ubiquitous scheduleIn(0)) append to that ring in
- *    O(1), bypassing the heap entirely while preserving FIFO order.
+ *    O(1).  run() drains the ring in one tight pass per tick — the
+ *    batch-drain path — instead of re-entering runOne() per event.
+ *  - Producers of N same-tick events (MSHR completion storms, PPF emit
+ *    flushes) can enqueue ONE pooled vector of callbacks via
+ *    scheduleBatch() instead of N closures.  The members run
+ *    consecutively, which is observably identical to N consecutive
+ *    schedule() calls (nothing can interleave between events enqueued
+ *    back-to-back), but costs one slot and one key.
+ *
+ * Ordering guarantees (the drain contract):
+ *
+ *  1. Events at different ticks run in tick order.
+ *  2. Events at the same tick run in schedule-call order, regardless of
+ *     which structure (ring, wheel, heap) carried them.
+ *  3. The members of a batch run consecutively, in vector order, at the
+ *     batch's position in that tick's FIFO; events they schedule at the
+ *     current tick run after the entire batch.
  */
 
 #ifndef EPF_SIM_EVENT_QUEUE_HPP
@@ -46,6 +68,8 @@ class EventQueue
 {
   public:
     using Callback = SmallFunction<void()>;
+    /** A pooled vector of callbacks delivered as one event. */
+    using Batch = std::vector<Callback>;
 
     EventQueue();
     EventQueue(const EventQueue &) = delete;
@@ -60,8 +84,28 @@ class EventQueue
     /** Schedule @p fn to run @p delay ticks from now. */
     void scheduleIn(Tick delay, Callback fn) { schedule(now_ + delay, std::move(fn)); }
 
+    /**
+     * Acquire an empty batch vector (pooled: capacity survives reuse).
+     * Fill it and hand it to scheduleBatch(); an unused batch may also
+     * be returned via scheduleBatch() with no members.
+     */
+    Batch takeBatch();
+
+    /**
+     * Schedule every callback in @p b to run @p delay ticks from now,
+     * consecutively and in order, as a single queue entry.  Equivalent
+     * to calling scheduleIn(delay, ...) once per member back-to-back,
+     * but N callbacks cost one slot and one key.  The vector returns to
+     * the pool after delivery.  An empty batch is returned to the pool
+     * immediately; a single-member batch degenerates to scheduleIn().
+     */
+    void scheduleBatch(Tick delay, Batch b);
+
     /** True if no events remain. */
-    bool empty() const { return current_.empty() && heap_.empty(); }
+    bool empty() const
+    {
+        return current_.empty() && heap_.empty() && wheelCount_ == 0;
+    }
 
     /** Tick of the next pending event (kTickMax if none). */
     Tick
@@ -69,7 +113,9 @@ class EventQueue
     {
         if (!current_.empty())
             return now_;
-        return heap_.empty() ? kTickMax : heap_[0].when;
+        const Tick ht = heap_.empty() ? kTickMax : heap_[0].when;
+        const Tick wt = nextWheelTick();
+        return ht < wt ? ht : wt;
     }
 
     /**
@@ -84,20 +130,32 @@ class EventQueue
     /** Run events with time <= @p until (inclusive). */
     void runUntil(Tick until);
 
-    /** Total events executed so far (for stats and runaway detection). */
+    /** Total events executed so far (for stats and runaway detection).
+     *  Each member of a batch counts as one executed event. */
     std::uint64_t executed() const { return executed_; }
 
-    /** Number of events currently pending. */
-    std::size_t pending() const { return current_.size() + heap_.size(); }
+    /** Number of events currently pending (a batch counts once). */
+    std::size_t
+    pending() const
+    {
+        return current_.size() + heap_.size() + wheelCount_;
+    }
 
   private:
-    /** Heap key: ordering data plus the owning callback slot. */
+    /** Heap/wheel key: ordering data plus the owning callback slot. */
     struct Key
     {
         Tick when;
         std::uint64_t seq;
         std::uint32_t slot;
     };
+
+    /** Calendar-wheel horizon: delays in [1, kWheelTicks) take a bucket
+     *  instead of the heap.  1024 ticks (64 ns) covers every periodic
+     *  clock and cache latency in the machine; only DRAM tails and slow
+     *  PPU completions reach the heap. */
+    static constexpr std::size_t kWheelTicks = 1024;
+    static constexpr std::size_t kWheelWords = kWheelTicks / 64;
 
     /** Strict ordering: earlier tick first, then insertion order. */
     static bool
@@ -112,13 +170,35 @@ class EventQueue
     void heapPush(Key k);
     Key heapPopTop();
 
+    /** Next occupied wheel tick strictly after now_ (kTickMax if none). */
+    Tick nextWheelTick() const;
+
+    /**
+     * Advance now_ to the next pending tick and drain every event at
+     * that tick into the FIFO ring, merging wheel and heap sources in
+     * seq order.  Returns false when nothing is pending.
+     */
+    bool advance();
+
+    /** Pop the ring front and run it (the per-event drain step). */
+    void execFront();
+
     /** Implicit 4-ary min-heap of keys (children of i: 4i+1 .. 4i+4). */
     std::vector<Key> heap_;
+    /** Per-tick buckets for the near future; bucket = when % kWheelTicks.
+     *  Each bucket holds at most one tick's events at a time (the
+     *  horizon guarantees ticks kWheelTicks apart never coexist). */
+    std::vector<std::vector<Key>> wheel_;
+    /** Occupancy bitmap over wheel_ buckets. */
+    std::uint64_t wheelBits_[kWheelWords] = {};
+    std::size_t wheelCount_ = 0;
     /** Callback storage indexed by Key::slot. */
     std::vector<Callback> slots_;
     std::vector<std::uint32_t> freeSlots_;
     /** Slots waiting to run at the current tick, in FIFO order. */
     Ring<std::uint32_t> current_;
+    /** Recycled batch vectors (capacity survives round trips). */
+    std::vector<Batch> batchPool_;
 
     Tick now_ = 0;
     std::uint64_t seq_ = 0;

@@ -12,7 +12,9 @@
  * Growth reallocates (moves elements), so pointers into a Ring are only
  * stable if the ring never grows past its reserved capacity — callers
  * that rely on this (the core's ROB) reserve their maximum occupancy up
- * front.
+ * front and then declare the dependency with forbidGrowth(), which turns
+ * a later growth from silent reference invalidation into a debug-build
+ * assertion failure.
  */
 
 #ifndef EPF_SIM_RING_BUFFER_HPP
@@ -129,6 +131,24 @@ class Ring
             grow(roundUpPow2(n));
     }
 
+    /**
+     * Declare that references/pointers into this ring are held across
+     * pushes (see the file comment): any growth past the reserved
+     * capacity would invalidate them, so grow() asserts instead of
+     * reallocating.  Call after reserve()ing the maximum occupancy.
+     * Debug-build only; release builds keep the (documented) silent
+     * reallocation.
+     */
+    void
+    forbidGrowth(bool forbid = true)
+    {
+#ifndef NDEBUG
+        growthForbidden_ = forbid;
+#else
+        (void)forbid;
+#endif
+    }
+
     // Minimal random-access iterator (enough for range-for and searches).
     template <typename RingT, typename Value>
     class Iter
@@ -176,6 +196,11 @@ class Ring
     void
     grow(std::size_t new_cap)
     {
+#ifndef NDEBUG
+        assert(!growthForbidden_ &&
+               "Ring grew past reserved capacity with forbidGrowth() set: "
+               "outstanding element references would be invalidated");
+#endif
         T *nd = static_cast<T *>(
             ::operator new(new_cap * sizeof(T), std::align_val_t(alignof(T))));
         for (std::size_t i = 0; i < size_; ++i) {
@@ -205,6 +230,9 @@ class Ring
     std::size_t cap_ = 0;
     std::size_t head_ = 0;
     std::size_t size_ = 0;
+#ifndef NDEBUG
+    bool growthForbidden_ = false;
+#endif
 };
 
 } // namespace epf

@@ -140,6 +140,97 @@ TEST(EventQueueTest, SameTickFifoAcrossHeapAndMidDrainAppends)
     EXPECT_EQ(eq.now(), 7u);
 }
 
+/**
+ * Pins same-tick FIFO order across the wheel/heap boundary: an event
+ * scheduled far ahead (a heap key) and events scheduled later for the
+ * same tick from nearby (wheel keys) must still run in schedule-call
+ * order — the heap key was scheduled first, so it runs first.
+ */
+TEST(EventQueueTest, SameTickFifoAcrossWheelAndHeap)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    const Tick target = 2000; // > wheel horizon at schedule time
+    eq.schedule(target, [&] { order.push_back(0); }); // heap key
+    eq.schedule(1500, [&] {
+        // Within the horizon now: these land in the wheel, behind the
+        // heap key's earlier seq.
+        eq.schedule(target, [&] { order.push_back(1); });
+        eq.schedule(target, [&] { order.push_back(2); });
+    });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+    EXPECT_EQ(eq.now(), target);
+}
+
+/**
+ * The batch contract: members run consecutively at the batch's FIFO
+ * position, interleaved schedule() calls keep their positions, and
+ * same-tick events scheduled from inside a member run after the whole
+ * batch.
+ */
+TEST(EventQueueTest, BatchRunsConsecutivelyAtItsFifoPosition)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(5, [&] { order.push_back(0); });
+    EventQueue::Batch b = eq.takeBatch();
+    b.push_back([&] {
+        order.push_back(1);
+        eq.scheduleIn(0, [&] { order.push_back(4); }); // after the batch
+    });
+    b.push_back([&] { order.push_back(2); });
+    eq.scheduleBatch(5, std::move(b));
+    eq.schedule(5, [&] { order.push_back(3); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+/** Re-entrant batches: a member may take and schedule another batch at
+ *  the current tick while its own batch is mid-drain. */
+TEST(EventQueueTest, ReentrantBatchFromInsideBatchDrain)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    EventQueue::Batch outer = eq.takeBatch();
+    outer.push_back([&] {
+        order.push_back(0);
+        EventQueue::Batch inner = eq.takeBatch();
+        inner.push_back([&] { order.push_back(2); });
+        inner.push_back([&] { order.push_back(3); });
+        eq.scheduleBatch(0, std::move(inner));
+    });
+    outer.push_back([&] { order.push_back(1); });
+    eq.scheduleBatch(3, std::move(outer));
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+    EXPECT_EQ(eq.now(), 3u);
+}
+
+/** Each batch member counts as one executed event, and the degenerate
+ *  empty / single-member batches behave like plain schedules. */
+TEST(EventQueueTest, BatchExecutedCountAndDegenerateSizes)
+{
+    EventQueue eq;
+    int fired = 0;
+
+    eq.scheduleBatch(1, eq.takeBatch()); // empty: no event at all
+    eq.run();
+    EXPECT_EQ(eq.executed(), 0u);
+    EXPECT_TRUE(eq.empty());
+
+    EventQueue::Batch one = eq.takeBatch();
+    one.push_back([&] { ++fired; });
+    eq.scheduleBatch(1, std::move(one));
+    EventQueue::Batch four = eq.takeBatch();
+    for (int i = 0; i < 4; ++i)
+        four.push_back([&] { ++fired; });
+    eq.scheduleBatch(2, std::move(four));
+    eq.run();
+    EXPECT_EQ(fired, 5);
+    EXPECT_EQ(eq.executed(), 5u);
+}
+
 /** Callbacks past the inline budget go through the slab pool and must
  *  survive heap sifts, moves and execution intact. */
 TEST(EventQueueTest, LargeCaptureCallbacks)
@@ -221,6 +312,41 @@ TEST(RingTest, GrowthPreservesOrderAndIteration)
     for (int i = 0; i < 40; ++i)
         EXPECT_EQ(got[static_cast<std::size_t>(i + 2)], 100 + i);
 }
+
+#ifdef NDEBUG
+TEST(RingTest, ForbidGrowthIsANoOpInReleaseBuilds)
+{
+    // Release builds keep the documented silent reallocation; the guard
+    // only exists where asserts are live.
+    Ring<int> r;
+    r.reserve(8);
+    r.forbidGrowth();
+    for (int i = 0; i < 20; ++i)
+        r.push_back(i);
+    EXPECT_EQ(r.size(), 20u);
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(r[static_cast<std::size_t>(i)], i);
+}
+#else
+TEST(RingTest, ForbidGrowthAssertsOnGrowthInDebugBuilds)
+{
+    Ring<int> r;
+    r.reserve(8);
+    r.forbidGrowth();
+    for (int i = 0; i < 8; ++i)
+        r.push_back(i); // exactly the reserved capacity: fine
+    EXPECT_DEATH(r.push_back(8), "forbidGrowth");
+
+    // Lifting the declaration re-allows growth.
+    Ring<int> r2;
+    r2.reserve(8);
+    r2.forbidGrowth();
+    r2.forbidGrowth(false);
+    for (int i = 0; i < 20; ++i)
+        r2.push_back(i);
+    EXPECT_EQ(r2.size(), 20u);
+}
+#endif
 
 TEST(RingTest, MoveOnlyElements)
 {
@@ -324,6 +450,33 @@ TEST(StatsTest, RegistrySetGet)
     r.set("x", 3.5);
     EXPECT_TRUE(r.has("x"));
     EXPECT_DOUBLE_EQ(r.get("x"), 3.5);
+}
+
+TEST(StatsTest, InternedHandlesAliasTheNamedStatistic)
+{
+    StatRegistry r;
+    const StatRegistry::StatId id = r.intern("core.loads");
+    EXPECT_EQ(r.intern("core.loads"), id); // stable across re-interning
+    EXPECT_EQ(r.name(id), "core.loads");
+    EXPECT_DOUBLE_EQ(r.get(id), 0.0);
+
+    r.add(id, 3.0);
+    r.add(id, 4.0);
+    EXPECT_DOUBLE_EQ(r.get(id), 7.0);
+    EXPECT_DOUBLE_EQ(r.get("core.loads"), 7.0); // same storage
+
+    // By-name writes are visible through the handle and vice versa,
+    // and handles survive later insertions into the map.
+    r.set("core.loads", 1.0);
+    const StatRegistry::StatId other = r.intern("aaa.first");
+    r.set("zzz.last", 9.0);
+    EXPECT_DOUBLE_EQ(r.get(id), 1.0);
+    r.set(id, 5.0);
+    EXPECT_DOUBLE_EQ(r.get("core.loads"), 5.0);
+    EXPECT_DOUBLE_EQ(r.get(other), 0.0);
+
+    // Interning an already-published name adopts its value.
+    EXPECT_DOUBLE_EQ(r.get(r.intern("zzz.last")), 9.0);
 }
 
 TEST(StatsTest, SampleSummaryQuartiles)
