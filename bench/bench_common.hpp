@@ -21,6 +21,13 @@
  *                trace-file path; {workload}/{technique}/{label} expand
  *                per cell (the emitted JSON records each file under
  *                "trace")
+ *   EPF_FAULTS   fault-injection schedule applied to every cell: a
+ *                canonical schedule index or a site spec list (see
+ *                parseFaultConfig() in sim/fault.hpp).  Architectural
+ *                results are unaffected by construction; timing moves.
+ *   EPF_CELL_TIMEOUT  per-cell wall-clock watchdog in seconds; a hung
+ *                cell fails the whole run with its workload/technique/
+ *                seed named instead of wedging the pool
  */
 
 #ifndef EPF_BENCH_BENCH_COMMON_HPP
@@ -54,6 +61,7 @@ baseConfig(Technique t, double scale)
     cfg.technique = t;
     cfg.scale.factor = scale;
     cfg.cores = sweepCoresFromEnv(1);
+    cfg.faults = sweepFaultsFromEnv();
     if (const char *p = std::getenv("EPF_TRACE_OUT"))
         cfg.tracePath = p;
     return cfg;
@@ -65,6 +73,7 @@ makeEngine()
 {
     SweepEngine::Options opts;
     opts.threads = sweepThreadsFromEnv(0);
+    opts.cellTimeoutSeconds = sweepCellTimeoutFromEnv(0.0);
     if (const char *s = std::getenv("EPF_SEED"))
         opts.baseSeed = std::strtoull(s, nullptr, 0);
     if (std::getenv("EPF_PROGRESS")) {

@@ -144,6 +144,11 @@ CorePort::tryIssuePrefetches()
         tlb_->translate(req.vaddr, [this, req](Addr paddr,
                                                bool fault) mutable {
             --pfTranslations_;
+            // Injected spurious translation failure: the prefetch takes
+            // the normal fault-drop path below.
+            if (!fault && faults_ != nullptr &&
+                faults_->fire(FaultSite::kTlbFault))
+                fault = true;
             if (fault) {
                 ++stats_.pfDropFault;
                 if (listener_ != nullptr)
@@ -169,6 +174,12 @@ CorePort::issueTranslatedPrefetch(const LineRequest &req)
     // from the MSHR-free hook once the file drains.
     if (p_.strictPfReservation &&
         l1_->freeMshrCount() <= p_.demandReservedMshrs) {
+        if (pfSkid_.size() >= kMaxPfSkid) {
+            ++stats_.pfSkidDropped;
+            if (listener_ != nullptr && (req.cbKernel >= 0 || req.tag >= 0))
+                listener_->notifyPrefetchDropped(req);
+            return;
+        }
         pfSkid_.push_back(req);
         return;
     }
@@ -193,6 +204,12 @@ CorePort::issueTranslatedPrefetch(const LineRequest &req)
             listener_->notifyPrefetchDropped(req);
         break;
       case Cache::PrefetchResult::NoMshr:
+        if (pfSkid_.size() >= kMaxPfSkid) {
+            ++stats_.pfSkidDropped;
+            if (listener_ != nullptr && (req.cbKernel >= 0 || req.tag >= 0))
+                listener_->notifyPrefetchDropped(req);
+            break;
+        }
         pfSkid_.push_back(req);
         break;
     }

@@ -30,6 +30,7 @@
 #include "mem/tlb.hpp"
 #include "mem/uncore.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/fault.hpp"
 #include "sim/object_pool.hpp"
 #include "sim/ring_buffer.hpp"
 
@@ -54,6 +55,8 @@ class CorePort
         std::uint64_t pfDropPresent = 0;
         std::uint64_t pfDropMerged = 0;
         std::uint64_t pfDropFault = 0;
+        /** Prefetches dropped by the translated-skid overflow bound. */
+        std::uint64_t pfSkidDropped = 0;
     };
 
     /**
@@ -92,6 +95,9 @@ class CorePort
 
     /** Notify that the prefetch source may have new requests. */
     void kickPrefetcher() { tryIssuePrefetches(); }
+
+    /** Attach the run's fault injector (null: fault-free, the default). */
+    void setFaultInjector(FaultInjector *f) { faults_ = f; }
 
     // ---- Introspection ----
 
@@ -139,7 +145,15 @@ class CorePort
     /** Outstanding prefetch translations (bounds TLB pressure). */
     unsigned pfTranslations_ = 0;
     static constexpr unsigned kMaxPfTranslations = 4;
+    /**
+     * Skid bound: the issue loop stops popping the source while the
+     * skid is non-empty, so steady state holds ~kMaxPfTranslations
+     * entries; a storming source that beats that bound sheds load here
+     * (drop-with-stat) instead of growing without limit.
+     */
+    static constexpr std::size_t kMaxPfSkid = 1024;
 
+    FaultInjector *faults_ = nullptr;
     Stats stats_;
 };
 

@@ -64,6 +64,10 @@ Dram::serviceBank(unsigned bank_idx)
 
     // Work out when the column command can start on this bank.
     Tick start = std::max(now + p_.frontendDelay, bank.readyAt);
+    // Injected latency jitter delays the command — demand reads too,
+    // which is deliberately harsher than jittering only prefetches.
+    if (faults_ != nullptr && faults_->fire(FaultSite::kDramJitter))
+        start += faults_->jitterTicks();
     Tick dataAt;
     if (bank.rowOpen && bank.openRow == row) {
         ++stats_.rowHits;

@@ -17,6 +17,7 @@
 
 #include "mem/mem_iface.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/fault.hpp"
 #include "sim/ring_buffer.hpp"
 #include "sim/types.hpp"
 
@@ -78,6 +79,9 @@ class Dram : public MemLevel
     /** Reset statistics (run boundaries). */
     void resetStats() { stats_ = Stats{}; }
 
+    /** Attach the run's fault injector (null: fault-free, the default). */
+    void setFaultInjector(FaultInjector *f) { faults_ = f; }
+
   private:
     struct Bank
     {
@@ -99,6 +103,7 @@ class Dram : public MemLevel
 
     EventQueue &eq_;
     DramParams p_;
+    FaultInjector *faults_ = nullptr;
     std::vector<Bank> banks_;
     /** Earliest tick the shared data bus is free. */
     Tick busFreeAt_ = 0;

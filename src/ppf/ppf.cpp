@@ -1,15 +1,47 @@
 #include "ppf/ppf.hpp"
 
 #include <cassert>
+#include <stdexcept>
 
 namespace epf
 {
+
+namespace
+{
+
+/** Blocked-mode per-PPU local queue bound: a storming chain fills this
+ *  and then drops (with a stat) instead of growing without limit. */
+constexpr std::size_t kMaxBlockedLocal = 256;
+
+/** Bounded quarantine transition log (the hash covers everything). */
+constexpr std::size_t kMaxQuarantineLog = 256;
+
+} // namespace
 
 ProgrammablePrefetcher::ProgrammablePrefetcher(EventQueue &eq,
                                                GuestMemory &mem,
                                                const PpfConfig &cfg)
     : eq_(eq), mem_(mem), cfg_(cfg), ppuClock_(cfg.ppuPeriod)
 {
+    // Queue capacities are load-bearing below (drop-oldest pops the
+    // front before pushing): a zero capacity would pop an empty ring.
+    // These are host configuration errors, not kernel-controlled
+    // conditions, so they throw rather than degrade.
+    if (cfg_.numPpus == 0)
+        throw std::invalid_argument("PpfConfig::numPpus must be positive");
+    if (cfg_.ppuPeriod == 0)
+        throw std::invalid_argument("PpfConfig::ppuPeriod must be positive");
+    if (cfg_.obsQueueCapacity == 0)
+        throw std::invalid_argument(
+            "PpfConfig::obsQueueCapacity must be positive");
+    if (cfg_.reqQueueCapacity == 0)
+        throw std::invalid_argument(
+            "PpfConfig::reqQueueCapacity must be positive");
+    if (cfg_.stormWindowTicks > 0 && cfg_.stormThreshold == 0)
+        throw std::invalid_argument(
+            "PpfConfig::stormThreshold must be positive when the storm "
+            "throttle window is enabled");
+
     globals_.resize(kGlobalRegs, 0);
     ppus_.resize(cfg_.numPpus);
     ppuStats_.resize(cfg_.numPpus);
@@ -75,6 +107,12 @@ ProgrammablePrefetcher::reset()
     rrNext_ = 0;
     for (auto &s : ppuStats_)
         s = PpuStats{};
+    stormWindow_ = 0;
+    stormCount_ = 0;
+    throttled_ = false;
+    kernelHealth_.clear();
+    quarantineLog_.clear();
+    quarantineLogHash_ = 0xCBF29CE484222325ULL;
     stats_ = Stats{};
 }
 
@@ -91,8 +129,14 @@ ProgrammablePrefetcher::contextSwitch()
     rrNext_ = 0;
     for (auto &la : lookahead_)
         la.reset();
+    // Throttle window accounting is transient scheduler state.
+    stormWindow_ = 0;
+    stormCount_ = 0;
+    throttled_ = false;
     // Configuration (filters, globals, kernels, tags) survives: it is
     // exactly the state the OS saves across context switches (Sec. 5.3).
+    // Quarantine state survives too — it is the OS-visible protection
+    // record of a misbehaving kernel, not per-episode scratch.
 }
 
 // ---------------------------------------------------------------------
@@ -173,14 +217,21 @@ ProgrammablePrefetcher::routeFill(const LineRequest &req)
                      static_cast<std::size_t>(req.tag) < tagKernels_.size())
                 k = tagKernels_[static_cast<std::size_t>(req.tag)];
             if (k != kNoKernel) {
-                Observation obs;
-                obs.vaddr = req.vaddr;
-                obs.kernel = k;
-                obs.hasLine = mem_.readLine(lineAlign(req.vaddr), obs.line);
-                obs.hasTimedStart = req.hasTimedStart;
-                obs.timedStart = req.timedStart;
-                obs.timedOrigin = req.timedOrigin;
-                p.local.push_back(std::move(obs));
+                if (p.local.size() >= kMaxBlockedLocal) {
+                    // A storming chain filled the local queue: drop the
+                    // continuation (it is a hint) instead of growing.
+                    ++stats_.localDropped;
+                } else {
+                    Observation obs;
+                    obs.vaddr = req.vaddr;
+                    obs.kernel = k;
+                    obs.hasLine =
+                        mem_.readLine(lineAlign(req.vaddr), obs.line);
+                    obs.hasTimedStart = req.hasTimedStart;
+                    obs.timedStart = req.timedStart;
+                    obs.timedOrigin = req.timedOrigin;
+                    p.local.push_back(std::move(obs));
+                }
             }
             pumpBlocked(static_cast<unsigned>(req.originPpu));
             return;
@@ -247,6 +298,35 @@ ProgrammablePrefetcher::notifyPrefetchDropped(const LineRequest &req)
 void
 ProgrammablePrefetcher::enqueueObservation(Observation obs)
 {
+    if (faults_ != nullptr) {
+        if (faults_->fire(FaultSite::kObsDrop))
+            return; // lost before the queue ever saw it
+        if (faults_->fire(FaultSite::kObsDelay)) {
+            // Late delivery: re-enters past the fault sites, so an
+            // injected delay can never re-draw itself, and carries the
+            // epoch guard like every other in-flight event.
+            const std::uint64_t epoch = epoch_;
+            eq_.scheduleIn(faults_->delayTicks(FaultSite::kObsDelay),
+                           [this, epoch, obs = std::move(obs)]() mutable {
+                               if (epoch != epoch_)
+                                   return;
+                               enqueueObservationNow(std::move(obs));
+                           });
+            return;
+        }
+        if (faults_->fire(FaultSite::kObsOverflow) && !obsQueue_.empty()) {
+            // Simulate capacity pressure: evict the oldest entry as a
+            // real overflow would.
+            obsQueue_.pop_front();
+            ++stats_.obsDropped;
+        }
+    }
+    enqueueObservationNow(std::move(obs));
+}
+
+void
+ProgrammablePrefetcher::enqueueObservationNow(Observation obs)
+{
     ++stats_.observations;
     if (obsQueue_.size() >= cfg_.obsQueueCapacity) {
         // Old observations are safely droppable (Section 4.3).
@@ -262,6 +342,15 @@ ProgrammablePrefetcher::flushObservationScratch()
 {
     if (obsScratch_.empty())
         return;
+    if (faults_ != nullptr) {
+        // Fault injection draws once per delivered observation, so the
+        // batch fast path (which skips the per-observation front door)
+        // would skip injection sites.  Always take the per-push path.
+        for (Observation &obs : obsScratch_)
+            enqueueObservation(std::move(obs));
+        obsScratch_.clear();
+        return;
+    }
     if (obsQueue_.size() + obsScratch_.size() <= cfg_.obsQueueCapacity) {
         // The whole batch fits: no drop is possible, so pushing it all
         // and draining once is observably identical to per-push
@@ -342,6 +431,12 @@ ProgrammablePrefetcher::executeEvent(unsigned ppu, const Observation &obs,
         return;
     }
 
+    if (cfg_.quarantineThreshold > 0 && kernelQuarantined(obs.kernel, start)) {
+        ++stats_.quarantineSkips;
+        releasePpu(ppu, start);
+        return;
+    }
+
     // Snapshot the lookahead values the kernel can read (scratch buffer,
     // capacity reused across events).
     lookaheadScratch_.resize(lookahead_.size());
@@ -361,11 +456,17 @@ ProgrammablePrefetcher::executeEvent(unsigned ppu, const Observation &obs,
     // paths append straight into it — no per-emit callback indirection.
     std::vector<PrefetchEmit> *emits = emitBuffers_.acquire();
     emits->clear();
+    // Injected runaway: the kernel spins its whole watchdog budget and
+    // produces nothing — pure lost PPU time, charged below like a real
+    // step-limit exhaustion.
+    const bool runaway =
+        faults_ != nullptr && faults_->fire(FaultSite::kRunaway);
     // The decoded fast path and the reference interpreter are held
     // bit-identical by the differential fuzzer, so this choice cannot
     // affect simulated timing.
     const ExecResult res =
-        cfg_.predecode
+        runaway ? ExecResult{ExitReason::kStepLimit, kMaxKernelSteps, 0}
+        : cfg_.predecode
             ? DecodedKernel::run(*decodedFor(obs.kernel), ctx, emits)
             : Interpreter::run(kernels_[obs.kernel], ctx, emits);
 
@@ -375,6 +476,8 @@ ProgrammablePrefetcher::executeEvent(unsigned ppu, const Observation &obs,
         ++stats_.traps;
     else if (res.exit == ExitReason::kStepLimit)
         ++stats_.stepLimits;
+    if (cfg_.quarantineThreshold > 0 && res.exit != ExitReason::kHalted)
+        recordKernelFault(obs.kernel, start);
 
     const Tick finish =
         start + ppuClock_.cyclesToTicks(std::max<std::uint32_t>(res.cycles, 1));
@@ -396,18 +499,32 @@ ProgrammablePrefetcher::finishEvent(unsigned ppu, Tick finish,
     Ppu &p = ppus_[ppu];
     p.executing = false;
 
-    bool chained = false;
-    for (const auto &e : *emits) {
-        bool is_chain = e.cbKernel != kNoKernel || e.tag >= 0;
-        if (cfg_.blocking && is_chain) {
-            ++p.pendingFills;
-            chained = true;
-        }
-        queueRequest(e, obs, cfg_.blocking && is_chain
-                                  ? static_cast<int>(ppu)
-                                  : -1);
+    // Injected emit storm: the kernel's emit list replays storm-factor
+    // times, as a buggy self-retriggering kernel would flood the queue.
+    unsigned reps = 1;
+    if (faults_ != nullptr && !emits->empty() &&
+        faults_->fire(FaultSite::kEmitStorm)) {
+        reps = faults_->config().stormFactor > 0
+                   ? faults_->config().stormFactor
+                   : 1;
+        if (cfg_.quarantineThreshold > 0)
+            recordKernelFault(obs.kernel, finish);
     }
-    stats_.prefetchesEmitted += emits->size();
+
+    bool chained = false;
+    for (unsigned r = 0; r < reps; ++r) {
+        for (const auto &e : *emits) {
+            bool is_chain = e.cbKernel != kNoKernel || e.tag >= 0;
+            if (cfg_.blocking && is_chain) {
+                ++p.pendingFills;
+                chained = true;
+            }
+            queueRequest(e, obs, cfg_.blocking && is_chain
+                                      ? static_cast<int>(ppu)
+                                      : -1);
+        }
+    }
+    stats_.prefetchesEmitted += emits->size() * reps;
     const bool any = !emits->empty();
     emitBuffers_.release(emits);
 
@@ -496,6 +613,71 @@ ProgrammablePrefetcher::queueRequest(const PrefetchEmit &e,
     req.timedOrigin = obs.timedOrigin;
     req.originPpu = static_cast<std::int16_t>(origin_ppu);
 
+    if (faults_ != nullptr) {
+        // Target corruption keeps the callback/tag intact on purpose:
+        // the misdirected fill still triggers its kernel, on whatever
+        // wrong line it fetched — the hardest "pure hint" case.
+        if (faults_->fire(FaultSite::kReqCorruptIn))
+            req.vaddr = corruptMapped(faults_->draw(FaultSite::kReqCorruptIn));
+        if (faults_->fire(FaultSite::kReqCorruptOut)) {
+            req.vaddr =
+                corruptUnmapped(faults_->draw(FaultSite::kReqCorruptOut));
+        }
+        if (faults_->fire(FaultSite::kReqDrop)) {
+            if (cfg_.blocking && req.originPpu >= 0)
+                notifyPrefetchDropped(req);
+            return;
+        }
+        if (faults_->fire(FaultSite::kReqDelay)) {
+            const std::uint64_t epoch = epoch_;
+            eq_.scheduleIn(faults_->delayTicks(FaultSite::kReqDelay),
+                           [this, epoch, req]() mutable {
+                               if (epoch != epoch_)
+                                   return;
+                               queueRequestNow(std::move(req));
+                               // finishEvent's kick already ran; a late
+                               // request must prod the port itself.
+                               if (kick_)
+                                   kick_();
+                           });
+            return;
+        }
+        if (faults_->fire(FaultSite::kReqOverflow) && !reqQueue_.empty()) {
+            LineRequest old = std::move(reqQueue_.front());
+            reqQueue_.pop_front();
+            ++stats_.reqDropped;
+            if (cfg_.blocking && old.originPpu >= 0)
+                notifyPrefetchDropped(old);
+        }
+    }
+
+    queueRequestNow(std::move(req));
+}
+
+void
+ProgrammablePrefetcher::queueRequestNow(LineRequest req)
+{
+    // Event-storm backpressure (config-gated): past the per-window
+    // budget, requests drop with a stat until the window rolls over.
+    if (cfg_.stormWindowTicks > 0) {
+        const std::uint64_t window = eq_.now() / cfg_.stormWindowTicks;
+        if (window != stormWindow_) {
+            stormWindow_ = window;
+            stormCount_ = 0;
+            throttled_ = false;
+        }
+        if (throttled_ || ++stormCount_ > cfg_.stormThreshold) {
+            if (!throttled_) {
+                throttled_ = true;
+                ++stats_.throttleEntries;
+            }
+            ++stats_.throttleDropped;
+            if (cfg_.blocking && req.originPpu >= 0)
+                notifyPrefetchDropped(req);
+            return;
+        }
+    }
+
     if (reqQueue_.size() >= cfg_.reqQueueCapacity) {
         // Drop the oldest request (Section 4.6); release any blocked
         // PPU waiting on it.
@@ -506,6 +688,94 @@ ProgrammablePrefetcher::queueRequest(const PrefetchEmit &e,
             notifyPrefetchDropped(old);
     }
     reqQueue_.push_back(std::move(req));
+}
+
+Addr
+ProgrammablePrefetcher::corruptMapped(std::uint64_t bits) const
+{
+    const auto &regions = mem_.regions();
+    if (regions.empty())
+        return corruptUnmapped(bits);
+    const auto &r = regions[bits % regions.size()];
+    const Addr offset = r.size > 0 ? (bits >> 20) % r.size : 0;
+    return lineAlign(r.base + offset);
+}
+
+Addr
+ProgrammablePrefetcher::corruptUnmapped(std::uint64_t bits) const
+{
+    // Regions allocate upward from GuestMemory::kGuestBase, so a high
+    // candidate is almost always free; step until it is.
+    Addr a = 0x7F00'0000'0000ULL | (lineAlign(bits) & 0x00FF'FFFF'FFC0ULL);
+    while (mem_.contains(a, kLineBytes))
+        a += Addr{1} << 30;
+    return a;
+}
+
+// ---------------------------------------------------------------------
+// Quarantine watchdog
+// ---------------------------------------------------------------------
+
+bool
+ProgrammablePrefetcher::kernelQuarantined(KernelId k, Tick now)
+{
+    const auto idx = static_cast<std::size_t>(k);
+    if (idx >= kernelHealth_.size())
+        return false;
+    KernelHealth &h = kernelHealth_[idx];
+    if (h.quarantinedUntil == 0)
+        return false;
+    if (now < h.quarantinedUntil)
+        return true;
+    // Backoff expired: re-enable with a clean fault count.  The backoff
+    // level survives, so a kernel that immediately misbehaves again is
+    // quarantined for twice as long.
+    h.quarantinedUntil = 0;
+    h.faults = 0;
+    ++stats_.quarantineReenables;
+    logQuarantine(now, k, false, h.backoffLevel);
+    return false;
+}
+
+void
+ProgrammablePrefetcher::recordKernelFault(KernelId k, Tick now)
+{
+    const auto idx = static_cast<std::size_t>(k);
+    if (idx >= kernelHealth_.size())
+        kernelHealth_.resize(kernels_.size() > idx + 1 ? kernels_.size()
+                                                       : idx + 1);
+    KernelHealth &h = kernelHealth_[idx];
+    if (h.quarantinedUntil != 0)
+        return; // already killed; the fault is part of the same episode
+    if (++h.faults < cfg_.quarantineThreshold)
+        return;
+
+    const unsigned level = h.backoffLevel < cfg_.quarantineBackoffMax
+                               ? h.backoffLevel
+                               : cfg_.quarantineBackoffMax;
+    h.quarantinedUntil = now + (cfg_.quarantineBaseTicks << level);
+    ++h.backoffLevel;
+    ++stats_.quarantineKills;
+    logQuarantine(now, k, true, level);
+}
+
+void
+ProgrammablePrefetcher::logQuarantine(Tick tick, KernelId k, bool kill,
+                                      unsigned level)
+{
+    if (quarantineLog_.size() < kMaxQuarantineLog)
+        quarantineLog_.push_back({tick, k, kill, level});
+    // FNV-1a over the transition tuple: coverage never saturates.
+    auto mix = [this](std::uint64_t v) {
+        for (unsigned i = 0; i < 8; ++i) {
+            quarantineLogHash_ ^= (v >> (i * 8)) & 0xFF;
+            quarantineLogHash_ *= 0x100000001B3ULL;
+        }
+    };
+    mix(tick);
+    mix(static_cast<std::uint64_t>(k));
+    mix(kill ? 1 : 0);
+    mix(level);
 }
 
 LineRequest

@@ -32,6 +32,7 @@
 #include "ppf/ewma.hpp"
 #include "ppf/filter.hpp"
 #include "sim/clock.hpp"
+#include "sim/fault.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/object_pool.hpp"
 #include "sim/ring_buffer.hpp"
@@ -94,6 +95,28 @@ struct PpfConfig
      * for the A/B parity suite.
      */
     bool batchedObservations = true;
+    /**
+     * Event-storm backpressure throttle: when a single window of
+     * stormWindowTicks ticks sees more than stormThreshold queued
+     * prefetch requests, the remainder of the window is dropped with a
+     * stat instead of churning the request queue.  0 disables (the
+     * default — the golden runs are throttle-free); the serving mode
+     * (ROADMAP item 5) turns it on per tenant.
+     */
+    Tick stormWindowTicks = 0;
+    std::uint64_t stormThreshold = 256;
+    /**
+     * Per-kernel quarantine watchdog: a kernel accumulating
+     * quarantineThreshold faults (traps, watchdog-step exhaustion,
+     * injected storms) is killed — its events are skipped — and
+     * re-enabled after quarantineBaseTicks << backoff-level ticks
+     * (exponential backoff, exponent capped at quarantineBackoffMax).
+     * 0 disables (the default: G500-CSR's traversal kernels
+     * legitimately run to the step watchdog every event).
+     */
+    std::uint64_t quarantineThreshold = 0;
+    Tick quarantineBaseTicks = 50'000;
+    unsigned quarantineBackoffMax = 6;
 };
 
 /** The programmable prefetcher. */
@@ -112,6 +135,27 @@ class ProgrammablePrefetcher : public MemoryListener, public PrefetchSource
         std::uint64_t reqDropped = 0;
         std::uint64_t chainSamples = 0;
         std::uint64_t blockedStalls = 0;
+        /** Blocked-mode local queue overflow drops (bounded ring). */
+        std::uint64_t localDropped = 0;
+        /** Requests dropped by the event-storm throttle. */
+        std::uint64_t throttleDropped = 0;
+        /** Windows in which the throttle engaged. */
+        std::uint64_t throttleEntries = 0;
+        /** Kernel kills by the quarantine watchdog. */
+        std::uint64_t quarantineKills = 0;
+        /** Kernels re-enabled after their backoff expired. */
+        std::uint64_t quarantineReenables = 0;
+        /** Events skipped because their kernel was quarantined. */
+        std::uint64_t quarantineSkips = 0;
+    };
+
+    /** One quarantine watchdog transition (for determinism proofs). */
+    struct QuarantineEvent
+    {
+        Tick tick = 0;
+        KernelId kernel = kNoKernel;
+        bool kill = false; ///< true: killed; false: re-enabled
+        unsigned backoffLevel = 0;
     };
 
     /** Per-PPU accounting for Fig. 10. */
@@ -153,6 +197,9 @@ class ProgrammablePrefetcher : public MemoryListener, public PrefetchSource
     /** Hook to prod the hierarchy when new requests are queued. */
     void setKick(SmallFunction<void()> fn) { kick_ = std::move(fn); }
 
+    /** Attach the run's fault injector (null: fault-free, the default). */
+    void setFaultInjector(FaultInjector *f) { faults_ = f; }
+
     /** Full reset: configuration, queues, statistics. */
     void reset();
 
@@ -187,6 +234,18 @@ class ProgrammablePrefetcher : public MemoryListener, public PrefetchSource
 
     /** Current lookahead (elements) for filter entry @p idx. */
     std::uint64_t lookaheadOf(int idx) const;
+
+    /** Recent quarantine transitions (bounded; see quarantineLogHash). */
+    const std::vector<QuarantineEvent> &
+    quarantineLog() const
+    {
+        return quarantineLog_;
+    }
+
+    /** FNV-1a over every quarantine transition ever taken (unbounded
+     *  coverage even when the log itself saturates) — two runs with the
+     *  same hash took bit-identical kill/re-enable sequences. */
+    std::uint64_t quarantineLogHash() const { return quarantineLogHash_; }
 
   private:
     /** One queued event. */
@@ -223,7 +282,11 @@ class ProgrammablePrefetcher : public MemoryListener, public PrefetchSource
         }
     };
 
+    /** Fault-checked delivery front door (drop/delay/overflow sites). */
     void enqueueObservation(Observation obs);
+    /** Capacity-checked enqueue proper (delayed deliveries re-enter
+     *  here so an injected delay can never re-draw itself). */
+    void enqueueObservationNow(Observation obs);
     /** Deliver everything in obsScratch_ (one scheduler pass when the
      *  batch provably cannot drop; per-push fallback otherwise). */
     void flushObservationScratch();
@@ -242,6 +305,23 @@ class ProgrammablePrefetcher : public MemoryListener, public PrefetchSource
     /** Turn a kernel emission into a queued LineRequest. */
     void queueRequest(const PrefetchEmit &e, const Observation &obs,
                       int origin_ppu);
+    /** Throttle + capacity-checked push (delayed requests re-enter
+     *  here, past the fault sites). */
+    void queueRequestNow(LineRequest req);
+
+    /** Redirect a corrupted prefetch target inside a mapped region. */
+    Addr corruptMapped(std::uint64_t bits) const;
+    /** Redirect a corrupted prefetch target outside every region. */
+    Addr corruptUnmapped(std::uint64_t bits) const;
+
+    // ---- Quarantine watchdog ----
+
+    /** True when @p k's events must be skipped now (handles the lazy
+     *  backoff-expiry re-enable transition). */
+    bool kernelQuarantined(KernelId k, Tick now);
+    /** Count one fault against @p k; kill it at the threshold. */
+    void recordKernelFault(KernelId k, Tick now);
+    void logQuarantine(Tick tick, KernelId k, bool kill, unsigned level);
 
     /**
      * The decoded program for kernel @p id.  Serves from the local
@@ -291,6 +371,25 @@ class ProgrammablePrefetcher : public MemoryListener, public PrefetchSource
     std::uint64_t epoch_ = 0;
 
     SmallFunction<void()> kick_;
+    FaultInjector *faults_ = nullptr;
+
+    // ---- Event-storm throttle state (config-gated) ----
+    std::uint64_t stormWindow_ = 0;
+    std::uint64_t stormCount_ = 0;
+    bool throttled_ = false;
+
+    // ---- Quarantine watchdog state (config-gated) ----
+    struct KernelHealth
+    {
+        std::uint64_t faults = 0;
+        unsigned backoffLevel = 0;
+        /** 0: not quarantined; else earliest re-enable tick. */
+        Tick quarantinedUntil = 0;
+    };
+    std::vector<KernelHealth> kernelHealth_;
+    std::vector<QuarantineEvent> quarantineLog_;
+    std::uint64_t quarantineLogHash_ = 0xCBF29CE484222325ULL;
+
     Stats stats_;
 };
 

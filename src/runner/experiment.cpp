@@ -90,9 +90,18 @@ runExperiment(const std::string &workload_name, const RunConfig &cfg)
     GuestMemory gmem;
     wl->setup(gmem, cfg.seed);
 
+    // One fault injector per run, shared by every component: the
+    // simulation of a run is single-threaded, so its draws happen in
+    // deterministic event order; the schedule is a pure function of
+    // (cfg.faults, cfg.seed).
+    std::unique_ptr<FaultInjector> faults;
+    if (cfg.faults.enabled)
+        faults = std::make_unique<FaultInjector>(cfg.faults, cfg.seed);
+
     // Machine assembly: one shared uncore (banked L2, DRAM, page
     // table, coherence directory), one private port + core per core id.
     Uncore uncore(eq, gmem, cfg.mem, cores);
+    uncore.dram().setFaultInjector(faults.get());
     std::vector<std::unique_ptr<CorePort>> ports;
     std::vector<std::unique_ptr<Core>> cpus;
     ports.reserve(cores);
@@ -100,6 +109,7 @@ runExperiment(const std::string &workload_name, const RunConfig &cfg)
     for (unsigned i = 0; i < cores; ++i) {
         ports.push_back(
             std::make_unique<CorePort>(eq, gmem, uncore, cfg.mem, i));
+        ports.back()->setFaultInjector(faults.get());
         cpus.push_back(std::make_unique<Core>(eq, cfg.core, *ports[i], i));
     }
 
@@ -173,12 +183,21 @@ runExperiment(const std::string &workload_name, const RunConfig &cfg)
             }
 
             // The paper's PPU instruction budget: kernels must fit the
-            // 4 KiB shared instruction cache (per core).
-            assert(t.ppf->kernels().totalBytes() <= 4096);
+            // 4 KiB shared instruction cache (per core).  Programs are
+            // guest-supplied input, so an oversized one is a clean
+            // configuration error, not an assertion.
+            if (t.ppf->kernels().totalBytes() > 4096) {
+                throw std::invalid_argument(
+                    "kernel programs of workload '" + workload_name +
+                    "' exceed the 4 KiB PPU instruction budget (" +
+                    std::to_string(t.ppf->kernels().totalBytes()) +
+                    " bytes)");
+            }
 
             port.setListener(t.ppf.get());
             port.setPrefetchSource(t.ppf.get());
             t.ppf->setKick([&port] { port.kickPrefetcher(); });
+            t.ppf->setFaultInjector(faults.get());
             break;
           }
         }
@@ -333,6 +352,12 @@ runExperiment(const std::string &workload_name, const RunConfig &cfg)
         }
 
         const auto &hs = ports[i]->stats();
+        // Published only when the defensive skid bound actually shed
+        // load: the golden stats of fault-free runs stay byte-stable.
+        if (hs.pfSkidDropped > 0) {
+            set(pfx + "mem.pfSkidDropped",
+                static_cast<double>(hs.pfSkidDropped));
+        }
         set(pfx + "mem.loadRetries", static_cast<double>(hs.loadRetries));
         set(pfx + "mem.storeRetries",
             static_cast<double>(hs.storeRetries));
@@ -370,6 +395,33 @@ runExperiment(const std::string &workload_name, const RunConfig &cfg)
                 static_cast<double>(ps.blockedStalls));
             set(pfx + "ppf.lookahead0",
                 static_cast<double>(tech[i].ppf->lookaheadOf(0)));
+
+            // Degradation counters publish only when their mechanism
+            // is configured on (or, for the blocked-local bound, when
+            // it actually dropped): default-config golden runs keep
+            // their historical counter set byte-for-byte.
+            const PpfConfig &pc = tech[i].ppf->config();
+            if (ps.localDropped > 0) {
+                set(pfx + "ppf.localDropped",
+                    static_cast<double>(ps.localDropped));
+            }
+            if (pc.stormWindowTicks > 0) {
+                set(pfx + "ppf.throttleDropped",
+                    static_cast<double>(ps.throttleDropped));
+                set(pfx + "ppf.throttleEntries",
+                    static_cast<double>(ps.throttleEntries));
+            }
+            if (pc.quarantineThreshold > 0) {
+                set(pfx + "ppf.quarantineKills",
+                    static_cast<double>(ps.quarantineKills));
+                set(pfx + "ppf.quarantineReenables",
+                    static_cast<double>(ps.quarantineReenables));
+                set(pfx + "ppf.quarantineSkips",
+                    static_cast<double>(ps.quarantineSkips));
+                set(pfx + "ppf.quarantineLogHash",
+                    static_cast<double>(
+                        tech[i].ppf->quarantineLogHash() >> 11));
+            }
         }
     }
 
@@ -386,6 +438,20 @@ runExperiment(const std::string &workload_name, const RunConfig &cfg)
         set("dram.avgReadLatencyNs",
             static_cast<double>(ds.totalReadLatency) /
                 static_cast<double>(ds.reads) / kTicksPerNs);
+    }
+
+    if (faults) {
+        res.faultsInjected = faults->totalFired();
+        // Every site publishes (zero included): a schedule is readable
+        // off the sweep JSON alone.  The whole block is keyed on
+        // cfg.faults.enabled, so fault-free runs (all goldens) don't
+        // gain counters.
+        set("fault.injected", static_cast<double>(res.faultsInjected));
+        for (unsigned s = 0; s < kNumFaultSites; ++s) {
+            const auto site = static_cast<FaultSite>(s);
+            set(std::string("fault.") + faultSiteName(site) + ".injected",
+                static_cast<double>(faults->fired(site)));
+        }
     }
 
     if (cores > 1) {

@@ -16,6 +16,7 @@
 #include "ppf/ppf.hpp"
 #include "prefetch/ghb.hpp"
 #include "prefetch/stride.hpp"
+#include "sim/fault.hpp"
 #include "sim/stats.hpp"
 #include "workloads/workload.hpp"
 
@@ -52,6 +53,14 @@ struct RunConfig
     GhbParams ghbLarge = GhbParams::large();
     std::uint64_t seed = 0xE7F5EED5;
     WorkloadScale scale;
+    /**
+     * Fault-injection schedule of this run (disabled by default; see
+     * sim/fault.hpp).  The schedule derives from `seed`, so the same
+     * (config, seed) pair injects bit-identically across thread counts
+     * and trace replay.  Architectural results must not change under
+     * any schedule — the tier-2 FaultParity matrix enforces it.
+     */
+    FaultConfig faults;
     /**
      * Number of cores in the machine.  Each core owns a private L1,
      * TLB slice and prefetcher instance over the shared banked L2
@@ -98,6 +107,9 @@ struct RunResult
     std::uint64_t ppfObservations = 0;
 
     std::uint64_t checksum = 0;
+
+    /** Total faults injected (0 when fault injection is disabled). */
+    std::uint64_t faultsInjected = 0;
 
     /** Pass remarks (converted/pragma techniques). */
     std::vector<std::string> remarks;

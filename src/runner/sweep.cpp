@@ -3,9 +3,12 @@
 #include <atomic>
 #include <cctype>
 #include <chrono>
+#include <condition_variable>
 #include <cstdlib>
+#include <memory>
 #include <mutex>
 #include <set>
+#include <stdexcept>
 #include <thread>
 #include <utility>
 
@@ -113,7 +116,6 @@ std::vector<SweepOutcome>
 SweepEngine::run()
 {
     const std::size_t total = cells_.size();
-    std::vector<SweepOutcome> outcomes(total);
 
     // Expand capture paths up front, serially: every cell must end up
     // with a distinct file, or concurrent TraceWriters would interleave
@@ -139,28 +141,65 @@ SweepEngine::run()
     if (threads > total && total > 0)
         threads = static_cast<unsigned>(total);
 
-    std::atomic<std::size_t> next{0};
-    std::atomic<std::size_t> done{0};
-    std::mutex progress_mutex;
+    // Shared state sits behind a shared_ptr so that a worker wedged in
+    // a hung cell (which can only be detached, never killed) keeps a
+    // valid view even after run() has returned — it just finds
+    // `abandoned` set and discards its result instead of committing.
+    struct Shared
+    {
+        Options opts;
+        std::vector<SweepCell> cells;
+        std::vector<SweepOutcome> outcomes;
+        std::atomic<std::size_t> next{0};
+        std::mutex mtx;
+        std::condition_variable cv;
+        // Everything below is guarded by mtx.
+        std::size_t done = 0;
+        bool abandoned = false;
+        /** Per-worker claimed cell (npos when idle) + claim time. */
+        std::vector<std::size_t> inFlight;
+        std::vector<std::chrono::steady_clock::time_point> startedAt;
+    };
+    constexpr std::size_t kIdle = static_cast<std::size_t>(-1);
 
-    auto worker = [&] {
+    auto shared = std::make_shared<Shared>();
+    shared->opts = opts_;
+    shared->cells = std::move(cells_);
+    cells_.clear();
+    shared->outcomes.resize(total);
+    shared->inFlight.assign(threads, kIdle);
+    shared->startedAt.resize(threads);
+
+    auto worker = [shared, total](unsigned self) {
         for (;;) {
-            const std::size_t i = next.fetch_add(1);
+            const std::size_t i = shared->next.fetch_add(1);
             if (i >= total)
                 return;
 
-            SweepOutcome &out = outcomes[i];
-            out.cell = cells_[i];
-            if (opts_.deriveSeeds) {
+            {
+                std::lock_guard<std::mutex> lock(shared->mtx);
+                if (shared->abandoned)
+                    return;
+                shared->inFlight[self] = i;
+                shared->startedAt[self] = std::chrono::steady_clock::now();
+            }
+
+            // Compute into a local outcome; it is committed under the
+            // lock only while the sweep is still live.
+            SweepOutcome out;
+            out.cell = shared->cells[i];
+            if (shared->opts.deriveSeeds) {
                 out.cell.config.seed = deriveCellSeed(
-                    opts_.baseSeed, out.cell.workload,
+                    shared->opts.baseSeed, out.cell.workload,
                     out.cell.seedTechnique);
             }
 
             const auto t0 = std::chrono::steady_clock::now();
             try {
-                out.result =
-                    runExperiment(out.cell.workload, out.cell.config);
+                out.result = shared->opts.runCell
+                                 ? shared->opts.runCell(out.cell)
+                                 : runExperiment(out.cell.workload,
+                                                 out.cell.config);
             } catch (const std::exception &e) {
                 out.failed = true;
                 out.error = e.what();
@@ -173,27 +212,94 @@ SweepEngine::run()
                     std::chrono::steady_clock::now() - t0)
                     .count();
 
-            const std::size_t finished = done.fetch_add(1) + 1;
-            if (opts_.progress) {
-                std::lock_guard<std::mutex> lock(progress_mutex);
-                opts_.progress(finished, total, out);
+            {
+                std::lock_guard<std::mutex> lock(shared->mtx);
+                shared->inFlight[self] = kIdle;
+                if (shared->abandoned)
+                    return; // the sweep moved on without this result
+                shared->outcomes[i] = std::move(out);
+                ++shared->done;
+                if (shared->opts.progress) {
+                    shared->opts.progress(shared->done, total,
+                                          shared->outcomes[i]);
+                }
             }
+            shared->cv.notify_all();
         }
     };
 
-    if (threads <= 1) {
-        worker();
-    } else {
-        std::vector<std::thread> pool;
-        pool.reserve(threads);
-        for (unsigned t = 0; t < threads; ++t)
-            pool.emplace_back(worker);
-        for (auto &th : pool)
-            th.join();
+    if (opts_.cellTimeoutSeconds <= 0.0) {
+        if (threads <= 1) {
+            worker(0);
+        } else {
+            std::vector<std::thread> pool;
+            pool.reserve(threads);
+            for (unsigned t = 0; t < threads; ++t)
+                pool.emplace_back(worker, t);
+            for (auto &th : pool)
+                th.join();
+        }
+        return std::move(shared->outcomes);
     }
 
-    cells_.clear();
-    return outcomes;
+    // Watchdog mode: workers always run on their own threads (even at
+    // threads == 1) so this thread can time them.
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t)
+        pool.emplace_back(worker, t);
+
+    const auto timeout = std::chrono::duration_cast<
+        std::chrono::steady_clock::duration>(
+        std::chrono::duration<double>(opts_.cellTimeoutSeconds));
+
+    std::unique_lock<std::mutex> lock(shared->mtx);
+    while (shared->done < total) {
+        const auto now = std::chrono::steady_clock::now();
+        std::size_t hung = kIdle;
+        auto wake = now + std::chrono::milliseconds(50);
+        for (unsigned w = 0; w < threads; ++w) {
+            if (shared->inFlight[w] == kIdle)
+                continue;
+            const auto deadline = shared->startedAt[w] + timeout;
+            if (deadline <= now) {
+                hung = shared->inFlight[w];
+                break;
+            }
+            if (deadline < wake)
+                wake = deadline;
+        }
+
+        if (hung != kIdle) {
+            shared->abandoned = true;
+            SweepCell cell = shared->cells[hung];
+            lock.unlock();
+            shared->cv.notify_all();
+            // The hung threads cannot be joined; they hold a
+            // shared_ptr to the state and exit on their own if the
+            // cell ever unwedges.
+            for (auto &th : pool)
+                th.detach();
+            const std::uint64_t seed =
+                opts_.deriveSeeds
+                    ? deriveCellSeed(opts_.baseSeed, cell.workload,
+                                     cell.seedTechnique)
+                    : cell.config.seed;
+            throw std::runtime_error(
+                "sweep cell exceeded the " +
+                std::to_string(opts_.cellTimeoutSeconds) +
+                "s wall-clock watchdog: workload=" + cell.workload +
+                " technique=" + techniqueName(cell.config.technique) +
+                (cell.label.empty() ? "" : " label=" + cell.label) +
+                " seed=" + std::to_string(seed));
+        }
+        shared->cv.wait_until(lock, wake);
+    }
+    lock.unlock();
+    for (auto &th : pool)
+        th.join();
+
+    return std::move(shared->outcomes);
 }
 
 void
@@ -231,6 +337,8 @@ SweepEngine::writeJson(std::ostream &os,
                << ", \"dramReads\": " << r.dramReads
                << ", \"dramWrites\": " << r.dramWrites
                << ", \"checksum\": \"" << r.checksum << "\"";
+            if (o.cell.config.faults.enabled)
+                os << ", \"faultsInjected\": " << r.faultsInjected;
             if (!r.ppuActivity.empty()) {
                 os << ", \"ppuActivity\": [";
                 for (std::size_t p = 0; p < r.ppuActivity.size(); ++p)
@@ -287,6 +395,25 @@ sweepCoresFromEnv(unsigned fallback)
         const long v = std::atol(s);
         if (v > 0 && v <= 32)
             return static_cast<unsigned>(v);
+    }
+    return fallback;
+}
+
+FaultConfig
+sweepFaultsFromEnv()
+{
+    if (const char *s = std::getenv("EPF_FAULTS"))
+        return parseFaultConfig(s);
+    return FaultConfig{};
+}
+
+double
+sweepCellTimeoutFromEnv(double fallback)
+{
+    if (const char *s = std::getenv("EPF_CELL_TIMEOUT")) {
+        const double v = std::atof(s);
+        if (v > 0)
+            return v;
     }
     return fallback;
 }

@@ -83,6 +83,22 @@ class SweepEngine
         std::function<void(std::size_t done, std::size_t total,
                            const SweepOutcome &)>
             progress;
+        /**
+         * Per-cell wall-clock watchdog, in seconds (0 disables).  A cell
+         * exceeding it makes run() abandon the pool (hung threads are
+         * detached, never joined — they cannot be killed) and throw a
+         * std::runtime_error naming the hung cell's workload, technique,
+         * label and seed, instead of wedging forever.  Results computed
+         * by abandoned workers are discarded, never committed.
+         */
+        double cellTimeoutSeconds = 0.0;
+        /**
+         * Test hook: when set, runs each cell instead of
+         * runExperiment() (the cell arrives with its derived seed).
+         * The watchdog tests use it to install a deliberately-hung
+         * workload that a later release can actually unhang.
+         */
+        std::function<RunResult(const SweepCell &)> runCell;
     };
 
     SweepEngine() = default;
@@ -136,6 +152,15 @@ unsigned sweepThreadsFromEnv(unsigned fallback = 0);
 /** Simulated-machine core count from EPF_CORES (1..32), else
  *  @p fallback.  Applied by the benches to every cell's RunConfig. */
 unsigned sweepCoresFromEnv(unsigned fallback = 1);
+
+/** Fault schedule from EPF_FAULTS (see parseFaultConfig() for the
+ *  grammar), else disabled.  Malformed input throws, like any other
+ *  configuration error. */
+FaultConfig sweepFaultsFromEnv();
+
+/** Per-cell watchdog seconds from EPF_CELL_TIMEOUT, else @p fallback
+ *  (0 = no watchdog). */
+double sweepCellTimeoutFromEnv(double fallback = 0.0);
 
 /**
  * Filesystem-safe form of a workload/technique/label name (non

@@ -1,0 +1,275 @@
+#include "sim/fault.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace epf
+{
+
+const char *
+faultSiteName(FaultSite site)
+{
+    switch (site) {
+      case FaultSite::kObsDrop: return "obsDrop";
+      case FaultSite::kObsDelay: return "obsDelay";
+      case FaultSite::kObsOverflow: return "obsOverflow";
+      case FaultSite::kReqDrop: return "reqDrop";
+      case FaultSite::kReqDelay: return "reqDelay";
+      case FaultSite::kReqCorruptIn: return "reqCorruptIn";
+      case FaultSite::kReqCorruptOut: return "reqCorruptOut";
+      case FaultSite::kReqOverflow: return "reqOverflow";
+      case FaultSite::kTlbFault: return "tlbFault";
+      case FaultSite::kDramJitter: return "dramJitter";
+      case FaultSite::kEmitStorm: return "emitStorm";
+      case FaultSite::kRunaway: return "runaway";
+    }
+    return "?";
+}
+
+FaultInjector::FaultInjector(const FaultConfig &cfg, std::uint64_t cell_seed)
+    : cfg_(cfg), seed_(cell_seed)
+{
+    // Independent per-site streams, derived the way sweep seeds are
+    // (splitmix64 chains): re-rating one site never shifts another's
+    // schedule, and the whole set is a pure function of the cell seed.
+    const std::uint64_t base = splitmix64(cell_seed ^ 0xFA017EC7ED5EEDULL);
+    for (unsigned i = 0; i < kNumFaultSites; ++i)
+        states_[i].rng = Rng(splitmix64(base ^ (i + 1)));
+}
+
+bool
+FaultInjector::fire(FaultSite s)
+{
+    SiteState &st = states_[static_cast<unsigned>(s)];
+    const FaultSpec &spec = cfg_.at(s);
+    ++st.visits;
+
+    bool hit = false;
+    if (st.burstLeft > 0) {
+        --st.burstLeft;
+        hit = true;
+    } else if (spec.enabled()) {
+        if (spec.period > 0 && st.visits % spec.period == 0)
+            hit = true;
+        // The probability draw happens whenever prob is set, even after
+        // a period hit, so the stream position stays a function of the
+        // visit count alone.
+        if (spec.prob > 0 && (st.rng.next() & 0xFFFF) < spec.prob)
+            hit = true;
+        if (hit && spec.burst > 1)
+            st.burstLeft = spec.burst - 1;
+    }
+
+    if (hit)
+        ++st.fired;
+    return hit;
+}
+
+std::uint64_t
+FaultInjector::draw(FaultSite s)
+{
+    return states_[static_cast<unsigned>(s)].rng.next();
+}
+
+Tick
+FaultInjector::delayTicks(FaultSite s)
+{
+    const Tick max = cfg_.maxDelayTicks > 0 ? cfg_.maxDelayTicks : 1;
+    return 1 + states_[static_cast<unsigned>(s)].rng.below(max);
+}
+
+Tick
+FaultInjector::jitterTicks()
+{
+    const Tick max = cfg_.maxDramJitterTicks > 0 ? cfg_.maxDramJitterTicks : 1;
+    return 1 +
+           states_[static_cast<unsigned>(FaultSite::kDramJitter)].rng.below(
+               max);
+}
+
+std::uint64_t
+FaultInjector::totalFired() const
+{
+    std::uint64_t total = 0;
+    for (const auto &st : states_)
+        total += st.fired;
+    return total;
+}
+
+FaultConfig
+faultSchedule(unsigned idx)
+{
+    if (idx >= kNumFaultSchedules)
+        throw std::invalid_argument("fault schedule index out of range: " +
+                                    std::to_string(idx));
+    FaultConfig cfg;
+    cfg.enabled = true;
+    switch (idx) {
+      case 0: // observation loss
+        cfg.at(FaultSite::kObsDrop) = {.prob = 8192};
+        break;
+      case 1: // late observations
+        cfg.at(FaultSite::kObsDelay) = {.prob = 8192};
+        break;
+      case 2: // observation-queue overflow storms
+        cfg.at(FaultSite::kObsOverflow) = {.prob = 4096, .burst = 8};
+        break;
+      case 3: // prefetch-request loss
+        cfg.at(FaultSite::kReqDrop) = {.prob = 8192};
+        break;
+      case 4: // late prefetch requests
+        cfg.at(FaultSite::kReqDelay) = {.prob = 8192};
+        break;
+      case 5: // wrong-target prefetches, both mapped and unmapped
+        cfg.at(FaultSite::kReqCorruptIn) = {.prob = 4096};
+        cfg.at(FaultSite::kReqCorruptOut) = {.prob = 4096};
+        break;
+      case 6: // request-queue overflow storms
+        cfg.at(FaultSite::kReqOverflow) = {.prob = 4096, .burst = 8};
+        break;
+      case 7: // spurious prefetch TLB faults
+        cfg.at(FaultSite::kTlbFault) = {.prob = 8192};
+        break;
+      case 8: // memory latency jitter (hits demand reads too)
+        cfg.at(FaultSite::kDramJitter) = {.prob = 16384};
+        break;
+      case 9: // runaway kernels: emit storms
+        cfg.at(FaultSite::kEmitStorm) = {.period = 7};
+        cfg.stormFactor = 16;
+        break;
+      case 10: // runaway kernels: watchdog-budget exhaustion
+        cfg.at(FaultSite::kRunaway) = {.period = 5};
+        break;
+      case 11: // everything at once, moderate rates
+        cfg.at(FaultSite::kObsDrop) = {.prob = 2048};
+        cfg.at(FaultSite::kObsDelay) = {.prob = 2048};
+        cfg.at(FaultSite::kObsOverflow) = {.prob = 1024, .burst = 4};
+        cfg.at(FaultSite::kReqDrop) = {.prob = 2048};
+        cfg.at(FaultSite::kReqDelay) = {.prob = 2048};
+        cfg.at(FaultSite::kReqCorruptIn) = {.prob = 1024};
+        cfg.at(FaultSite::kReqCorruptOut) = {.prob = 1024};
+        cfg.at(FaultSite::kReqOverflow) = {.prob = 1024};
+        cfg.at(FaultSite::kTlbFault) = {.prob = 2048};
+        cfg.at(FaultSite::kDramJitter) = {.prob = 4096};
+        cfg.at(FaultSite::kEmitStorm) = {.period = 31};
+        cfg.at(FaultSite::kRunaway) = {.period = 17};
+        break;
+      default:
+        break;
+    }
+    return cfg;
+}
+
+namespace
+{
+
+FaultSite
+siteFromName(const std::string &name)
+{
+    for (unsigned i = 0; i < kNumFaultSites; ++i) {
+        const auto s = static_cast<FaultSite>(i);
+        if (name == faultSiteName(s))
+            return s;
+    }
+    throw std::invalid_argument("unknown fault site: '" + name + "'");
+}
+
+std::uint64_t
+parseNumber(const std::string &text, const std::string &what)
+{
+    if (text.empty())
+        throw std::invalid_argument("missing " + what +
+                                    " in fault specification");
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+    if (end != text.c_str() + text.size())
+        throw std::invalid_argument("malformed " + what +
+                                    " in fault specification: '" + text +
+                                    "'");
+    return v;
+}
+
+/** Parse one "site=trigger" clause into @p cfg. */
+void
+parseClause(FaultConfig &cfg, const std::string &clause)
+{
+    const std::size_t eq = clause.find('=');
+    if (eq == std::string::npos)
+        throw std::invalid_argument("fault clause has no '=': '" + clause +
+                                    "'");
+    const FaultSite site = siteFromName(clause.substr(0, eq));
+    std::string trigger = clause.substr(eq + 1);
+
+    FaultSpec spec;
+    const std::size_t burst_at = trigger.find('x');
+    if (burst_at != std::string::npos) {
+        const std::uint64_t b =
+            parseNumber(trigger.substr(burst_at + 1), "burst");
+        if (b == 0 || b > 0xFFFF'FFFFULL)
+            throw std::invalid_argument("fault burst out of range in '" +
+                                        clause + "'");
+        spec.burst = static_cast<std::uint32_t>(b);
+        trigger.resize(burst_at);
+    }
+
+    if (!trigger.empty() && trigger[0] == '@') {
+        spec.period = parseNumber(trigger.substr(1), "period");
+        if (spec.period == 0)
+            throw std::invalid_argument("fault period must be positive in '" +
+                                        clause + "'");
+    } else {
+        const std::size_t slash = trigger.find('/');
+        if (slash == std::string::npos)
+            throw std::invalid_argument(
+                "fault trigger must be 'num/den' or '@period' in '" + clause +
+                "'");
+        const std::uint64_t num =
+            parseNumber(trigger.substr(0, slash), "probability numerator");
+        const std::uint64_t den =
+            parseNumber(trigger.substr(slash + 1), "probability denominator");
+        if (den == 0 || num > den)
+            throw std::invalid_argument(
+                "fault probability must be in [0, 1] in '" + clause + "'");
+        spec.prob = static_cast<std::uint32_t>((num * 65536) / den);
+        if (spec.prob == 0 && num > 0)
+            spec.prob = 1; // don't round a requested fault away entirely
+    }
+
+    cfg.at(site) = spec;
+}
+
+} // namespace
+
+FaultConfig
+parseFaultConfig(const std::string &spec)
+{
+    FaultConfig cfg;
+    if (spec.empty())
+        return cfg;
+
+    // A bare integer selects a canonical schedule.
+    bool all_digits = true;
+    for (char c : spec)
+        all_digits = all_digits && c >= '0' && c <= '9';
+    if (all_digits) {
+        const std::uint64_t idx = parseNumber(spec, "schedule index");
+        if (idx >= kNumFaultSchedules)
+            throw std::invalid_argument(
+                "fault schedule index out of range (0.." +
+                std::to_string(kNumFaultSchedules - 1) + "): '" + spec + "'");
+        return faultSchedule(static_cast<unsigned>(idx));
+    }
+
+    cfg.enabled = true;
+    std::size_t at = 0;
+    while (at < spec.size()) {
+        std::size_t comma = spec.find(',', at);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        parseClause(cfg, spec.substr(at, comma - at));
+        at = comma + 1;
+    }
+    return cfg;
+}
+
+} // namespace epf

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Deterministic fault injection.
+ *
+ * The paper's safety argument is that every prefetch the PPF issues is a
+ * *hint*: dropping, delaying, corrupting or multiplying one may cost
+ * cycles but can never change architectural results.  This subsystem
+ * exercises that claim adversarially.  A FaultInjector owns one seeded
+ * RNG stream per injection site; components wired with an injector ask
+ * it `fire(site)` at each eligible instant and apply the fault when it
+ * says yes.  Because (a) every stream is derived from the cell seed the
+ * same way sweep seeds are and (b) all queries happen in deterministic
+ * simulation order, a fault *schedule* is a pure function of
+ * (seed, config): bit-reproducible across host thread counts, repeated
+ * runs, and trace capture/replay.
+ *
+ * The proof layer (tests/fault_parity_test.cpp, tier 2) runs a matrix
+ * of schedules over every workload and asserts the architectural
+ * checksum and instruction count are byte-identical to the fault-free
+ * run — only timing and traffic stats may move.
+ */
+
+#ifndef EPF_SIM_FAULT_HPP
+#define EPF_SIM_FAULT_HPP
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "sim/rng.hpp"
+#include "sim/types.hpp"
+
+namespace epf
+{
+
+/** Every place a fault can be injected. */
+enum class FaultSite : unsigned
+{
+    kObsDrop,        ///< discard a PPF observation before it queues
+    kObsDelay,       ///< deliver a PPF observation late
+    kObsOverflow,    ///< evict the oldest queued observation (capacity storm)
+    kReqDrop,        ///< discard an emitted prefetch request
+    kReqDelay,       ///< queue an emitted prefetch request late
+    kReqCorruptIn,   ///< redirect a prefetch to a random mapped address
+    kReqCorruptOut,  ///< redirect a prefetch to an unmapped address
+    kReqOverflow,    ///< evict the oldest queued prefetch request
+    kTlbFault,       ///< spuriously fail a prefetch TLB translation
+    kDramJitter,     ///< add latency jitter to a DRAM access
+    kEmitStorm,      ///< replicate an event's emit list (runaway kernel)
+    kRunaway,        ///< charge a kernel the full watchdog step budget
+};
+
+constexpr unsigned kNumFaultSites = 12;
+
+/** Display/parse name of @p site ("obsDrop", "dramJitter", ...). */
+const char *faultSiteName(FaultSite site);
+
+/** Per-site firing schedule.  A site is eligible once per visit (one
+ *  observation, one emitted request, one DRAM access, ...).  Either
+ *  trigger form may be used; both may be combined:
+ *   - prob:   fire with probability prob / 65536 per visit;
+ *   - period: fire deterministically on every period-th visit.
+ *  Each trigger extends to `burst` consecutive visits. */
+struct FaultSpec
+{
+    std::uint32_t prob = 0; ///< per-visit probability, /65536
+    std::uint64_t period = 0;
+    std::uint32_t burst = 1;
+
+    bool enabled() const { return prob > 0 || period > 0; }
+};
+
+/** Full fault-injection configuration of one run. */
+struct FaultConfig
+{
+    /** Master switch: when false no component consults the injector and
+     *  the machine is bit-identical to a build without this subsystem. */
+    bool enabled = false;
+
+    std::array<FaultSpec, kNumFaultSites> site{};
+
+    /** Upper bound (ticks) on injected observation/request delays. */
+    Tick maxDelayTicks = 2000;
+    /** Upper bound (ticks) on injected DRAM latency jitter. */
+    Tick maxDramJitterTicks = 500;
+    /** Emit-list replication factor of a kEmitStorm injection. */
+    unsigned stormFactor = 8;
+
+    FaultSpec &at(FaultSite s) { return site[static_cast<unsigned>(s)]; }
+    const FaultSpec &
+    at(FaultSite s) const
+    {
+        return site[static_cast<unsigned>(s)];
+    }
+
+    /** True when the master switch is on and at least one site fires. */
+    bool
+    anySite() const
+    {
+        if (!enabled)
+            return false;
+        for (const auto &s : site)
+            if (s.enabled())
+                return true;
+        return false;
+    }
+};
+
+/**
+ * Draws the per-site fault schedule of one run.
+ *
+ * One instance is shared by every component of a run (the simulation of
+ * a cell is single-threaded, so a single instance is deterministic even
+ * at cores > 1).  Sites draw from independent RNG streams: enabling or
+ * re-rating one site never perturbs another site's schedule.
+ */
+class FaultInjector
+{
+  public:
+    FaultInjector(const FaultConfig &cfg, std::uint64_t cell_seed);
+
+    /** One eligible instant at @p s; true means inject now. */
+    bool fire(FaultSite s);
+
+    /** Auxiliary random bits for a fault's magnitude (corrupt target,
+     *  jitter amount).  Drawn from the same per-site stream, so the
+     *  schedule stays a pure function of (seed, config). */
+    std::uint64_t draw(FaultSite s);
+
+    /** Injected delay in [1, maxDelayTicks] for @p s. */
+    Tick delayTicks(FaultSite s);
+
+    /** Injected DRAM jitter in [1, maxDramJitterTicks]. */
+    Tick jitterTicks();
+
+    /** Times @p s actually injected so far. */
+    std::uint64_t
+    fired(FaultSite s) const
+    {
+        return states_[static_cast<unsigned>(s)].fired;
+    }
+
+    /** Eligible visits seen at @p s so far. */
+    std::uint64_t
+    visits(FaultSite s) const
+    {
+        return states_[static_cast<unsigned>(s)].visits;
+    }
+
+    /** Total injections across all sites. */
+    std::uint64_t totalFired() const;
+
+    const FaultConfig &config() const { return cfg_; }
+    std::uint64_t seed() const { return seed_; }
+
+  private:
+    struct SiteState
+    {
+        Rng rng{0};
+        std::uint64_t visits = 0;
+        std::uint64_t fired = 0;
+        std::uint32_t burstLeft = 0;
+    };
+
+    FaultConfig cfg_;
+    std::uint64_t seed_;
+    std::array<SiteState, kNumFaultSites> states_;
+};
+
+/** Number of canonical schedules faultSchedule() defines. */
+constexpr unsigned kNumFaultSchedules = 12;
+
+/**
+ * Canonical fault schedule @p idx (0 .. kNumFaultSchedules-1): the
+ * fixed set the FaultParity matrix runs and `EPF_FAULTS=<idx>`
+ * selects.  Each schedule stresses one failure family; the last one
+ * layers every site at moderate rates.
+ */
+FaultConfig faultSchedule(unsigned idx);
+
+/**
+ * Parse an EPF_FAULTS-style specification:
+ *   ""            -> disabled;
+ *   "<n>"         -> faultSchedule(n);
+ *   "site=..."    -> comma-separated site triggers, e.g.
+ *                    "obsDrop=1/8,dramJitter=@64,emitStorm=@16x4"
+ *                    (probability num/den, @period, optional xburst).
+ * Throws std::invalid_argument on malformed input.
+ */
+FaultConfig parseFaultConfig(const std::string &spec);
+
+} // namespace epf
+
+#endif // EPF_SIM_FAULT_HPP

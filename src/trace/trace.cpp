@@ -1,5 +1,6 @@
 #include "trace/trace.hpp"
 
+#include <cmath>
 #include <cstring>
 #include <stdexcept>
 
@@ -76,7 +77,8 @@ struct Cursor
     void
     need(std::size_t n) const
     {
-        if (at + n > len)
+        // Written to stay correct even if at + n would wrap.
+        if (n > len || at > len - n)
             throw std::runtime_error("trace file truncated");
     }
 
@@ -148,6 +150,15 @@ constexpr std::uint8_t kRecHasDep0 = 1u << 6;
 constexpr std::uint8_t kRecHasDep1 = 1u << 7;
 
 constexpr unsigned kNumKinds = 6;
+
+// Header sanity bounds.  A trace file is untrusted input (it may be
+// truncated, bit-flipped, or not a trace at all), and its region table
+// sizes replay-side allocations: without caps a single flipped bit in a
+// region size turns open() into a multi-terabyte allocation.  The caps
+// are far above anything a real capture produces.
+constexpr std::uint32_t kMaxTraceRegions = 4096;
+constexpr std::uint64_t kMaxTraceRegionBytes = 1ULL << 32; // 4 GiB total
+constexpr double kMaxTraceScale = 1e6;
 
 std::uint64_t
 fnvUpdate(std::uint64_t h, const std::uint8_t *p, std::size_t n)
@@ -381,20 +392,49 @@ TraceReader::TraceReader(const std::string &path)
     meta_.seed = c.u64();
     const std::uint64_t scale_bits = c.u64();
     std::memcpy(&meta_.scaleFactor, &scale_bits, sizeof meta_.scaleFactor);
+    // The scale factor seeds workload regeneration on replay; a NaN or
+    // absurd value (a bit-flipped header) would propagate into input
+    // sizing, so reject it here with a diagnosable error instead.
+    if (!std::isfinite(meta_.scaleFactor) || meta_.scaleFactor <= 0.0 ||
+        meta_.scaleFactor > kMaxTraceScale)
+        throw std::runtime_error(
+            "TraceReader: corrupt scale factor in " + path);
     meta_.recordCount = c.u64();
     meta_.streamChecksum = c.u64();
     meta_.workloadChecksum = c.u64();
     meta_.finalTick = c.u64();
     meta_.sourceWorkload = c.str(c.u16());
     const std::uint32_t nregions = c.u32();
+    if (nregions > kMaxTraceRegions)
+        throw std::runtime_error(
+            "TraceReader: corrupt region count in " + path);
+    std::uint64_t region_bytes = 0;
     for (std::uint32_t i = 0; i < nregions; ++i) {
         TraceRegion r;
         r.name = c.str(c.u16());
         r.base = c.u64();
         r.size = c.u64();
+        // Replay allocates a buffer per region; cap the total so a
+        // bit-flipped size fails cleanly instead of as an OOM.  The
+        // individual check runs first so the sum cannot wrap.
+        if (r.size > kMaxTraceRegionBytes)
+            throw std::runtime_error(
+                "TraceReader: corrupt region size in " + path);
+        region_bytes += r.size;
+        if (region_bytes > kMaxTraceRegionBytes)
+            throw std::runtime_error(
+                "TraceReader: corrupt region size in " + path);
         meta_.regions.push_back(std::move(r));
     }
     recordsBegin_ = c.at;
+
+    // Every record costs at least three bytes (flag byte plus two
+    // varints), so a record count exceeding the record-byte budget can
+    // only come from a corrupt header — next() would otherwise walk off
+    // the end mid-stream with a less specific error.
+    if (meta_.recordCount > (bytes_.size() - recordsBegin_ + 2) / 3)
+        throw std::runtime_error(
+            "TraceReader: corrupt record count in " + path);
 
     const std::uint64_t actual = fnvUpdate(
         0xCBF29CE484222325ULL, bytes_.data() + recordsBegin_,

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * FaultParity matrix (tier 2): the pure-hint proof.
+ *
+ * Every canonical fault schedule x every paper workload x {Manual,
+ * Stride, None}, at the golden scale with the golden per-cell seeds.
+ * For each cell the architectural results — workload checksum and
+ * retired instruction count — must be byte-identical to the fault-free
+ * run of the same cell; only timing and traffic may move.  Each
+ * schedule must also actually inject (a schedule that never fires
+ * proves nothing).
+ *
+ * The runaway-flavoured schedules additionally run with the
+ * quarantine watchdog and event-storm throttle armed, so the matrix
+ * covers the degradation layer, not just raw injection.
+ *
+ * When EPF_FAULT_JSON names a path, the per-cell injection and
+ * degradation counts are dumped there as JSON (CI uploads it as an
+ * artifact for schedule-coverage inspection).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "runner/golden.hpp"
+#include "runner/sweep.hpp"
+#include "sim/fault.hpp"
+#include "workloads/workload.hpp"
+
+namespace epf
+{
+namespace
+{
+
+const std::vector<Technique> kTechniques = {
+    Technique::kManual, Technique::kStride, Technique::kNone};
+
+std::vector<SweepOutcome>
+runGrid(const RunConfig &proto)
+{
+    SweepEngine::Options opts;
+    opts.threads = sweepThreadsFromEnv(0);
+    SweepEngine engine(opts);
+    engine.addGrid(workloadNames(), kTechniques, proto);
+    auto outcomes = engine.run();
+    for (const auto &o : outcomes)
+        EXPECT_FALSE(o.failed)
+            << o.cell.workload << "/" << techniqueName(o.cell.config.technique)
+            << ": " << o.error;
+    return outcomes;
+}
+
+TEST(FaultParity, EverySchedulePreservesArchitecturalResults)
+{
+    const std::vector<SweepOutcome> baseline =
+        runGrid(goldenConfig(Technique::kNone));
+
+    std::ostringstream artifact;
+    artifact << "[";
+    bool first_row = true;
+
+    for (unsigned sched = 0; sched < kNumFaultSchedules; ++sched) {
+        RunConfig proto = goldenConfig(Technique::kNone);
+        proto.faults = faultSchedule(sched);
+        // The runaway family runs with the degradation layer armed, so
+        // quarantine kills and throttle windows are part of the matrix.
+        const bool degraded = sched >= 9;
+        if (degraded) {
+            proto.ppf.quarantineThreshold = 3;
+            proto.ppf.quarantineBaseTicks = 10'000;
+            proto.ppf.stormWindowTicks = 50'000;
+            proto.ppf.stormThreshold = 64;
+        }
+
+        const std::vector<SweepOutcome> faulted = runGrid(proto);
+        ASSERT_EQ(faulted.size(), baseline.size());
+
+        std::uint64_t schedule_injected = 0;
+        for (std::size_t i = 0; i < faulted.size(); ++i) {
+            const SweepOutcome &b = baseline[i];
+            const SweepOutcome &f = faulted[i];
+            ASSERT_EQ(f.cell.workload, b.cell.workload);
+            const std::string where =
+                "schedule " + std::to_string(sched) + ", " +
+                f.cell.workload + "/" +
+                techniqueName(f.cell.config.technique);
+
+            EXPECT_EQ(f.result.checksum, b.result.checksum) << where;
+            EXPECT_EQ(f.result.instrs, b.result.instrs) << where;
+            schedule_injected += f.result.faultsInjected;
+
+            artifact << (first_row ? "\n" : ",\n") << "  {\"schedule\": "
+                     << sched << ", \"workload\": \"" << f.cell.workload
+                     << "\", \"technique\": \""
+                     << techniqueName(f.cell.config.technique)
+                     << "\", \"injected\": " << f.result.faultsInjected;
+            for (unsigned s = 0; s < kNumFaultSites; ++s) {
+                const auto site = static_cast<FaultSite>(s);
+                const double n = f.result.detail.get(
+                    std::string("fault.") + faultSiteName(site) +
+                    ".injected");
+                if (n > 0)
+                    artifact << ", \"" << faultSiteName(site) << "\": "
+                             << static_cast<std::uint64_t>(n);
+            }
+            if (degraded)
+                artifact
+                    << ", \"quarantineKills\": "
+                    << static_cast<std::uint64_t>(
+                           f.result.detail.get("c0.ppf.quarantineKills"))
+                    << ", \"throttleDropped\": "
+                    << static_cast<std::uint64_t>(
+                           f.result.detail.get("c0.ppf.throttleDropped"));
+            artifact << "}";
+            first_row = false;
+        }
+
+        // A schedule that never injects is a vacuous pass.
+        EXPECT_GT(schedule_injected, 0u) << "schedule " << sched;
+    }
+    artifact << "\n]\n";
+
+    if (const char *path = std::getenv("EPF_FAULT_JSON")) {
+        std::ofstream os(path);
+        ASSERT_TRUE(os) << "EPF_FAULT_JSON: cannot open " << path;
+        os << artifact.str();
+        std::cerr << "fault-injection stats written to " << path << "\n";
+    }
+}
+
+} // namespace
+} // namespace epf

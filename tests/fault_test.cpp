@@ -1,0 +1,449 @@
+/**
+ * @file
+ * Fault-injection and graceful-degradation tests (tier 1).
+ *
+ * Covers the deterministic injector itself (stream independence,
+ * period/burst semantics, the EPF_FAULTS grammar), the configuration
+ * validation that replaced kernel-reachable asserts, directed checks of
+ * every degradation mechanism (bounded-queue drops, event-storm
+ * throttle, quarantine watchdog, sweep wall-clock watchdog), and fast
+ * single-cell instances of the pure-hint parity property.  The full
+ * schedule x workload x technique matrix runs in
+ * tests/fault_parity_test.cpp (tier 2).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "runner/golden.hpp"
+#include "runner/sweep.hpp"
+#include "sim/fault.hpp"
+
+namespace epf
+{
+namespace
+{
+
+/** Fire pattern of one site over @p visits eligible instants. */
+std::vector<bool>
+firePattern(const FaultConfig &cfg, std::uint64_t seed, FaultSite site,
+            unsigned visits)
+{
+    FaultInjector inj(cfg, seed);
+    std::vector<bool> out;
+    out.reserve(visits);
+    for (unsigned i = 0; i < visits; ++i)
+        out.push_back(inj.fire(site));
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Injector unit tests.
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjector, ScheduleIsAPureFunctionOfSeedAndConfig)
+{
+    FaultConfig cfg;
+    cfg.enabled = true;
+    cfg.at(FaultSite::kObsDrop) = {.prob = 8192};
+
+    const auto a = firePattern(cfg, 0xE7F5EED5, FaultSite::kObsDrop, 4096);
+    const auto b = firePattern(cfg, 0xE7F5EED5, FaultSite::kObsDrop, 4096);
+    EXPECT_EQ(a, b);
+
+    const auto c = firePattern(cfg, 0xE7F5EED6, FaultSite::kObsDrop, 4096);
+    EXPECT_NE(a, c);
+
+    // A 1/8 probability over 4096 visits fires, statistically, hundreds
+    // of times; exactly zero or all would mean the draw is broken.
+    const auto hits = static_cast<std::size_t>(
+        std::count(a.begin(), a.end(), true));
+    EXPECT_GT(hits, 256u);
+    EXPECT_LT(hits, 1024u);
+}
+
+TEST(FaultInjector, PeriodFiresOnEveryNthVisit)
+{
+    FaultConfig cfg;
+    cfg.enabled = true;
+    cfg.at(FaultSite::kReqDrop) = {.period = 4};
+
+    FaultInjector inj(cfg, 1);
+    for (unsigned visit = 1; visit <= 64; ++visit)
+        EXPECT_EQ(inj.fire(FaultSite::kReqDrop), visit % 4 == 0) << visit;
+    EXPECT_EQ(inj.fired(FaultSite::kReqDrop), 16u);
+    EXPECT_EQ(inj.visits(FaultSite::kReqDrop), 64u);
+    EXPECT_EQ(inj.totalFired(), 16u);
+}
+
+TEST(FaultInjector, BurstExtendsATriggerAcrossConsecutiveVisits)
+{
+    FaultConfig cfg;
+    cfg.enabled = true;
+    cfg.at(FaultSite::kObsOverflow) = {.period = 10, .burst = 3};
+
+    FaultInjector inj(cfg, 1);
+    unsigned fired = 0;
+    std::vector<unsigned> fire_visits;
+    for (unsigned visit = 1; visit <= 30; ++visit) {
+        if (inj.fire(FaultSite::kObsOverflow)) {
+            ++fired;
+            fire_visits.push_back(visit);
+        }
+    }
+    // Triggers at 10 and 20, each extended to 3 consecutive visits; the
+    // visit-30 trigger opens the third burst.
+    EXPECT_EQ(fire_visits,
+              (std::vector<unsigned>{10, 11, 12, 20, 21, 22, 30}));
+    EXPECT_EQ(fired, 7u);
+}
+
+TEST(FaultInjector, SiteStreamsAreIndependent)
+{
+    // Enabling (or visiting) one site must not shift another site's
+    // schedule: each site owns its own RNG stream.
+    FaultConfig only_drop;
+    only_drop.enabled = true;
+    only_drop.at(FaultSite::kObsDrop) = {.prob = 8192};
+
+    FaultConfig both = only_drop;
+    both.at(FaultSite::kDramJitter) = {.prob = 16384};
+
+    FaultInjector a(only_drop, 99);
+    FaultInjector b(both, 99);
+    for (unsigned i = 0; i < 2048; ++i) {
+        EXPECT_EQ(a.fire(FaultSite::kObsDrop), b.fire(FaultSite::kObsDrop))
+            << i;
+        // b also visits the jitter site between obs visits; a does not.
+        b.fire(FaultSite::kDramJitter);
+    }
+}
+
+TEST(FaultInjector, MagnitudeDrawsComeFromTheSiteStream)
+{
+    FaultConfig cfg;
+    cfg.enabled = true;
+    cfg.maxDelayTicks = 100;
+    cfg.maxDramJitterTicks = 7;
+    FaultInjector inj(cfg, 5);
+    for (int i = 0; i < 256; ++i) {
+        const Tick d = inj.delayTicks(FaultSite::kObsDelay);
+        EXPECT_GE(d, 1u);
+        EXPECT_LE(d, 100u);
+        const Tick j = inj.jitterTicks();
+        EXPECT_GE(j, 1u);
+        EXPECT_LE(j, 7u);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Canonical schedules and the EPF_FAULTS grammar.
+// ---------------------------------------------------------------------------
+
+TEST(FaultSchedules, AllCanonicalSchedulesAreWellFormed)
+{
+    for (unsigned idx = 0; idx < kNumFaultSchedules; ++idx) {
+        const FaultConfig cfg = faultSchedule(idx);
+        EXPECT_TRUE(cfg.enabled) << idx;
+        EXPECT_TRUE(cfg.anySite()) << idx;
+    }
+    EXPECT_THROW(faultSchedule(kNumFaultSchedules), std::invalid_argument);
+}
+
+TEST(FaultParse, GrammarAccepted)
+{
+    EXPECT_FALSE(parseFaultConfig("").enabled);
+
+    const FaultConfig sched = parseFaultConfig("3");
+    EXPECT_TRUE(sched.enabled);
+    EXPECT_EQ(sched.at(FaultSite::kReqDrop).prob,
+              faultSchedule(3).at(FaultSite::kReqDrop).prob);
+
+    const FaultConfig cfg =
+        parseFaultConfig("obsDrop=1/8,dramJitter=@64,emitStorm=@16x4");
+    EXPECT_TRUE(cfg.enabled);
+    EXPECT_EQ(cfg.at(FaultSite::kObsDrop).prob, 65536u / 8);
+    EXPECT_EQ(cfg.at(FaultSite::kDramJitter).period, 64u);
+    EXPECT_EQ(cfg.at(FaultSite::kEmitStorm).period, 16u);
+    EXPECT_EQ(cfg.at(FaultSite::kEmitStorm).burst, 4u);
+
+    // A tiny probability must round to >= 1, not silently to zero.
+    EXPECT_GE(parseFaultConfig("reqDrop=1/1000000").at(FaultSite::kReqDrop)
+                  .prob,
+              1u);
+}
+
+TEST(FaultParse, MalformedSpecsThrow)
+{
+    const char *bad[] = {
+        "bogus=1/2",     // unknown site
+        "obsDrop",       // no '='
+        "obsDrop=",      // empty trigger
+        "obsDrop=1",     // neither num/den nor @period
+        "obsDrop=1/0",   // zero denominator
+        "obsDrop=3/2",   // probability > 1
+        "obsDrop=@0",    // zero period
+        "obsDrop=@4x0",  // zero burst
+        "obsDrop=@4xq",  // malformed burst
+        "99",            // schedule index out of range
+    };
+    for (const char *spec : bad)
+        EXPECT_THROW(parseFaultConfig(spec), std::invalid_argument) << spec;
+}
+
+// ---------------------------------------------------------------------------
+// Configuration validation (kernel-reachable asserts became errors).
+// ---------------------------------------------------------------------------
+
+TEST(FaultConfigValidation, InvalidPpfConfigThrowsInsteadOfAsserting)
+{
+    const auto run_with = [](auto &&mutate) {
+        RunConfig cfg = goldenConfig(Technique::kManual);
+        cfg.scale.factor = 0.005;
+        mutate(cfg.ppf);
+        return runExperiment("RandAcc", cfg);
+    };
+    EXPECT_THROW(run_with([](PpfConfig &p) { p.numPpus = 0; }),
+                 std::invalid_argument);
+    EXPECT_THROW(run_with([](PpfConfig &p) { p.ppuPeriod = 0; }),
+                 std::invalid_argument);
+    EXPECT_THROW(run_with([](PpfConfig &p) { p.obsQueueCapacity = 0; }),
+                 std::invalid_argument);
+    EXPECT_THROW(run_with([](PpfConfig &p) { p.reqQueueCapacity = 0; }),
+                 std::invalid_argument);
+    EXPECT_THROW(run_with([](PpfConfig &p) {
+                     p.stormWindowTicks = 100;
+                     p.stormThreshold = 0;
+                 }),
+                 std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Pure-hint parity, fast single cells (the matrix is tier 2).
+// ---------------------------------------------------------------------------
+
+/** Stats JSON with the fault/degradation counters stripped: under
+ *  injection, parity of everything else is NOT expected (timing moves)
+ *  — these tests compare checksum and instrs directly instead. */
+void
+expectArchitecturalParity(const RunResult &clean, const RunResult &faulted)
+{
+    EXPECT_EQ(clean.checksum, faulted.checksum);
+    EXPECT_EQ(clean.instrs, faulted.instrs);
+}
+
+TEST(FaultParity, LayeredScheduleLeavesResultsUntouched)
+{
+    RunConfig cfg = goldenConfig(Technique::kManual);
+    const RunResult clean = runExperiment("RandAcc", cfg);
+
+    cfg.faults = faultSchedule(11); // every site at once
+    const RunResult faulted = runExperiment("RandAcc", cfg);
+    expectArchitecturalParity(clean, faulted);
+    EXPECT_GT(faulted.faultsInjected, 0u);
+    EXPECT_GT(faulted.detail.get("fault.injected"), 0.0);
+    EXPECT_EQ(clean.faultsInjected, 0u);
+}
+
+TEST(FaultParity, JitterHitsNonPpfTechniquesToo)
+{
+    // DRAM jitter and TLB faults bite even without a programmable
+    // prefetcher in the machine.
+    RunConfig cfg = goldenConfig(Technique::kStride);
+    const RunResult clean = runExperiment("RandAcc", cfg);
+
+    cfg.faults = faultSchedule(8);
+    const RunResult faulted = runExperiment("RandAcc", cfg);
+    expectArchitecturalParity(clean, faulted);
+    EXPECT_GT(faulted.detail.get("fault.dramJitter.injected"), 0.0);
+}
+
+TEST(FaultParity, RunawayKernelsAreContained)
+{
+    RunConfig cfg = goldenConfig(Technique::kManual);
+    const RunResult clean = runExperiment("G500-CSR", cfg);
+
+    cfg.faults = faultSchedule(10);
+    const RunResult faulted = runExperiment("G500-CSR", cfg);
+    expectArchitecturalParity(clean, faulted);
+    EXPECT_GT(faulted.detail.get("fault.runaway.injected"), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Graceful degradation mechanisms.
+// ---------------------------------------------------------------------------
+
+TEST(FaultDegradation, StormThrottleEngagesAndPreservesResults)
+{
+    RunConfig cfg = goldenConfig(Technique::kManual);
+    const RunResult clean = runExperiment("RandAcc", cfg);
+
+    cfg.faults = parseFaultConfig("emitStorm=@3");
+    cfg.faults.stormFactor = 16;
+    cfg.ppf.stormWindowTicks = 50'000;
+    cfg.ppf.stormThreshold = 8;
+    const RunResult faulted = runExperiment("RandAcc", cfg);
+
+    expectArchitecturalParity(clean, faulted);
+    EXPECT_GT(faulted.detail.get("ppf.throttleEntries"), 0.0);
+    EXPECT_GT(faulted.detail.get("ppf.throttleDropped"), 0.0);
+}
+
+TEST(FaultDegradation, QuarantineKillsReenablesDeterministically)
+{
+    RunConfig cfg = goldenConfig(Technique::kManual);
+    const RunResult clean = runExperiment("RandAcc", cfg);
+
+    cfg.faults = parseFaultConfig("runaway=@3");
+    cfg.ppf.quarantineThreshold = 2;
+    cfg.ppf.quarantineBaseTicks = 5'000;
+    cfg.ppf.quarantineBackoffMax = 3;
+    const RunResult a = runExperiment("RandAcc", cfg);
+    const RunResult b = runExperiment("RandAcc", cfg);
+
+    expectArchitecturalParity(clean, a);
+    EXPECT_GT(a.detail.get("ppf.quarantineKills"), 0.0);
+    EXPECT_GT(a.detail.get("ppf.quarantineSkips"), 0.0);
+    EXPECT_GT(a.detail.get("ppf.quarantineReenables"), 0.0);
+
+    // Same seed, same schedule: every kill/re-enable transition happens
+    // at the identical tick — the transition-log hashes match exactly.
+    EXPECT_EQ(a.detail.get("ppf.quarantineLogHash"),
+              b.detail.get("ppf.quarantineLogHash"));
+    EXPECT_EQ(a.detail.get("ppf.quarantineKills"),
+              b.detail.get("ppf.quarantineKills"));
+    EXPECT_EQ(a.detail.get("ppf.quarantineReenables"),
+              b.detail.get("ppf.quarantineReenables"));
+}
+
+TEST(FaultDegradation, SweepIsThreadCountInvariantUnderFaults)
+{
+    // The whole degradation pipeline — schedules, quarantine, throttle —
+    // must be bit-identical at any host thread count.
+    const auto sweep_stats = [](unsigned threads) {
+        SweepEngine::Options opts;
+        opts.threads = threads;
+        SweepEngine engine(opts);
+        RunConfig proto = goldenConfig(Technique::kManual);
+        proto.faults = faultSchedule(11);
+        proto.ppf.quarantineThreshold = 3;
+        proto.ppf.quarantineBaseTicks = 10'000;
+        proto.ppf.stormWindowTicks = 50'000;
+        proto.ppf.stormThreshold = 64;
+        engine.addGrid({"IntSort", "RandAcc"},
+                       {Technique::kManual, Technique::kNone}, proto);
+        std::vector<std::string> stats;
+        for (const auto &o : engine.run()) {
+            EXPECT_FALSE(o.failed) << o.error;
+            stats.push_back(goldenStatsJson(
+                {o.cell.workload, o.cell.config.technique}, o.result));
+        }
+        return stats;
+    };
+    EXPECT_EQ(sweep_stats(1), sweep_stats(4));
+}
+
+TEST(FaultDegradation, QuarantineScheduleSurvivesCaptureReplay)
+{
+    // Capture a faulted run, then replay the trace under the identical
+    // fault config and seed: the fault schedule, every quarantine
+    // transition, and the full stats block must reproduce exactly.
+    RunConfig cfg = goldenConfig(Technique::kManual);
+    cfg.faults = faultSchedule(11);
+    cfg.ppf.quarantineThreshold = 3;
+    cfg.ppf.quarantineBaseTicks = 10'000;
+    cfg.tracePath = ::testing::TempDir() + "faulted_capture.epftrace";
+    const RunResult live = runExperiment("RandAcc", cfg);
+    EXPECT_GT(live.faultsInjected, 0u);
+
+    RunConfig replay_cfg = cfg;
+    replay_cfg.tracePath.clear();
+    const RunResult replay =
+        runExperiment("trace:" + cfg.tracePath, replay_cfg);
+    EXPECT_EQ(goldenStatsJson({"cell", cfg.technique}, live),
+              goldenStatsJson({"cell", cfg.technique}, replay));
+}
+
+// ---------------------------------------------------------------------------
+// Sweep wall-clock watchdog.
+// ---------------------------------------------------------------------------
+
+// Released by the watchdog test after the engine throws; static so the
+// detached (unjoinable) worker can keep reading it while it winds down.
+std::atomic<bool> g_release_hang{false};
+
+TEST(FaultWatchdog, HungCellFailsTheSweepWithANamedError)
+{
+    SweepEngine::Options opts;
+    opts.threads = 2;
+    opts.cellTimeoutSeconds = 0.2;
+    opts.runCell = [](const SweepCell &cell) {
+        if (cell.workload == "HangWL") {
+            while (!g_release_hang.load())
+                std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+        return RunResult{};
+    };
+    SweepEngine engine(opts);
+    engine.add("FastWL", goldenConfig(Technique::kNone));
+    engine.add("HangWL", goldenConfig(Technique::kNone), "hung-label");
+
+    try {
+        engine.run();
+        FAIL() << "watchdog did not fire";
+    } catch (const std::runtime_error &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("watchdog"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("HangWL"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("hung-label"), std::string::npos) << msg;
+    }
+    g_release_hang = true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+}
+
+TEST(FaultWatchdog, FastCellsPassUnderAnArmedWatchdog)
+{
+    SweepEngine::Options opts;
+    opts.threads = 2;
+    opts.cellTimeoutSeconds = 60.0;
+    opts.runCell = [](const SweepCell &) {
+        RunResult r;
+        r.cycles = 1;
+        return r;
+    };
+    SweepEngine engine(opts);
+    engine.add("A", goldenConfig(Technique::kNone));
+    engine.add("B", goldenConfig(Technique::kNone));
+    engine.add("C", goldenConfig(Technique::kNone));
+    const auto outcomes = engine.run();
+    ASSERT_EQ(outcomes.size(), 3u);
+    for (const auto &o : outcomes) {
+        EXPECT_FALSE(o.failed) << o.error;
+        EXPECT_EQ(o.result.cycles, 1u);
+    }
+}
+
+TEST(FaultWatchdog, EnvKnobsParse)
+{
+    ::setenv("EPF_CELL_TIMEOUT", "2.5", 1);
+    EXPECT_DOUBLE_EQ(sweepCellTimeoutFromEnv(), 2.5);
+    ::unsetenv("EPF_CELL_TIMEOUT");
+    EXPECT_DOUBLE_EQ(sweepCellTimeoutFromEnv(9.0), 9.0);
+
+    ::setenv("EPF_FAULTS", "emitStorm=@16x4", 1);
+    const FaultConfig cfg = sweepFaultsFromEnv();
+    EXPECT_TRUE(cfg.enabled);
+    EXPECT_EQ(cfg.at(FaultSite::kEmitStorm).period, 16u);
+    ::unsetenv("EPF_FAULTS");
+    EXPECT_FALSE(sweepFaultsFromEnv().enabled);
+}
+
+} // namespace
+} // namespace epf

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -16,6 +17,7 @@
 
 #include "runner/golden.hpp"
 #include "runner/sweep.hpp"
+#include "sim/rng.hpp"
 #include "trace/trace.hpp"
 #include "workloads/trace_workload.hpp"
 
@@ -225,6 +227,185 @@ TEST(TraceFormat, DetectsCorruptionAndTruncation)
     }
     EXPECT_THROW(TraceReader{tmpPath("missing.epftrace")},
                  std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Hostile-input hardening.  The fixed header layout these tests patch:
+//   0 magic[8], 8 version, 12 flags, 16 seed, 24 scaleFactor bits,
+//   32 recordCount, 40 streamChecksum, 48 workloadChecksum, 56 finalTick,
+//   64 u16 source-name len + bytes, then u32 region count and per-region
+//   {u16 name len + bytes, u64 base, u64 size}.
+// ---------------------------------------------------------------------------
+
+constexpr std::size_t kOffScale = 24;
+constexpr std::size_t kOffRecCount = 32;
+constexpr std::size_t kOffStreamSum = 40;
+
+std::vector<std::uint8_t>
+readAll(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    std::vector<char> raw{std::istreambuf_iterator<char>(is), {}};
+    return {raw.begin(), raw.end()};
+}
+
+void
+writeAll(const std::string &path, const std::vector<std::uint8_t> &bytes)
+{
+    std::ofstream(path, std::ios::binary)
+        .write(reinterpret_cast<const char *>(bytes.data()),
+               static_cast<long>(bytes.size()));
+}
+
+void
+putU64At(std::vector<std::uint8_t> &bytes, std::size_t off, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        bytes[off + i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+/** Where the record stream starts, recomputed from the header strings. */
+std::size_t
+recordsBeginOf(const TraceMeta &m)
+{
+    std::size_t at = 64 + 2 + m.sourceWorkload.size() + 4;
+    for (const auto &r : m.regions)
+        at += 2 + r.name.size() + 16;
+    return at;
+}
+
+std::uint64_t
+fnvOf(const std::vector<std::uint8_t> &bytes, std::size_t from)
+{
+    std::uint64_t h = 0xCBF29CE484222325ULL;
+    for (std::size_t i = from; i < bytes.size(); ++i) {
+        h ^= bytes[i];
+        h *= 0x100000001B3ULL;
+    }
+    return h;
+}
+
+/** A small but representative capture: payloads, deps, produces. */
+std::string
+makeHostileSeedTrace(const std::string &name)
+{
+    static std::vector<std::uint64_t> data(64, 3);
+    GuestMemory gmem;
+    const Addr base = gmem.addRegion("t.data", data.data(), 64 * 8);
+    const std::string path = tmpPath(name);
+    TraceWriter w(path, gmem, "RandAcc", 1.0, 1, false);
+    for (int i = 0; i < 40; ++i) {
+        data[static_cast<std::size_t>(i) % 8] ^= 0x5A5A + i;
+        w.onMicroOp(i * 3, op(MicroOp::Kind::Load, 2,
+                              base + static_cast<Addr>(i % 8) * 8, 1,
+                              static_cast<ValueId>(i + 1),
+                              static_cast<ValueId>(i)));
+    }
+    w.finalize(42);
+    return path;
+}
+
+TEST(TraceHardening, RejectsCorruptScaleFactor)
+{
+    const std::string path = makeHostileSeedTrace("hscale.epftrace");
+    const auto bytes = readAll(path);
+    const double bad[] = {std::nan(""), 0.0, -1.0, 1e300};
+    for (double v : bad) {
+        auto mangled = bytes;
+        std::uint64_t bits;
+        std::memcpy(&bits, &v, 8);
+        putU64At(mangled, kOffScale, bits);
+        const std::string p = tmpPath("hscale_bad.epftrace");
+        writeAll(p, mangled);
+        EXPECT_THROW(TraceReader{p}, std::runtime_error) << v;
+    }
+}
+
+TEST(TraceHardening, RejectsCorruptRegionTable)
+{
+    const std::string path = makeHostileSeedTrace("hregion.epftrace");
+    const auto bytes = readAll(path);
+    // "RandAcc" is 7 bytes, so the region count lives at 64 + 2 + 7.
+    const std::size_t off_nregions = 73;
+    const std::size_t off_region_size = off_nregions + 4 + 2 + 6 + 8;
+
+    // A region-count claim of 4 billion must fail as "corrupt", not as
+    // an attempt to parse the whole file as region entries.
+    auto mangled = bytes;
+    putU64At(mangled, off_nregions, 0xFFFFFFFF'00000000ULL >> 32);
+    const std::string p1 = tmpPath("hregion_count.epftrace");
+    writeAll(p1, mangled);
+    EXPECT_THROW(TraceReader{p1}, std::runtime_error);
+
+    // A 2^60-byte region size must fail before replay tries to allocate
+    // a buffer for it.
+    mangled = bytes;
+    putU64At(mangled, off_region_size, 1ULL << 60);
+    const std::string p2 = tmpPath("hregion_size.epftrace");
+    writeAll(p2, mangled);
+    EXPECT_THROW(TraceReader{p2}, std::runtime_error);
+}
+
+TEST(TraceHardening, RejectsCorruptRecordCount)
+{
+    const std::string path = makeHostileSeedTrace("hcount.epftrace");
+    auto mangled = readAll(path);
+    putU64At(mangled, kOffRecCount, 1ULL << 40);
+    const std::string p = tmpPath("hcount_bad.epftrace");
+    writeAll(p, mangled);
+    EXPECT_THROW(TraceReader{p}, std::runtime_error);
+}
+
+TEST(TraceHardening, FuzzedFilesNeverEscapeRuntimeError)
+{
+    // Deterministic corruption fuzz over the whole decoder.  Three
+    // attack shapes: truncation, header flips, and record-byte flips
+    // with the stream checksum fixed up afterwards (otherwise the
+    // checksum gate catches everything before the varint decoder runs).
+    // Every variant must either load cleanly or throw std::runtime_error
+    // — any other escape (crash, bad_alloc, different exception type)
+    // fails the test.
+    const std::string path = makeHostileSeedTrace("hfuzz.epftrace");
+    const auto bytes = readAll(path);
+    const std::size_t records_begin = recordsBeginOf(TraceReader(path).meta());
+    ASSERT_LT(records_begin, bytes.size());
+
+    Rng rng(0xF022ED7'2ACEULL);
+    const std::string p = tmpPath("hfuzz_case.epftrace");
+    unsigned threw = 0;
+    for (int iter = 0; iter < 400; ++iter) {
+        auto mangled = bytes;
+        switch (rng.below(3)) {
+        case 0: // truncate anywhere, including mid-header
+            mangled.resize(rng.below(mangled.size()));
+            break;
+        case 1: // flip 1..4 header bytes
+            for (std::uint64_t k = rng.below(4) + 1; k > 0; --k)
+                mangled[rng.below(records_begin)] ^=
+                    static_cast<std::uint8_t>(1u << rng.below(8));
+            break;
+        default: // flip 1..4 record bytes, then re-seal the checksum
+            for (std::uint64_t k = rng.below(4) + 1; k > 0; --k)
+                mangled[records_begin +
+                        rng.below(mangled.size() - records_begin)] ^=
+                    static_cast<std::uint8_t>(1u << rng.below(8));
+            putU64At(mangled, kOffStreamSum,
+                     fnvOf(mangled, records_begin));
+            break;
+        }
+        writeAll(p, mangled);
+        try {
+            TraceReader r(p);
+            TraceRecord rec;
+            while (r.next(rec)) {
+            }
+        } catch (const std::runtime_error &) {
+            ++threw;
+        }
+    }
+    // The fuzz must actually be reaching the error paths, not silently
+    // producing valid files.
+    EXPECT_GT(threw, 100u);
 }
 
 TEST(TraceCapture, CaptureRunMatchesUninstrumentedRun)
